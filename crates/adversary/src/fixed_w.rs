@@ -1,0 +1,190 @@
+//! The simplified Ω(W) lower bound for the fixed-waiters variant (§7).
+//!
+//! The paper sketches it thus: let all W fixed waiters poll until stable,
+//! complete their pending polls, then run a solo `Signal()`. Before the
+//! call terminates, the signaler must write remotely to the local memory of
+//! each waiter (except possibly itself) — otherwise some waiter's next
+//! `Poll()` incorrectly repeats `false`. Hence Ω(W) RMRs for the signaler
+//! when all W waiters participate.
+//!
+//! This module measures that quantity directly: it stabilizes the waiter
+//! population, runs `Signal()` solo, counts the signaler's RMRs and — the
+//! teeth of the argument — verifies with post-signal polls that skipping a
+//! waiter is impossible without a Specification 4.1 violation.
+
+use shm_sim::{
+    Call, CallSource, CostModel, MemLayout, ProcId, RepeatUntil, ScriptedCall, SimSpec, Simulator,
+    TransitionPeek,
+};
+use signaling::{check_polling, kinds, SignalingAlgorithm, SpecViolation};
+use std::sync::Arc;
+
+/// Measured cost of signaling a fixed, fully participating waiter set.
+#[derive(Clone, Debug)]
+pub struct FixedWaitersCost {
+    /// Number of fixed waiters that participated.
+    pub w: usize,
+    /// RMRs the signaler incurred in its solo `Signal()`.
+    pub signaler_rmrs: u64,
+    /// RMRs incurred per waiter while stabilizing (max over waiters).
+    pub max_waiter_rmrs: u64,
+    /// Safety verdict after every waiter performed one more `Poll()`.
+    pub post_spec: Result<(), SpecViolation>,
+    /// Total RMRs in the history.
+    pub total_rmrs: u64,
+    /// Amortized RMRs over the W+1 participants.
+    pub amortized: f64,
+}
+
+/// Stabilizes waiters `0..w`, then runs a solo `Signal()` by process `w`,
+/// then has every waiter poll once more; returns the measured costs.
+///
+/// Works for any [`SignalingAlgorithm`]; the E7 experiment instantiates it
+/// with both [`signaling::algorithms::FixedWaiters`] modes to reproduce the
+/// Ω(W) signaler cost with equality.
+///
+/// # Panics
+///
+/// Panics if a waiter fails to stabilize within a generous step budget
+/// (i.e. the algorithm busy-waits remotely and is out of scope for this
+/// measurement), or if `w + 1` exceeds the algorithm's process bound.
+pub fn fixed_waiters_signaler_cost(algo: &dyn SignalingAlgorithm, w: usize) -> FixedWaitersCost {
+    let n = w + 1;
+    let signaler = ProcId(w as u32);
+    let mut layout = MemLayout::new();
+    let instance = algo.instantiate(&mut layout, n);
+    let sources: Vec<Box<dyn CallSource>> = (0..n)
+        .map(|i| {
+            let pid = ProcId(i as u32);
+            let inst = Arc::clone(&instance);
+            let poll = ScriptedCall::new(kinds::POLL, "Poll", Arc::new(move || inst.poll_call(pid)));
+            Box::new(RepeatUntil::new(poll, 1)) as Box<dyn CallSource>
+        })
+        .collect();
+    let spec = SimSpec { layout, sources, model: CostModel::Dsm };
+    let mut sim = Simulator::new(&spec);
+
+    // Stabilize every waiter: run it solo until it has completed 3 polls
+    // with no RMR in the last one (all shipped algorithms are per-call
+    // periodic, so one RMR-free complete poll implies stability).
+    for i in 0..w {
+        let pid = ProcId(i as u32);
+        let mut stable_polls = 0;
+        let mut guard = 0u64;
+        while stable_polls < 3 {
+            let rmrs_before = sim.proc_stats(pid).rmrs;
+            let calls_before = sim.proc_stats(pid).calls_completed;
+            while sim.proc_stats(pid).calls_completed == calls_before {
+                let _ = sim.step(pid);
+                guard += 1;
+                assert!(guard < 1_000_000, "{pid} did not complete a poll");
+            }
+            if sim.proc_stats(pid).rmrs == rmrs_before {
+                stable_polls += 1;
+            } else {
+                stable_polls = 0;
+            }
+        }
+    }
+    let max_waiter_rmrs =
+        (0..w).map(|i| sim.proc_stats(ProcId(i as u32)).rmrs).max().unwrap_or(0);
+
+    // Solo Signal() by the signaler.
+    let rmrs_before = sim.proc_stats(signaler).rmrs;
+    sim.inject_call(signaler, Call::new(kinds::SIGNAL, "Signal", instance.signal_call(signaler)));
+    let mut guard = 0u64;
+    loop {
+        guard += 1;
+        assert!(guard < 10_000_000, "Signal() did not terminate solo");
+        match sim.peek_transition(signaler) {
+            TransitionPeek::Return { kind, .. } => {
+                let _ = sim.step(signaler);
+                if kind == kinds::SIGNAL {
+                    break;
+                }
+            }
+            TransitionPeek::NotRunnable | TransitionPeek::WillTerminate => break,
+            TransitionPeek::Access(_) => {
+                let _ = sim.step(signaler);
+            }
+        }
+    }
+    let signaler_rmrs = sim.proc_stats(signaler).rmrs - rmrs_before;
+
+    // Every waiter polls once more; all must return true now.
+    for i in 0..w {
+        let pid = ProcId(i as u32);
+        let calls_before = sim.proc_stats(pid).calls_completed;
+        let mut guard = 0u64;
+        while sim.proc_stats(pid).calls_completed == calls_before && sim.is_runnable(pid) {
+            let _ = sim.step(pid);
+            guard += 1;
+            assert!(guard < 1_000_000, "{pid} post-poll did not complete");
+        }
+    }
+    let post_spec = check_polling(sim.history());
+    let total_rmrs = sim.totals().rmrs;
+    FixedWaitersCost {
+        w,
+        signaler_rmrs,
+        max_waiter_rmrs,
+        post_spec,
+        total_rmrs,
+        amortized: total_rmrs as f64 / (w as f64 + 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signaling::algorithms::{Broadcast, FixedWaiters, QueueSignaling};
+
+    #[test]
+    fn eager_fixed_waiters_signaler_pays_exactly_w() {
+        for w in [2usize, 8, 32] {
+            let waiters: Vec<ProcId> = (0..w as u32).map(ProcId).collect();
+            let algo = FixedWaiters::eager(waiters);
+            let cost = fixed_waiters_signaler_cost(&algo, w);
+            assert_eq!(cost.signaler_rmrs, w as u64, "one remote flag write per waiter");
+            assert_eq!(cost.post_spec, Ok(()));
+            assert_eq!(cost.max_waiter_rmrs, 0, "eager waiters poll locally");
+        }
+    }
+
+    #[test]
+    fn awaiting_fixed_waiters_signaler_pays_exactly_w() {
+        let w: u32 = 16;
+        let waiters: Vec<ProcId> = (0..w).map(ProcId).collect();
+        let algo = FixedWaiters::awaiting(waiters, ProcId(w));
+        let cost = fixed_waiters_signaler_cost(&algo, w as usize);
+        assert_eq!(cost.signaler_rmrs, u64::from(w), "participation spins are local");
+        assert_eq!(cost.post_spec, Ok(()));
+        assert!(cost.amortized <= 3.0);
+    }
+
+    #[test]
+    fn broadcast_matches_the_bound_with_w_equals_n_minus_1() {
+        let cost = fixed_waiters_signaler_cost(&Broadcast, 12);
+        assert_eq!(cost.signaler_rmrs, 12);
+        assert_eq!(cost.post_spec, Ok(()));
+    }
+
+    #[test]
+    fn queue_signaler_pays_per_registered_waiter() {
+        let w = 10;
+        let cost = fixed_waiters_signaler_cost(&QueueSignaling, w);
+        // G write + tail read + w slot reads + w V writes.
+        assert_eq!(cost.signaler_rmrs, 2 + 2 * w as u64);
+        assert_eq!(cost.post_spec, Ok(()));
+        assert!(cost.signaler_rmrs >= w as u64, "the Ω(W) bound holds");
+    }
+
+    #[test]
+    fn signaler_cost_scales_linearly_in_w() {
+        let waiters8: Vec<ProcId> = (0..8).map(ProcId).collect();
+        let waiters32: Vec<ProcId> = (0..32).map(ProcId).collect();
+        let c8 = fixed_waiters_signaler_cost(&FixedWaiters::eager(waiters8), 8);
+        let c32 = fixed_waiters_signaler_cost(&FixedWaiters::eager(waiters32), 32);
+        assert_eq!(c32.signaler_rmrs, 4 * c8.signaler_rmrs);
+    }
+}

@@ -1,0 +1,229 @@
+//! Conflict graphs and independent sets.
+//!
+//! The proof's rounds resolve conflicts ("p's next RMR sees or touches q")
+//! by keeping an independent set of the conflict graph and erasing the rest.
+//! Turán's theorem guarantees an independent set of size ≥ n/(d̄+1) where d̄
+//! is the average degree; the classic greedy (repeatedly take a
+//! minimum-degree vertex, discard its neighbours) achieves that bound, which
+//! the proof uses with d̄ ≤ 4 (sees/touches graph) and d̄ ≤ 2 (prior-writer
+//! graph).
+
+use shm_sim::ProcId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An undirected conflict graph over process IDs.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictGraph {
+    adj: BTreeMap<ProcId, BTreeSet<ProcId>>,
+}
+
+impl ConflictGraph {
+    /// Creates a graph with the given vertices and no edges.
+    pub fn new<I: IntoIterator<Item = ProcId>>(vertices: I) -> Self {
+        let adj = vertices.into_iter().map(|v| (v, BTreeSet::new())).collect();
+        ConflictGraph { adj }
+    }
+
+    /// Adds an undirected edge; vertices are added implicitly. Self-loops
+    /// are ignored.
+    pub fn add_edge(&mut self, p: ProcId, q: ProcId) {
+        if p == q {
+            return;
+        }
+        self.adj.entry(p).or_default().insert(q);
+        self.adj.entry(q).or_default().insert(p);
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Average degree (0 for the empty graph).
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Greedy maximum independent set: repeatedly pick a minimum-degree
+    /// vertex and delete its neighbourhood.
+    ///
+    /// Guaranteed size ≥ n/(d̄+1) (Turán bound), which the unit and property
+    /// tests verify.
+    #[must_use]
+    pub fn greedy_independent_set(&self) -> BTreeSet<ProcId> {
+        let mut degree: BTreeMap<ProcId, usize> =
+            self.adj.iter().map(|(&v, ns)| (v, ns.len())).collect();
+        let mut alive: BTreeSet<ProcId> = self.adj.keys().copied().collect();
+        let mut chosen = BTreeSet::new();
+        while let Some((&v, _)) = degree
+            .iter()
+            .filter(|(v, _)| alive.contains(v))
+            .min_by_key(|&(v, &d)| (d, *v))
+        {
+            chosen.insert(v);
+            alive.remove(&v);
+            let neighbours: Vec<ProcId> = self.adj[&v].iter().copied().collect();
+            for u in neighbours {
+                if alive.remove(&u) {
+                    // Removing u lowers its alive neighbours' degrees.
+                    for w in &self.adj[&u] {
+                        if let Some(d) = degree.get_mut(w) {
+                            *d = d.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+            degree.remove(&v);
+        }
+        chosen
+    }
+
+    /// Checks that `set` is independent in this graph.
+    #[must_use]
+    pub fn is_independent(&self, set: &BTreeSet<ProcId>) -> bool {
+        set.iter().all(|v| {
+            self.adj
+                .get(v)
+                .is_none_or(|ns| ns.iter().all(|u| !set.contains(u)))
+        })
+    }
+
+    /// Exact maximum independent set by branch and bound — exponential, for
+    /// cross-checking the greedy on small graphs in tests only.
+    #[must_use]
+    pub fn exact_max_independent_set(&self) -> BTreeSet<ProcId> {
+        fn solve(
+            g: &ConflictGraph,
+            verts: &[ProcId],
+            idx: usize,
+            current: &mut BTreeSet<ProcId>,
+            best: &mut BTreeSet<ProcId>,
+        ) {
+            if idx == verts.len() {
+                if current.len() > best.len() {
+                    *best = current.clone();
+                }
+                return;
+            }
+            if current.len() + (verts.len() - idx) <= best.len() {
+                return; // prune
+            }
+            let v = verts[idx];
+            let compatible = g.adj[&v].iter().all(|u| !current.contains(u));
+            if compatible {
+                current.insert(v);
+                solve(g, verts, idx + 1, current, best);
+                current.remove(&v);
+            }
+            solve(g, verts, idx + 1, current, best);
+        }
+        let verts: Vec<ProcId> = self.adj.keys().copied().collect();
+        assert!(verts.len() <= 24, "exact solver is for small test graphs only");
+        let mut best = BTreeSet::new();
+        solve(self, &verts, 0, &mut BTreeSet::new(), &mut best);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_set() {
+        let g = ConflictGraph::default();
+        assert!(g.greedy_independent_set().is_empty());
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_keeps_everything() {
+        let g = ConflictGraph::new((0..5).map(p));
+        assert_eq!(g.greedy_independent_set().len(), 5);
+    }
+
+    #[test]
+    fn triangle_keeps_one() {
+        let mut g = ConflictGraph::new((0..3).map(p));
+        g.add_edge(p(0), p(1));
+        g.add_edge(p(1), p(2));
+        g.add_edge(p(0), p(2));
+        let s = g.greedy_independent_set();
+        assert_eq!(s.len(), 1);
+        assert!(g.is_independent(&s));
+    }
+
+    #[test]
+    fn star_keeps_the_leaves() {
+        let mut g = ConflictGraph::new((0..6).map(p));
+        for i in 1..6 {
+            g.add_edge(p(0), p(i));
+        }
+        let s = g.greedy_independent_set();
+        assert_eq!(s.len(), 5, "all leaves survive, hub erased");
+        assert!(!s.contains(&p(0)));
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = ConflictGraph::new((0..2).map(p));
+        g.add_edge(p(0), p(0));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.greedy_independent_set().len(), 2);
+    }
+
+    #[test]
+    fn turan_bound_holds_on_a_path() {
+        // Path 0-1-2-...-9: greedy should find the 5 odd/even vertices.
+        let mut g = ConflictGraph::new((0..10).map(p));
+        for i in 0..9 {
+            g.add_edge(p(i), p(i + 1));
+        }
+        let s = g.greedy_independent_set();
+        assert!(g.is_independent(&s));
+        let bound = (10.0 / (g.average_degree() + 1.0)).ceil() as usize;
+        assert!(s.len() >= bound, "{} < Turán bound {bound}", s.len());
+        assert_eq!(s.len(), 5, "greedy is optimal on paths");
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n = rng.gen_range(4..12);
+            let mut g = ConflictGraph::new((0..n).map(p));
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        g.add_edge(p(i), p(j));
+                    }
+                }
+            }
+            let greedy = g.greedy_independent_set();
+            let exact = g.exact_max_independent_set();
+            assert!(g.is_independent(&greedy));
+            // Greedy need not be optimal, but must meet the Turán bound and
+            // never exceed the optimum.
+            let turan = (f64::from(n) / (g.average_degree() + 1.0)).floor() as usize;
+            assert!(greedy.len() >= turan.max(1));
+            assert!(greedy.len() <= exact.len());
+        }
+    }
+}

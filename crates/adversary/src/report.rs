@@ -1,0 +1,30 @@
+//! Report types shared by the adversary's phases.
+
+use shm_sim::ProcId;
+use std::collections::BTreeSet;
+
+/// What happened in one round of the Part-1 construction.
+#[derive(Clone, Debug, Default)]
+pub struct RoundReport {
+    /// Round number (1-based; the paper's `i`).
+    pub index: usize,
+    /// Processes that had a pending RMR at the start of the round.
+    pub pending: usize,
+    /// Processes newly declared stable during this round's advance phase.
+    pub newly_stable: usize,
+    /// Processes erased while resolving conflicts this round.
+    pub erased: BTreeSet<ProcId>,
+    /// Erasure attempts rejected by projection certification (information
+    /// leaked through a non-comparison RMW primitive such as FAA).
+    pub blocked_erasures: usize,
+    /// Read-RMRs applied this round.
+    pub applied_reads: usize,
+    /// Write-RMRs applied this round.
+    pub applied_writes: usize,
+    /// Process rolled forward this round (completed its call and finished),
+    /// if the same-variable write pile-up triggered the roll-forward case.
+    pub rolled_forward: Option<ProcId>,
+    /// Whether the round hit the roll-forward case (true) or the erasing
+    /// case / no-writes case (false).
+    pub roll_forward_case: bool,
+}

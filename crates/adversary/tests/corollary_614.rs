@@ -1,0 +1,70 @@
+//! Corollary 6.14, end to end: a CAS-based algorithm is attacked both
+//! natively and after the read/write transformation. The corollary says
+//! comparison primitives do not help: amortized RMR cost still grows with
+//! N (where the FAA queue's stays flat — see the E4 experiment).
+
+use rmr_adversary::{run_lower_bound, LowerBoundConfig, Part1Config, ReadWriteTransformed};
+use signaling::algorithms::CasList;
+
+fn cfg(n: usize) -> LowerBoundConfig {
+    let mut c = LowerBoundConfig::for_n(n);
+    // The CAS scan (and, transformed, the tournament climb) takes more
+    // rounds to stabilize than the flag algorithms: give the construction
+    // head room.
+    c.part1 = Part1Config { n, max_rounds: 64, ..Part1Config::default() };
+    c
+}
+
+#[test]
+fn native_cas_list_amortized_cost_grows_with_n() {
+    let a24 = run_lower_bound(&CasList, cfg(24));
+    let a48 = run_lower_bound(&CasList, cfg(48));
+    // The k-th registrant's CAS scan costs Θ(k) RMRs, so amortized cost is
+    // Θ(N) no matter how the adversary plays: CAS does not escape the
+    // bound.
+    assert!(a24.part1.stabilized && a48.part1.stabilized);
+    assert!(
+        a48.worst_amortized() > 1.5 * a24.worst_amortized(),
+        "amortized must grow with N: {} -> {}",
+        a24.worst_amortized(),
+        a48.worst_amortized()
+    );
+    // Honest limitation on display: the chase cannot erase members of a CAS
+    // result chain (their failed-CAS results observed the erased winner),
+    // so certification blocks those erasures rather than cheating.
+    let blocked = a48.chase.as_ref().map_or(0, |c| c.blocked);
+    assert!(blocked > 0, "CAS chains must block chase erasures");
+}
+
+#[test]
+fn transformed_cas_list_amortized_cost_grows_with_n() {
+    let t24 = run_lower_bound(&ReadWriteTransformed::new(Box::new(CasList)), cfg(24));
+    let t48 = run_lower_bound(&ReadWriteTransformed::new(Box::new(CasList)), cfg(48));
+    // After the transformation every access is a read or a write; the
+    // emulated CAS costs a tournament passage, and the adversary's
+    // construction drives amortized cost up with N.
+    assert!(
+        t48.worst_amortized() > t24.worst_amortized(),
+        "amortized must grow with N: {} -> {}",
+        t24.worst_amortized(),
+        t48.worst_amortized()
+    );
+    assert!(t24.worst_amortized() > 8.0, "already far above O(1): {}", t24.worst_amortized());
+    // No violations: both versions are safe; they are merely expensive.
+    assert!(!t24.found_violation() && !t48.found_violation());
+}
+
+#[test]
+fn transformation_is_deterministic_under_the_adversary() {
+    let run = || {
+        let algo = ReadWriteTransformed::new(Box::new(CasList));
+        let r = run_lower_bound(&algo, cfg(24));
+        (
+            r.part1.stable.len(),
+            r.part1.parked.len(),
+            r.part1.erased.len(),
+            r.worst_amortized().to_bits(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,109 @@
+//! The *parked* stability path: a waiter that busy-waits on local memory
+//! in the middle of `Poll()` forever satisfies Definition 6.8 (solo runs
+//! incur zero RMRs) without ever reaching a call boundary. The adversary
+//! must classify it stable-but-parked, and Part 2 must skip its post-poll.
+
+use rmr_adversary::{run_lower_bound, LowerBoundConfig, Part1Config, Part1Runner};
+use shm_sim::{AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use signaling::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use std::sync::Arc;
+
+/// A pathological (but legal, terminating-in-fair-histories) algorithm:
+/// `Poll()` spins on the caller's own flag until the signaler writes it.
+/// The signal broadcasts to every local flag.
+struct ParkingPoll;
+
+struct Inst {
+    v: AddrRange,
+    n: usize,
+}
+
+impl SignalingAlgorithm for ParkingPoll {
+    fn name(&self) -> &'static str {
+        "parking-poll"
+    }
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        Arc::new(Inst { v: layout.alloc_per_process_array(n, 0), n })
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(SignalAll { v: self.v, n: self.n, idx: 0 })
+    }
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(SpinOwn { flag: self.v.at(pid.index()), issued: false })
+    }
+}
+
+#[derive(Clone)]
+struct SpinOwn {
+    flag: shm_sim::Addr,
+    issued: bool,
+}
+impl ProcedureCall for SpinOwn {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        if self.issued && last == Some(1) {
+            Step::Return(1)
+        } else {
+            self.issued = true;
+            Step::Op(Op::Read(self.flag))
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone)]
+struct SignalAll {
+    v: AddrRange,
+    n: usize,
+    idx: usize,
+}
+impl ProcedureCall for SignalAll {
+    fn step(&mut self, _last: Option<Word>) -> Step {
+        if self.idx >= self.n {
+            return Step::Return(0);
+        }
+        let i = self.idx;
+        self.idx += 1;
+        Step::Op(Op::Write(self.v.at(i), 1))
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[test]
+fn parked_waiters_are_detected_and_skipped() {
+    let n = 12;
+    let cfg = Part1Config { n, max_local_steps: 64, ..Part1Config::default() };
+    let mut runner = Part1Runner::new(&ParkingPoll, cfg);
+    let out = runner.run();
+    assert!(out.stabilized, "local spinners stabilize immediately");
+    assert_eq!(out.parked.len(), n, "every waiter parks mid-poll");
+    assert_eq!(out.total_rmrs, 0, "parking is free");
+    assert!(out.regular);
+}
+
+#[test]
+fn fully_parked_population_yields_no_eligible_signaler() {
+    // Every process is mid-Poll forever: none can start Signal(). This is
+    // the fingerprint of an algorithm whose Poll() violates §4's progress
+    // requirement ("each call to Poll() must eventually terminate provided
+    // that the history is fair") — it is outside the problem class, and the
+    // adversary reports that by finding no chase to run rather than by
+    // injecting into a busy process.
+    let n = 12;
+    let mut cfg = LowerBoundConfig::for_n(n);
+    cfg.part1 = Part1Config { n, max_local_steps: 64, ..Part1Config::default() };
+    let report = run_lower_bound(&ParkingPoll, cfg);
+    assert!(report.part1.stabilized);
+    assert_eq!(report.part1.parked.len(), n);
+    assert!(report.chase.is_none(), "no between-calls process can signal");
+    assert!(report.discovery.is_none());
+}

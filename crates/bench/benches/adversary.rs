@@ -1,0 +1,28 @@
+//! Cost of the executable lower bound (E2/E4 engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmr_adversary::{run_lower_bound, LowerBoundConfig};
+use signaling::algorithms::{Broadcast, QueueSignaling, SingleWaiter};
+use signaling::SignalingAlgorithm;
+
+fn bench_adversary(c: &mut Criterion) {
+    let algos: Vec<Box<dyn SignalingAlgorithm>> =
+        vec![Box::new(Broadcast), Box::new(SingleWaiter), Box::new(QueueSignaling)];
+    let mut group = c.benchmark_group("lower_bound");
+    group.sample_size(10);
+    for algo in &algos {
+        for n in [32usize, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

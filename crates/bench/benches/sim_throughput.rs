@@ -1,0 +1,60 @@
+//! Raw simulator throughput: steps per second for a busy-wait workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shm_sim::*;
+use std::sync::Arc;
+
+fn spin_spec(n: usize, model: CostModel) -> SimSpec {
+    let mut layout = MemLayout::new();
+    let flag = layout.alloc_global(0);
+    let sources = (0..n)
+        .map(|_| {
+            let poll = ScriptedCall::new(
+                CallKind(1),
+                "poll",
+                Arc::new(move || {
+                    Box::new(OpSequence::new(vec![Op::Read(flag)])) as Box<dyn ProcedureCall>
+                }),
+            );
+            Box::new(RepeatUntil::new(poll, 1)) as Box<dyn CallSource>
+        })
+        .collect();
+    SimSpec { layout, sources, model }
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_steps");
+    for (label, model) in [("dsm", CostModel::Dsm), ("cc", CostModel::cc_default())] {
+        for n in [16usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    let spec = spin_spec(n, model);
+                    b.iter(|| {
+                        let mut sim = Simulator::new(&spec);
+                        let mut sched = RoundRobin::new();
+                        shm_sim::run(&mut sim, &mut sched, 10_000)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_clone_and_replay(c: &mut Criterion) {
+    let spec = spin_spec(64, CostModel::Dsm);
+    let mut sim = Simulator::new(&spec);
+    let mut sched = RoundRobin::new();
+    shm_sim::run(&mut sim, &mut sched, 20_000);
+    c.bench_function("sim_clone_64procs_20ksteps", |b| b.iter(|| sim.clone()));
+    let schedule = sim.schedule().to_vec();
+    let erased = std::collections::BTreeSet::new();
+    c.bench_function("sim_replay_64procs_20ksteps", |b| {
+        b.iter(|| Simulator::replay(&spec, &schedule, &erased))
+    });
+}
+
+criterion_group!(benches, bench_steps, bench_clone_and_replay);
+criterion_main!(benches);

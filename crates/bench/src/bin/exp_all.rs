@@ -1,0 +1,31 @@
+//! Runs every experiment (E1–E8) in sequence — the one-command regeneration
+//! of `EXPERIMENTS.md`'s tables.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "exp_e1_cc_upper",
+        "exp_e2_dsm_lower",
+        "exp_e3_variants",
+        "exp_e4_primitives",
+        "exp_e5_messages",
+        "exp_e6_mutex",
+        "exp_e7_fixed_w",
+        "exp_e8_transformation",
+    ];
+    // When invoked via cargo, sibling binaries sit next to us.
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

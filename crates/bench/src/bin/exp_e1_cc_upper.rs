@@ -1,0 +1,27 @@
+//! E1 — §5 upper bound: O(1) RMRs per process in the CC model.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_e1_cc_upper`
+
+use bench::table::{header, row};
+use bench::e1_cc_upper;
+
+fn main() {
+    println!("E1: the single-Boolean algorithm (§5), waiters poll 25x before the signal\n");
+    let widths = [18, 10, 8, 18, 12];
+    header(&[("model", 18), ("waiters", 10), ("polls", 8), ("max RMR/process", 18), ("total RMRs", 12)]);
+    for r in e1_cc_upper(&[4, 16, 64, 256], 25) {
+        row(
+            &[
+                r.model.into(),
+                r.n_waiters.to_string(),
+                r.polls.to_string(),
+                r.max_rmrs_per_proc.to_string(),
+                r.total_rmrs.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper: O(1) RMRs/process, wait-free, reads+writes, O(1) space (CC).");
+    println!("shape check: CC rows stay at <= 3 RMRs/process for every N; the DSM rows");
+    println!("grow linearly with the poll count — the gap the rest of the paper makes rigorous.");
+}

@@ -1,0 +1,43 @@
+//! E2 — Theorem 6.2: the executable lower-bound adversary in the DSM model.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_e2_dsm_lower`
+
+use bench::table::{f2, header, row};
+use bench::e2_dsm_lower;
+
+fn main() {
+    println!("E2: the §6 adversary (erase / roll forward / wild goose chase), DSM model\n");
+    let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10];
+    header(&[
+        ("algorithm", 15),
+        ("N", 6),
+        ("stabilized", 11),
+        ("stable", 8),
+        ("chaseRMRs", 11),
+        ("erased", 8),
+        ("blocked", 8),
+        ("amortized", 10),
+        ("violation", 10),
+    ]);
+    for r in e2_dsm_lower(&[32, 64, 128, 256]) {
+        row(
+            &[
+                r.algorithm.clone(),
+                r.n.to_string(),
+                r.stabilized.to_string(),
+                r.stable.to_string(),
+                r.chase_signaler_rmrs.to_string(),
+                r.chase_erased.to_string(),
+                r.blocked.to_string(),
+                f2(r.amortized),
+                r.violation.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper: for any c there is a history with k participants and > c*k RMRs");
+    println!("(reads/writes/CAS/LLSC). shape check: broadcast's amortized column grows");
+    println!("~linearly with N; cc-flag never stabilizes (waiters pay); single-waiter is");
+    println!("exposed as unsafe with many waiters; queue-faa (outside the primitive class)");
+    println!("blocks every erasure and stays flat.");
+}

@@ -1,0 +1,35 @@
+//! E3 — §7 variant upper bounds, measured in both models.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_e3_variants`
+
+use bench::table::{f2, header, row};
+use bench::e3_variants;
+
+fn main() {
+    println!("E3: §7 signaling variants, 32 waiters (1 for single-waiter), 25 polls each\n");
+    let widths = [22, 5, 14, 13, 10, 30];
+    header(&[
+        ("algorithm", 22),
+        ("model", 5),
+        ("maxWaiterRMR", 14),
+        ("signalerRMR", 13),
+        ("amortized", 10),
+        ("paper bound", 30),
+    ]);
+    for r in e3_variants(32, 25) {
+        row(
+            &[
+                r.algorithm.clone(),
+                r.model.into(),
+                r.max_waiter_rmrs.to_string(),
+                r.signaler_rmrs.to_string(),
+                f2(r.amortized),
+                r.paper_bound.into(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nshape check: every variant is O(1) per waiter in DSM except cc-flag;");
+    println!("signaler cost is O(1) (single-waiter), O(W) (fixed/broadcast-style), or");
+    println!("O(registered) (fixed-signaler, queue-faa) — matching the §7 catalogue.");
+}

@@ -1,0 +1,38 @@
+//! E5 — §8: RMRs vs interconnect messages under three coherence fabrics.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_e5_messages`
+
+use bench::table::{f2, header, row};
+use bench::e5_messages;
+
+fn main() {
+    println!("E5: message accounting (CC write-through), 16 processes\n");
+    let widths = [20, 20, 10, 10, 14, 9];
+    header(&[
+        ("workload", 20),
+        ("interconnect", 20),
+        ("RMRs", 10),
+        ("messages", 10),
+        ("invalidations", 14),
+        ("msg/RMR", 9),
+    ]);
+    for r in e5_messages(16) {
+        row(
+            &[
+                r.workload.into(),
+                r.interconnect.into(),
+                r.rmrs.to_string(),
+                r.messages.to_string(),
+                r.invalidations.to_string(),
+                f2(r.messages_per_rmr),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper (§8): on a bus, CC RMRs are 'at par' with DSM RMRs (1 msg/RMR);");
+    println!("an ideal directory sends one invalidation per destroyed copy, and the");
+    println!("total number of invalidations is bounded by the number of RMRs (a cached");
+    println!("copy is created by an RMR and destroyed at most once); a stateless");
+    println!("broadcast fabric sends superfluous invalidations, so messages/RMR inflates");
+    println!("with N and amortized RMRs can understate amortized messages.");
+}

@@ -1,0 +1,24 @@
+//! E7 — Ω(W) signaler cost for fixed, fully participating waiters (§7).
+//!
+//! Run with: `cargo run --release -p bench --bin exp_e7_fixed_w`
+
+use bench::table::{f2, header, row};
+use bench::e7_fixed_w;
+
+fn main() {
+    println!("E7: solo Signal() cost with all W fixed waiters stable and registered\n");
+    let widths = [24, 6, 14, 10];
+    header(&[("algorithm", 24), ("W", 6), ("signalerRMRs", 14), ("amortized", 10)]);
+    for r in e7_fixed_w(&[4, 8, 16, 32, 64, 128]) {
+        row(
+            &[r.algorithm.clone(), r.w.to_string(), r.signaler_rmrs.to_string(), f2(r.amortized)],
+            &widths,
+        );
+    }
+    println!("\npaper (§7): 'in the worst case the signaler must perform Ω(W) RMRs if all");
+    println!("W waiters participate by the time Signal() is called' — skipping a waiter");
+    println!("would let its next Poll() incorrectly return false. shape check: every");
+    println!("algorithm's signaler column scales linearly in W (slope 1 for the flag");
+    println!("arrays, 2 for the queue's read+write per waiter); amortized stays O(1)");
+    println!("because all W waiters participate.");
+}

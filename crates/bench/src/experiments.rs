@@ -1,0 +1,501 @@
+//! The experiment implementations. See the crate docs for the claim map.
+
+use rmr_adversary::{fixed_waiters_signaler_cost, run_lower_bound, LowerBoundConfig};
+use shm_mutex::{run_lock_workload, LockWorkloadConfig, MutexAlgorithm};
+use shm_sim::{CcConfig, CostModel, Interconnect, ProcId, Protocol, Scripted, SimSpec, Simulator};
+use signaling::algorithms::{Broadcast, CcFlag, FixedSignaler, FixedWaiters, QueueSignaling, SingleWaiter};
+use signaling::{check_polling, Role, Scenario, SignalingAlgorithm};
+
+/// Builds the scripted "everyone polls `polls`× before the signal" schedule
+/// used by E1/E3: an adversarial but model-independent interleaving, so the
+/// identical execution is priced under every cost model.
+fn poll_heavy_schedule(n_waiters: u32, polls: u32) -> Vec<ProcId> {
+    let mut order = Vec::new();
+    for _ in 0..polls {
+        for w in 0..n_waiters {
+            // Generous per-poll step allowance (first polls register).
+            order.extend(std::iter::repeat_n(ProcId(w), 10));
+        }
+    }
+    for p in 0..=n_waiters {
+        order.extend(std::iter::repeat_n(ProcId(p), 4 * n_waiters as usize + 16));
+    }
+    // Final drain so every waiter observes the signal.
+    for w in 0..n_waiters {
+        order.extend(std::iter::repeat_n(ProcId(w), 12));
+    }
+    order
+}
+
+fn run_poll_heavy(algo: &dyn SignalingAlgorithm, n_waiters: u32, polls: u32, model: CostModel) -> Simulator {
+    let mut roles = vec![Role::waiter(); n_waiters as usize];
+    roles.push(Role::signaler());
+    let scenario = Scenario { algorithm: algo, roles, model };
+    let spec: SimSpec = scenario.build();
+    let mut sim = Simulator::new(&spec);
+    let mut sched = Scripted::new(poll_heavy_schedule(n_waiters, polls));
+    shm_sim::run(&mut sim, &mut sched, 100_000_000);
+    assert_eq!(check_polling(sim.history()), Ok(()), "{}: spec violated", algo.name());
+    sim
+}
+
+// ---------------------------------------------------------------- E1 ----
+
+/// One row of E1: the §5 algorithm priced under one cost model.
+#[derive(Clone, Debug)]
+pub struct E1Row {
+    /// Cost-model label.
+    pub model: &'static str,
+    /// Number of waiters.
+    pub n_waiters: u32,
+    /// Polls per waiter before the signal.
+    pub polls: u32,
+    /// Maximum RMRs incurred by any process.
+    pub max_rmrs_per_proc: u64,
+    /// Total RMRs.
+    pub total_rmrs: u64,
+}
+
+/// E1 — §5 upper bound: the single-Boolean algorithm costs O(1) RMRs per
+/// process in every CC variant, independent of N and of how long waiters
+/// poll; the same execution in DSM costs Θ(polls) per waiter.
+#[must_use]
+pub fn e1_cc_upper(sizes: &[u32], polls: u32) -> Vec<E1Row> {
+    let models: [(&'static str, CostModel); 4] = [
+        ("cc-write-through", CostModel::Cc(CcConfig::default())),
+        (
+            "cc-write-back",
+            CostModel::Cc(CcConfig { protocol: Protocol::WriteBack, ..Default::default() }),
+        ),
+        ("cc-lfcu", CostModel::Cc(CcConfig { lfcu: true, ..Default::default() })),
+        ("dsm", CostModel::Dsm),
+    ];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for (label, model) in models {
+            let sim = run_poll_heavy(&CcFlag, n, polls, model);
+            let max = (0..=n).map(|i| sim.proc_stats(ProcId(i)).rmrs).max().unwrap_or(0);
+            rows.push(E1Row {
+                model: label,
+                n_waiters: n,
+                polls,
+                max_rmrs_per_proc: max,
+                total_rmrs: sim.totals().rmrs,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E2 ----
+
+/// One row of E2: the lower-bound adversary against one algorithm at one N.
+#[derive(Clone, Debug)]
+pub struct E2Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Whether the waiter population stabilized (Part 1).
+    pub stabilized: bool,
+    /// Stable waiters surviving Part 1.
+    pub stable: usize,
+    /// RMRs forced on the signaler in the erase-on-sight chase.
+    pub chase_signaler_rmrs: u64,
+    /// Waiters hidden by certified erasure during the chase.
+    pub chase_erased: usize,
+    /// Erasures blocked by projection certification (FAA leakage).
+    pub blocked: usize,
+    /// Worst amortized RMRs (total / participants) across runs.
+    pub amortized: f64,
+    /// Whether a Specification 4.1 violation was exposed.
+    pub violation: bool,
+}
+
+/// E2 — Theorem 6.2: runs the full adversary against the read/write
+/// algorithms (amortized cost must grow with N, or safety must break) and
+/// against the FAA queue (the adversary must fail).
+#[must_use]
+pub fn e2_dsm_lower(sizes: &[usize]) -> Vec<E2Row> {
+    let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+        Box::new(Broadcast),
+        Box::new(CcFlag),
+        Box::new(SingleWaiter),
+        Box::new(QueueSignaling),
+    ];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for algo in &algos {
+            let report = run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n));
+            let (chase_rmrs, chase_erased, blocked) = report
+                .chase
+                .as_ref()
+                .map_or((0, 0, 0), |c| (c.signaler_rmrs, c.erased.len(), c.blocked));
+            rows.push(E2Row {
+                algorithm: report.algorithm.clone(),
+                n,
+                stabilized: report.part1.stabilized,
+                stable: report.part1.stable.len(),
+                chase_signaler_rmrs: chase_rmrs,
+                chase_erased,
+                blocked,
+                amortized: report.worst_amortized(),
+                violation: report.found_violation(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E3 ----
+
+/// One row of E3: a §7 variant algorithm measured under one model.
+#[derive(Clone, Debug)]
+pub struct E3Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Cost-model label.
+    pub model: &'static str,
+    /// Worst per-waiter RMRs across the run.
+    pub max_waiter_rmrs: u64,
+    /// Signaler RMRs.
+    pub signaler_rmrs: u64,
+    /// Total RMRs / participants.
+    pub amortized: f64,
+    /// The paper's stated bound for this variant (for the table).
+    pub paper_bound: &'static str,
+}
+
+/// E3 — §7 variant upper bounds, measured. One signaler, `n_waiters`
+/// waiters, poll-heavy schedule, both models.
+#[must_use]
+pub fn e3_variants(n_waiters: u32, polls: u32) -> Vec<E3Row> {
+    let signaler = ProcId(n_waiters);
+    let fixed: Vec<ProcId> = (0..n_waiters).map(ProcId).collect();
+    let algos: Vec<(Box<dyn SignalingAlgorithm>, &'static str)> = vec![
+        (Box::new(CcFlag), "O(1) CC / unbounded DSM"),
+        (Box::new(SingleWaiter), "O(1) both (1 waiter)"),
+        (Box::new(FixedWaiters::eager(fixed.clone())), "O(W) signaler, O(1) waiters"),
+        (
+            Box::new(FixedWaiters::awaiting(fixed, signaler)),
+            "O(1) amortized (terminating)",
+        ),
+        (Box::new(FixedSignaler { signaler }), "O(1) waiters, O(k) signaler"),
+        (Box::new(QueueSignaling), "O(1) amortized (FAA)"),
+    ];
+    let mut rows = Vec::new();
+    for (algo, paper_bound) in &algos {
+        // SingleWaiter is only specified for one waiter.
+        let waiters = if algo.name() == "single-waiter" { 1 } else { n_waiters };
+        for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
+            let sim = run_poll_heavy(algo.as_ref(), waiters, polls, model);
+            let max_waiter = (0..waiters).map(|i| sim.proc_stats(ProcId(i)).rmrs).max().unwrap_or(0);
+            let participants = (0..=waiters)
+                .filter(|&i| sim.proc_stats(ProcId(i)).steps > 0)
+                .count()
+                .max(1);
+            rows.push(E3Row {
+                algorithm: algo.name().to_owned(),
+                model: label,
+                max_waiter_rmrs: max_waiter,
+                signaler_rmrs: sim.proc_stats(ProcId(waiters)).rmrs,
+                amortized: sim.totals().rmrs as f64 / participants as f64,
+                paper_bound,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+/// One row of E4: amortized adversarial cost as N grows, read/write
+/// broadcast vs FAA queue.
+#[derive(Clone, Debug)]
+pub struct E4Row {
+    /// Number of processes.
+    pub n: usize,
+    /// Amortized RMRs the adversary achieves against `broadcast`.
+    pub broadcast_amortized: f64,
+    /// Amortized RMRs the adversary achieves against `queue-faa`.
+    pub queue_amortized: f64,
+    /// Blocked erasures against the queue (> 0 = certification refused).
+    pub queue_blocked: usize,
+}
+
+/// E4 — the primitive boundary of Corollary 6.14: under the same adversary,
+/// broadcast's amortized cost grows ~linearly with N while the FAA queue's
+/// stays flat, because erasure certification fails on FAA dependencies.
+#[must_use]
+pub fn e4_primitives(sizes: &[usize]) -> Vec<E4Row> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let b = run_lower_bound(&Broadcast, LowerBoundConfig::for_n(n));
+            let q = run_lower_bound(&QueueSignaling, LowerBoundConfig::for_n(n));
+            E4Row {
+                n,
+                broadcast_amortized: b.worst_amortized(),
+                queue_amortized: q.worst_amortized(),
+                queue_blocked: q.chase.as_ref().map_or(0, |c| c.blocked),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+/// One row of E5: message accounting under one interconnect.
+#[derive(Clone, Debug)]
+pub struct E5Row {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Interconnect label.
+    pub interconnect: &'static str,
+    /// Total RMRs.
+    pub rmrs: u64,
+    /// Total interconnect messages.
+    pub messages: u64,
+    /// Total cache invalidations.
+    pub invalidations: u64,
+    /// Messages per RMR.
+    pub messages_per_rmr: f64,
+}
+
+/// E5 — §8's "exchange rate": the same executions priced under a shared
+/// bus (messages ≈ RMRs), an ideal directory (messages ≈ RMRs +
+/// invalidations, and invalidations ≤ RMRs), and a stateless broadcast
+/// fabric (superfluous invalidation messages inflate the ratio).
+#[must_use]
+pub fn e5_messages(n: u32) -> Vec<E5Row> {
+    let interconnects: [(&'static str, Interconnect); 3] = [
+        ("bus", Interconnect::Bus),
+        ("ideal-directory", Interconnect::IdealDirectory),
+        ("stateless-broadcast", Interconnect::StatelessBroadcast),
+    ];
+    let mut rows = Vec::new();
+    for (ic_label, ic) in interconnects {
+        let model = CostModel::Cc(CcConfig { interconnect: ic, ..Default::default() });
+        // Workload 1: signaling, poll-heavy.
+        let sim = run_poll_heavy(&CcFlag, n, 20, model);
+        let t = sim.totals();
+        rows.push(E5Row {
+            workload: "signaling(cc-flag)",
+            interconnect: ic_label,
+            rmrs: t.rmrs,
+            messages: t.messages,
+            invalidations: t.invalidations,
+            messages_per_rmr: t.messages as f64 / t.rmrs.max(1) as f64,
+        });
+        // Workload 2: contended TTAS lock (write-heavy, invalidation storms).
+        let r = run_lock_workload(
+            &shm_mutex::TtasLock,
+            &LockWorkloadConfig { n: n as usize, cycles: 4, seed: 5, model },
+        );
+        let t = r.totals;
+        rows.push(E5Row {
+            workload: "mutex(ttas)",
+            interconnect: ic_label,
+            rmrs: t.rmrs,
+            messages: t.messages,
+            invalidations: t.invalidations,
+            messages_per_rmr: t.messages as f64 / t.rmrs.max(1) as f64,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+/// One row of E6: a lock's RMR cost per passage in one model at one N.
+#[derive(Clone, Debug)]
+pub struct E6Row {
+    /// Lock name.
+    pub lock: String,
+    /// Cost-model label.
+    pub model: &'static str,
+    /// Number of contenders.
+    pub n: usize,
+    /// Average RMRs per passage.
+    pub rmrs_per_passage: f64,
+}
+
+/// E6 — the classical mutual-exclusion landscape on our simulator: local-
+/// spin locks (MCS, tournament) cost the same in CC and DSM (O(1) and
+/// O(log N)); Anderson is local-spin in CC only; TAS/TTAS grow with
+/// contention in at least one model.
+#[must_use]
+pub fn e6_mutex(sizes: &[usize], cycles: u64) -> Vec<E6Row> {
+    let locks: Vec<Box<dyn MutexAlgorithm>> = vec![
+        Box::new(shm_mutex::TasLock),
+        Box::new(shm_mutex::TtasLock),
+        Box::new(shm_mutex::AndersonLock),
+        Box::new(shm_mutex::McsLock),
+        Box::new(shm_mutex::TournamentLock),
+    ];
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for lock in &locks {
+            for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
+                let r = run_lock_workload(
+                    lock.as_ref(),
+                    &LockWorkloadConfig { n, cycles, seed: 42, model },
+                );
+                assert!(r.completed, "{} n={n} {label}", lock.name());
+                assert_eq!(r.violations, Vec::new(), "{} n={n} {label}", lock.name());
+                rows.push(E6Row {
+                    lock: lock.name().to_owned(),
+                    model: label,
+                    n,
+                    rmrs_per_passage: r.rmrs_per_passage(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+/// One row of E7: signaler cost for a fully participating fixed waiter set.
+#[derive(Clone, Debug)]
+pub struct E7Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of fixed waiters (all participating).
+    pub w: usize,
+    /// Signaler RMRs in a solo `Signal()`.
+    pub signaler_rmrs: u64,
+    /// Amortized RMRs over W+1 participants.
+    pub amortized: f64,
+}
+
+/// E7 — the §7 Ω(W) bound: when all W fixed waiters participate, the
+/// signaler performs at least W−1 remote writes; our algorithms meet the
+/// bound with small constants.
+#[must_use]
+pub fn e7_fixed_w(sizes: &[usize]) -> Vec<E7Row> {
+    let mut rows = Vec::new();
+    for &w in sizes {
+        let fixed: Vec<ProcId> = (0..w as u32).map(ProcId).collect();
+        let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+            Box::new(FixedWaiters::eager(fixed.clone())),
+            Box::new(FixedWaiters::awaiting(fixed, ProcId(w as u32))),
+            Box::new(Broadcast),
+            Box::new(QueueSignaling),
+        ];
+        for algo in &algos {
+            let cost = fixed_waiters_signaler_cost(algo.as_ref(), w);
+            assert_eq!(cost.post_spec, Ok(()), "{} w={w}", algo.name());
+            rows.push(E7Row {
+                algorithm: algo.name().to_owned(),
+                w,
+                signaler_rmrs: cost.signaler_rmrs,
+                amortized: cost.amortized,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_cc_constant_dsm_linear() {
+        let rows = e1_cc_upper(&[4, 16], 10);
+        for r in &rows {
+            if r.model.starts_with("cc") {
+                assert!(r.max_rmrs_per_proc <= 3, "{r:?}");
+            } else {
+                assert!(r.max_rmrs_per_proc >= 10, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn e4_gap_grows() {
+        let rows = e4_primitives(&[16, 64]);
+        assert!(rows[1].broadcast_amortized > rows[0].broadcast_amortized);
+        for r in &rows {
+            assert!(r.queue_amortized < 8.0, "{r:?}");
+            assert!(r.queue_blocked > 0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn e5_bus_is_at_par_and_invalidations_bounded() {
+        let rows = e5_messages(8);
+        for r in &rows {
+            assert!(r.invalidations <= r.rmrs, "{r:?}");
+            if r.interconnect == "bus" {
+                assert!(r.messages_per_rmr <= 2.0, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn e7_signaler_meets_omega_w() {
+        let rows = e7_fixed_w(&[8, 16]);
+        for r in &rows {
+            assert!(r.signaler_rmrs + 1 >= r.w as u64, "{r:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+/// One row of E8: the Corollary 6.14 transformation pipeline at one N.
+#[derive(Clone, Debug)]
+pub struct E8Row {
+    /// Algorithm variant.
+    pub variant: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Whether Part 1 stabilized within the round budget.
+    pub stabilized: bool,
+    /// Stable survivors.
+    pub stable: usize,
+    /// Worst amortized RMRs achieved by the adversary.
+    pub amortized: f64,
+    /// Chase erasures blocked by certification.
+    pub blocked: usize,
+    /// Whether the solo signaler failed to complete (busy-waiting).
+    pub signal_stuck: bool,
+}
+
+/// E8 — Corollary 6.14: comparison primitives do not escape the bound.
+/// Attacks the CAS-scan algorithm natively, after the read/write
+/// transformation (mutex-emulated CAS), and the FAA queue as the contrast
+/// that *does* escape.
+#[must_use]
+pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
+    use rmr_adversary::{Part1Config, ReadWriteTransformed};
+    use signaling::algorithms::CasList;
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut cfg = LowerBoundConfig::for_n(n);
+        cfg.part1 = Part1Config { n, max_rounds: 64, ..Part1Config::default() };
+        let variants: Vec<(String, Box<dyn SignalingAlgorithm>)> = vec![
+            ("cas-list".into(), Box::new(CasList)),
+            ("cas-list+rw".into(), Box::new(ReadWriteTransformed::new(Box::new(CasList)))),
+            ("queue-faa".into(), Box::new(QueueSignaling)),
+        ];
+        for (variant, algo) in variants {
+            let r = run_lower_bound(algo.as_ref(), cfg);
+            let signal_stuck = r.chase.as_ref().is_some_and(|c| !c.signal_completed)
+                || r.discovery.as_ref().is_some_and(|d| !d.signal_completed);
+            rows.push(E8Row {
+                variant,
+                n,
+                stabilized: r.part1.stabilized,
+                stable: r.part1.stable.len(),
+                amortized: r.worst_amortized(),
+                blocked: r.part1.blocked_erasures + r.chase.as_ref().map_or(0, |c| c.blocked),
+                signal_stuck,
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,28 @@
+//! # bench: experiment harness regenerating every claim of the paper
+//!
+//! The paper is a theory paper — its "evaluation" is a set of proved bounds
+//! rather than measured tables. Each experiment here renders one claim as a
+//! measured table on the simulator (the experiment ↔ claim map lives in
+//! `DESIGN.md`; measured-vs-paper commentary in `EXPERIMENTS.md`):
+//!
+//! | ID | Claim | Function |
+//! |----|-------|----------|
+//! | E1 | §5: CC upper bound — O(1) RMRs/process, wait-free, reads/writes | [`e1_cc_upper`] |
+//! | E2 | §6: DSM lower bound — amortized RMRs exceed any constant | [`e2_dsm_lower`] |
+//! | E3 | §7: variant upper bounds | [`e3_variants`] |
+//! | E4 | §6/§7 boundary: FAA escapes the bound, CAS does not | [`e4_primitives`] |
+//! | E5 | §8: RMRs vs interconnect messages | [`e5_messages`] |
+//! | E6 | §3/§8 context: mutual exclusion RMRs agree across models | [`e6_mutex`] |
+//! | E7 | §7: Ω(W) signaler cost for fixed waiters | [`e7_fixed_w`] |
+//! | E8 | Corollary 6.14: CAS (native or transformed to reads/writes) stays bounded by the adversary; FAA escapes | [`e8_transformation`] |
+//!
+//! Every function returns structured rows (so the integration tests assert
+//! on them) and the `exp_*` binaries print them as tables.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,26 @@
+//! Minimal fixed-width table printing for experiment binaries.
+
+/// Prints a header row and a separator.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, width) in cols {
+        line.push_str(&format!("{name:>width$}  "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().saturating_sub(2)));
+}
+
+/// Formats one cell-aligned row from already-rendered cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{line}");
+}
+
+/// Renders a float with two decimals.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}

@@ -1,0 +1,74 @@
+//! Every experiment's headline *shape* (who wins, how it scales) asserted
+//! at test-friendly sizes — the guard that keeps `EXPERIMENTS.md` honest.
+
+use bench::*;
+
+#[test]
+fn e2_shapes() {
+    let rows = e2_dsm_lower(&[16, 48]);
+    let find = |n: usize, name: &str| {
+        rows.iter().find(|r| r.n == n && r.algorithm == name).unwrap()
+    };
+    // broadcast: amortized grows ~linearly with N.
+    assert!(find(48, "broadcast").amortized > 2.0 * find(16, "broadcast").amortized);
+    // cc-flag: never stabilizes; waiters pay.
+    assert!(!find(48, "cc-flag").stabilized);
+    // single-waiter: exposed as unsafe.
+    assert!(find(48, "single-waiter").violation);
+    // queue-faa: flat and blocked.
+    let q16 = find(16, "queue-faa");
+    let q48 = find(48, "queue-faa");
+    assert!(q16.blocked > 0 && q48.blocked > 0);
+    assert!((q48.amortized - q16.amortized).abs() < 1.0);
+}
+
+#[test]
+fn e3_shapes() {
+    let rows = e3_variants(16, 12);
+    for r in &rows {
+        if r.model == "dsm" && r.algorithm != "cc-flag" {
+            assert!(r.max_waiter_rmrs <= 4, "{r:?}");
+            assert!(r.amortized < 8.0, "{r:?}");
+        }
+        if r.model == "dsm" && r.algorithm == "cc-flag" {
+            assert!(r.max_waiter_rmrs >= 12, "{r:?}");
+        }
+    }
+    // Eager fixed-waiters: signaler pays exactly W in DSM.
+    let eager = rows
+        .iter()
+        .find(|r| r.algorithm == "fixed-waiters-eager" && r.model == "dsm")
+        .unwrap();
+    assert_eq!(eager.signaler_rmrs, 16);
+}
+
+#[test]
+fn e6_shapes() {
+    let rows = e6_mutex(&[4, 16], 3);
+    let get = |lock: &str, model: &str, n: usize| {
+        rows.iter()
+            .find(|r| r.lock == lock && r.model == model && r.n == n)
+            .unwrap()
+            .rmrs_per_passage
+    };
+    // MCS: O(1), flat in N, in both models.
+    assert!(get("mcs", "dsm", 16) < 2.0 * get("mcs", "dsm", 4).max(5.0));
+    assert!(get("mcs", "cc", 16) < 2.0 * get("mcs", "cc", 4).max(5.0));
+    // Tournament: CC and DSM agree (within 2x), grows slower than linear.
+    let (t_cc, t_dsm) = (get("tournament", "cc", 16), get("tournament", "dsm", 16));
+    assert!(t_cc < 2.0 * t_dsm && t_dsm < 2.0 * t_cc, "{t_cc} vs {t_dsm}");
+    assert!(get("tournament", "dsm", 16) < 4.0 * get("tournament", "dsm", 4));
+    // Anderson: local-spin in CC only.
+    assert!(get("anderson", "dsm", 16) > 3.0 * get("anderson", "cc", 16));
+    // TAS: grows with contention.
+    assert!(get("tas", "dsm", 16) > 2.0 * get("tas", "dsm", 4));
+}
+
+#[test]
+fn e8_shapes() {
+    let rows = e8_transformation(&[16, 32]);
+    let find = |n: usize, v: &str| rows.iter().find(|r| r.n == n && r.variant == v).unwrap();
+    assert!(find(32, "cas-list").amortized > 1.4 * find(16, "cas-list").amortized);
+    assert!(find(32, "cas-list+rw").amortized > find(16, "cas-list+rw").amortized);
+    assert!((find(32, "queue-faa").amortized - find(16, "queue-faa").amortized).abs() < 1.0);
+}

@@ -1,0 +1,55 @@
+//! The interface every signaling algorithm implements.
+
+use shm_sim::{MemLayout, ProcedureCall, ProcId};
+use std::sync::Arc;
+
+/// The synchronization-primitive class an algorithm draws from, following
+/// the classes the paper's bounds distinguish (§3, §6, Corollary 6.14).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PrimitiveClass {
+    /// Atomic reads and writes only (Theorem 6.2's class).
+    ReadWrite,
+    /// Reads, writes, and comparison primitives — CAS and/or LL/SC
+    /// (Corollary 6.14's class; the lower bound still applies).
+    ReadWriteCompare,
+    /// Reads, writes, and non-comparison read-modify-write primitives such
+    /// as Fetch-And-Add or Fetch-And-Store (outside the lower bound's reach;
+    /// §7 uses this class to close the CC/DSM gap).
+    ReadWriteRmw,
+}
+
+/// A signaling algorithm: a recipe for laying out shared variables and
+/// producing per-process procedure calls.
+///
+/// Implementations are stateless descriptors; all run state lives in shared
+/// memory (including per-process persistent state such as "have I
+/// registered?", which algorithms keep in cells local to the process — free
+/// to read in the DSM model and cached in the CC model).
+pub trait SignalingAlgorithm: Send + Sync {
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The primitive class the algorithm's operations belong to.
+    fn primitive_class(&self) -> PrimitiveClass;
+
+    /// Allocates the algorithm's shared variables for `n` processes and
+    /// returns an instance bound to those addresses.
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance>;
+}
+
+/// A signaling algorithm bound to concrete shared-memory addresses.
+pub trait AlgorithmInstance: Send + Sync {
+    /// One `Signal()` call by `pid`. Return value is ignored.
+    fn signal_call(&self, pid: ProcId) -> Box<dyn ProcedureCall>;
+
+    /// One `Poll()` call by `pid`. Returns 1 (signal observed) or 0.
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall>;
+
+    /// One `Wait()` call by `pid` (blocking semantics), if the algorithm
+    /// supports it natively. The default falls back to `None`; the scenario
+    /// harness then synthesizes `Wait()` as repeated `Poll()` calls, the
+    /// generic reduction §7 describes.
+    fn wait_call(&self, _pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
+        None
+    }
+}

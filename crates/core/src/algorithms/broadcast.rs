@@ -1,0 +1,155 @@
+//! Broadcast signaling: the natural *correct* read/write attempt at the
+//! hardest variant (many waiters, nobody fixed in advance) — and the
+//! canonical victim of the §6 lower bound.
+//!
+//! Since the signaler cannot know who the waiters are, it writes **every**
+//! process's local flag: `Signal()` writes `V[j] := true` for all `j`;
+//! `Poll()` by `p_i` reads and returns `V[i]` (local, 0 RMRs in DSM).
+//!
+//! This is safe (it satisfies Specification 4.1, see the tests) and waiters
+//! are free — but `Signal()` costs N−1 RMRs in the DSM model *regardless of
+//! how few processes participate*. Amortized over k participants that is
+//! Θ(N/k), unbounded — precisely the behaviour Theorem 6.2 says is
+//! unavoidable for read/write algorithms, and what experiment E2 measures
+//! when the adversary erases all but a handful of waiters.
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use crate::algorithms::common::SpinUntil;
+use shm_sim::{AddrRange, MemLayout, Op, OpSequence, ProcedureCall, ProcId, Step, Word};
+use std::sync::Arc;
+
+/// The broadcast algorithm (write every local flag).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Broadcast;
+
+#[derive(Clone, Debug)]
+struct Inst {
+    v: AddrRange,
+    n: usize,
+}
+
+impl SignalingAlgorithm for Broadcast {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        Arc::new(Inst { v: layout.alloc_per_process_array(n, 0), n })
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Signal { inst: self.clone(), me: pid, idx: 0 })
+    }
+
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(OpSequence::new(vec![Op::Read(self.v.at(pid.index()))]))
+    }
+
+    fn wait_call(&self, pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
+        Some(Box::new(SpinUntil::new(self.v.at(pid.index()), 1)))
+    }
+}
+
+/// Writes `V[j] := 1` for all j (own flag first, so the signaler-as-waiter
+/// case is handled), then returns.
+#[derive(Clone, Debug)]
+struct Signal {
+    inst: Inst,
+    me: ProcId,
+    idx: usize,
+}
+
+impl ProcedureCall for Signal {
+    fn step(&mut self, _last: Option<Word>) -> Step {
+        if self.idx == 0 {
+            self.idx += 1;
+            return Step::Op(Op::Write(self.inst.v.at(self.me.index()), 1));
+        }
+        // Remaining flags in ID order, skipping our own (already written).
+        let mut j = self.idx - 1;
+        if j == self.me.index() {
+            self.idx += 1;
+            j += 1;
+        }
+        if j >= self.inst.n {
+            return Step::Return(0);
+        }
+        self.idx += 1;
+        Step::Op(Op::Write(self.inst.v.at(j), 1))
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, RoundRobin, SeededRandom};
+
+    #[test]
+    fn spec_holds_under_random_schedules_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..40 {
+                let mut roles = vec![Role::waiter(); 6];
+                roles.push(Role::signaler());
+                let scenario = Scenario { algorithm: &Broadcast, roles, model };
+                let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+                assert!(out.completed, "{model:?} seed {seed}");
+                assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn waiters_poll_for_free_in_dsm() {
+        let mut roles = vec![Role::waiter(); 3];
+        roles.push(Role::signaler());
+        let scenario = Scenario { algorithm: &Broadcast, roles, model: CostModel::Dsm };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        for _ in 0..150 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 0, "polls read the local flag");
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+
+    #[test]
+    fn signaler_pays_n_minus_one_rmrs_in_dsm_no_matter_who_participates() {
+        let n = 16;
+        let mut roles = vec![Role::Bystander; n - 1];
+        roles.push(Role::signaler());
+        let scenario = Scenario { algorithm: &Broadcast, roles, model: CostModel::Dsm };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+        assert!(out.completed);
+        // Nobody participates but the signaler still broadcasts: the
+        // amortized pathology the lower bound predicts.
+        assert_eq!(out.sim.proc_stats(ProcId(n as u32 - 1)).rmrs, n as u64 - 1);
+    }
+
+    #[test]
+    fn blocking_wait_spins_locally() {
+        let scenario = Scenario {
+            algorithm: &Broadcast,
+            roles: vec![Role::BlockingWaiter, Role::signaler()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        for _ in 0..100 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 0, "waiting is entirely local");
+        assert_eq!(crate::spec::check_blocking(sim.history()), Ok(()));
+    }
+}

@@ -1,0 +1,254 @@
+//! CAS-based registration signaling: the Corollary 6.14 subject.
+//!
+//! Like [`crate::algorithms::QueueSignaling`] but the registration list is
+//! built from **Compare-And-Swap** instead of Fetch-And-Add: a registering
+//! waiter scans the slot array and claims the first free slot with
+//! `CAS(slot, NIL, me)`. CAS is a *comparison* primitive, so Corollary 6.14
+//! says this algorithm — unlike the FAA queue — remains subject to the
+//! lower bound: there is no O(1)-amortized DSM solution in this primitive
+//! class. The adversary crate attacks both the native CAS version and its
+//! read/write transformation (`rmr-adversary`'s `transform` module).
+//!
+//! * `Poll()` by `p_i`, first call: scan slots `0..N`, `CAS(slot_j, NIL,
+//!   i)` until one succeeds; read and return the global flag `G`.
+//! * `Poll()` by `p_i`, later calls: read and return `V[i]` (local).
+//! * `Signal()`: write `G := true`; read every slot; write `V[w]` for each
+//!   registered waiter `w` found.
+//!
+//! Registration costs O(k) RMRs for the k-th registrant (the CAS scan walks
+//! over occupied slots) — already worse than the FAA queue's O(1), which is
+//! the paper's point in miniature.
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use std::sync::Arc;
+
+/// The CAS-scan registration algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CasList;
+
+#[derive(Clone, Debug)]
+struct Inst {
+    g: Addr,
+    slots: AddrRange,
+    v: AddrRange,
+    reg: AddrRange,
+}
+
+impl SignalingAlgorithm for CasList {
+    fn name(&self) -> &'static str {
+        "cas-list"
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWriteCompare
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        Arc::new(Inst {
+            g: layout.alloc_global(0),
+            slots: layout.alloc_global_array(n, NIL),
+            v: layout.alloc_per_process_array(n, 0),
+            reg: layout.alloc_per_process_array(n, 0),
+        })
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Signal { inst: self.clone(), state: SigState::WriteG, idx: 0 })
+    }
+
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg, idx: 0 })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SigState {
+    WriteG,
+    ReadSlot,
+    DecideSlot,
+}
+
+#[derive(Clone, Debug)]
+struct Signal {
+    inst: Inst,
+    state: SigState,
+    idx: usize,
+}
+
+impl ProcedureCall for Signal {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        loop {
+            match self.state {
+                SigState::WriteG => {
+                    self.state = SigState::ReadSlot;
+                    return Step::Op(Op::Write(self.inst.g, 1));
+                }
+                SigState::ReadSlot => {
+                    if self.idx >= self.inst.slots.len() {
+                        return Step::Return(0);
+                    }
+                    self.state = SigState::DecideSlot;
+                    return Step::Op(Op::Read(self.inst.slots.at(self.idx)));
+                }
+                SigState::DecideSlot => {
+                    let slot = last.expect("slot value");
+                    self.idx += 1;
+                    self.state = SigState::ReadSlot;
+                    if let Some(waiter) = ProcId::from_word(slot) {
+                        return Step::Op(Op::Write(self.inst.v.at(waiter.index()), 1));
+                    }
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PollState {
+    ReadReg,
+    Branch,
+    CasSlot,
+    MarkReg,
+    ReadG,
+    ReturnLast,
+}
+
+#[derive(Clone, Debug)]
+struct Poll {
+    inst: Inst,
+    me: ProcId,
+    state: PollState,
+    idx: usize,
+}
+
+impl ProcedureCall for Poll {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            PollState::ReadReg => {
+                self.state = PollState::Branch;
+                Step::Op(Op::Read(self.inst.reg.at(self.me.index())))
+            }
+            PollState::Branch => {
+                if last.expect("REG value") == 0 {
+                    self.state = PollState::CasSlot;
+                    Step::Op(Op::Cas(self.inst.slots.at(0), NIL, self.me.to_word()))
+                } else {
+                    self.state = PollState::ReturnLast;
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+            PollState::CasSlot => {
+                let old = last.expect("CAS result");
+                if old == NIL {
+                    // Claimed slot `idx`.
+                    self.state = PollState::MarkReg;
+                    Step::Op(Op::Write(self.inst.reg.at(self.me.index()), 1))
+                } else {
+                    self.idx += 1;
+                    assert!(self.idx < self.inst.slots.len(), "registration overflow");
+                    Step::Op(Op::Cas(self.inst.slots.at(self.idx), NIL, self.me.to_word()))
+                }
+            }
+            PollState::MarkReg => {
+                self.state = PollState::ReadG;
+                Step::Op(Op::Read(self.inst.g))
+            }
+            PollState::ReadG => Step::Return(last.expect("G value")),
+            PollState::ReturnLast => Step::Return(last.expect("V value")),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, RoundRobin, SeededRandom, Simulator};
+
+    fn waiters_plus_signaler(w: usize) -> Vec<Role> {
+        let mut roles = vec![Role::waiter(); w];
+        roles.push(Role::signaler());
+        roles
+    }
+
+    #[test]
+    fn spec_holds_under_random_schedules_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..40 {
+                let scenario = Scenario {
+                    algorithm: &CasList,
+                    roles: waiters_plus_signaler(6),
+                    model,
+                };
+                let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+                assert!(out.completed, "{model:?} seed {seed}");
+                assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn kth_registrant_pays_k_cas_attempts() {
+        let scenario = Scenario {
+            algorithm: &CasList,
+            roles: waiters_plus_signaler(8),
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        // Register waiters strictly one after another.
+        for i in 0..8u32 {
+            while sim.proc_stats(ProcId(i)).calls_completed == 0 {
+                let _ = sim.step(ProcId(i));
+            }
+        }
+        // Waiter 7 scanned slots 0..7: 8 CAS attempts + G read.
+        assert_eq!(sim.proc_stats(ProcId(7)).rmrs, 9);
+        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 2, "first registrant: 1 CAS + G read");
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+
+    #[test]
+    fn contended_registration_claims_distinct_slots() {
+        for seed in 0..30 {
+            let scenario = Scenario {
+                algorithm: &CasList,
+                roles: waiters_plus_signaler(6),
+                model: CostModel::Dsm,
+            };
+            let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+            assert!(out.completed);
+            // All 6 waiters eventually saw true, so all were signaled: each
+            // claimed a distinct slot.
+            assert_eq!(out.polling_spec, Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn signal_before_any_registration_is_cheap() {
+        let scenario = Scenario {
+            algorithm: &CasList,
+            roles: waiters_plus_signaler(4),
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        while sim.is_runnable(ProcId(4)) {
+            let _ = sim.step(ProcId(4));
+        }
+        // G write + one read per slot (the array has n = 5 slots), no V writes.
+        assert_eq!(sim.proc_stats(ProcId(4)).rmrs, 6);
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+}

@@ -1,0 +1,147 @@
+//! The §5 upper bound: one shared Boolean.
+//!
+//! `Signal()` writes `B := true`; `Poll()` reads and returns `B`; `Wait()`
+//! busy-waits on `B`. Wait-free, O(1) space, reads and writes only, and
+//! O(1) RMRs per process **in the CC model**. In the DSM model the same
+//! code has unbounded RMR complexity (every poll of the global flag by a
+//! process that doesn't own its module is an RMR), and Theorem 6.2 shows no
+//! read/write/CAS/LLSC algorithm can fix that even in the amortized sense.
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use crate::algorithms::common::SpinUntil;
+use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcedureCall, ProcId};
+use std::sync::Arc;
+
+/// The single-Boolean algorithm of §5.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CcFlag;
+
+#[derive(Clone, Copy, Debug)]
+struct Inst {
+    b: Addr,
+}
+
+impl SignalingAlgorithm for CcFlag {
+    fn name(&self) -> &'static str {
+        "cc-flag"
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, _n: usize) -> Arc<dyn AlgorithmInstance> {
+        let b = layout.alloc_global(0);
+        layout.set_label(b, "B");
+        Arc::new(Inst { b })
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(OpSequence::new(vec![Op::Write(self.b, 1)]))
+    }
+
+    fn poll_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(OpSequence::new(vec![Op::Read(self.b)]))
+    }
+
+    fn wait_call(&self, _pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
+        Some(Box::new(SpinUntil::new(self.b, 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, ProcId, RoundRobin, SeededRandom};
+
+    #[test]
+    fn satisfies_spec_under_many_random_schedules() {
+        for seed in 0..50 {
+            let scenario = Scenario {
+                algorithm: &CcFlag,
+                roles: vec![
+                    Role::waiter(),
+                    Role::waiter(),
+                    Role::Waiter { max_polls: Some(3) },
+                    Role::Signaler { polls_first: 2 },
+                ],
+                model: CostModel::cc_default(),
+            };
+            let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+            assert!(out.completed, "seed {seed}");
+            assert_eq!(out.polling_spec, Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cc_model_constant_rmrs_per_process() {
+        // The §5 claim: O(1) RMRs per process in CC, even with many waiters
+        // polling many times before the signal.
+        let n = 32;
+        let mut roles = vec![Role::waiter(); n - 1];
+        roles.push(Role::signaler());
+        let scenario = Scenario { algorithm: &CcFlag, roles, model: CostModel::cc_default() };
+        // Round-robin makes each waiter poll once before the signaler runs;
+        // then everyone re-polls and finishes.
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+        assert!(out.completed);
+        for i in 0..n {
+            let rmrs = out.sim.proc_stats(ProcId(i as u32)).rmrs;
+            assert!(rmrs <= 3, "p{i} incurred {rmrs} RMRs; expected O(1)");
+        }
+    }
+
+    #[test]
+    fn wait_freedom_every_call_is_bounded() {
+        // Each Poll is 1 access; Signal is 1 access — bounded steps per call
+        // regardless of scheduling (wait-freedom).
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::Waiter { max_polls: Some(100) }, Role::signaler()],
+            model: CostModel::cc_default(),
+        };
+        let out = run_scenario(&scenario, &mut SeededRandom::new(1), 1_000_000);
+        assert!(out.completed);
+        let stats = out.sim.proc_stats(ProcId(0));
+        // steps per call = accesses + returns + invokes, all O(1) per call.
+        assert!(stats.steps <= 2 * stats.calls_completed + 2);
+    }
+
+    #[test]
+    fn dsm_model_rmrs_grow_with_poll_count() {
+        // The same code in DSM: every poll is an RMR. This is the trivial
+        // side of the separation (the nontrivial side — that *no* algorithm
+        // avoids this — is the adversary crate's job).
+        let polls = 64;
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::Waiter { max_polls: Some(polls) }],
+            model: CostModel::Dsm,
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+        assert!(out.completed);
+        assert_eq!(out.sim.proc_stats(ProcId(0)).rmrs, polls);
+    }
+
+    #[test]
+    fn blocking_semantics_wait_spins_locally_in_cc() {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::BlockingWaiter, Role::Signaler { polls_first: 0 }],
+            model: CostModel::cc_default(),
+        };
+        // Let the waiter spin a lot before the signaler runs.
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        for _ in 0..100 {
+            let _ = sim.step(ProcId(0));
+        }
+        let mut rr = RoundRobin::new();
+        assert!(shm_sim::run_to_completion(&mut sim, &mut rr, 1_000_000));
+        assert!(sim.proc_stats(ProcId(0)).rmrs <= 3, "spin was cached");
+        assert_eq!(crate::spec::check_blocking(sim.history()), Ok(()));
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared step machines used by several algorithms.
+
+use shm_sim::{Addr, Op, ProcedureCall, Step, Word};
+
+/// Busy-waits by reading `addr` until it holds `target`, then returns
+/// `target`.
+///
+/// This is the paper's canonical spin loop: O(1) RMRs in the CC model when
+/// nobody else writes `addr` in between (the first read caches the cell),
+/// and one RMR *per iteration* in the DSM model when `addr` is not local to
+/// the spinner — the asymmetry the whole paper is about.
+#[derive(Clone, Debug)]
+pub struct SpinUntil {
+    addr: Addr,
+    target: Word,
+    issued: bool,
+}
+
+impl SpinUntil {
+    /// Creates the spin call.
+    #[must_use]
+    pub fn new(addr: Addr, target: Word) -> Self {
+        SpinUntil { addr, target, issued: false }
+    }
+}
+
+impl ProcedureCall for SpinUntil {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        if self.issued && last == Some(self.target) {
+            Step::Return(self.target)
+        } else {
+            self.issued = true;
+            Step::Op(Op::Read(self.addr))
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spins_until_target_seen() {
+        let mut m = SpinUntil::new(Addr(3), 1);
+        assert_eq!(m.step(None), Step::Op(Op::Read(Addr(3))));
+        assert_eq!(m.step(Some(0)), Step::Op(Op::Read(Addr(3))));
+        assert_eq!(m.step(Some(5)), Step::Op(Op::Read(Addr(3))));
+        assert_eq!(m.step(Some(1)), Step::Return(1));
+    }
+
+    #[test]
+    fn returns_immediately_if_first_read_hits() {
+        let mut m = SpinUntil::new(Addr(0), 7);
+        assert_eq!(m.step(None), Step::Op(Op::Read(Addr(0))));
+        assert_eq!(m.step(Some(7)), Step::Return(7));
+    }
+}

@@ -1,0 +1,362 @@
+//! §7, "many waiters not fixed in advance, one signaler fixed in advance".
+//!
+//! The signaler's identity is known, so waiters *register* by raising a
+//! dedicated flag in the signaler's memory module; the signaler scans those
+//! flags locally. The race between registration and an in-flight `Signal()`
+//! is handled by a global Boolean `S` written at the start of `Signal()` and
+//! checked by waiters at the end of their first `Poll()` (after
+//! registering) — exactly the construction described in the §7 paragraph.
+//!
+//! * `Poll()` by `p_i`, first call: write `R[i] := true` (in the signaler's
+//!   module, 1 RMR); read and return `S`.
+//! * `Poll()` by `p_i`, later calls: read and return `V[i]` (local).
+//! * `Signal()` by the fixed signaler: write `S := true` (1 RMR); for each
+//!   `i`, read `R[i]` (local) and, if registered, write `V[i] := true`
+//!   (1 RMR per registered waiter).
+//!
+//! Costs in DSM: waiters O(1) worst case; signaler O(k) for k registered
+//! waiters; amortized O(1) because every registered waiter participates.
+//! `Wait()` is provided natively: register, check `S`, then spin on the
+//! *local* flag `V[i]` — local spinning is what blocking semantics buys.
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use std::sync::Arc;
+
+/// The fixed-signaler algorithm of §7.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedSignaler {
+    /// The process whose module hosts the registration flags and which will
+    /// call `Signal()`.
+    pub signaler: ProcId,
+}
+
+#[derive(Clone, Debug)]
+struct Inst {
+    s: Addr,
+    /// Registration flags, all local to the fixed signaler.
+    r: AddrRange,
+    /// Per-process signal flags, `v[i]` local to `p_i`.
+    v: AddrRange,
+    /// Per-process "first poll done" flags.
+    reg: AddrRange,
+    n: usize,
+}
+
+impl SignalingAlgorithm for FixedSignaler {
+    fn name(&self) -> &'static str {
+        "fixed-signaler"
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        assert!(self.signaler.index() < n, "fixed signaler ID must be < n");
+        Arc::new(Inst {
+            s: layout.alloc_global(0),
+            r: layout.alloc_local_array(self.signaler, n, 0),
+            v: layout.alloc_per_process_array(n, 0),
+            reg: layout.alloc_per_process_array(n, 0),
+            n,
+        })
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Signal { inst: self.clone(), state: SigState::WriteS, idx: 0 })
+    }
+
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg })
+    }
+
+    fn wait_call(&self, pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
+        Some(Box::new(Wait { inst: self.clone(), me: pid, state: WaitState::ReadReg }))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SigState {
+    WriteS,
+    ReadR,
+    DecideR,
+}
+
+#[derive(Clone, Debug)]
+struct Signal {
+    inst: Inst,
+    state: SigState,
+    idx: usize,
+}
+
+impl ProcedureCall for Signal {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        loop {
+            match self.state {
+                SigState::WriteS => {
+                    self.state = SigState::ReadR;
+                    return Step::Op(Op::Write(self.inst.s, 1));
+                }
+                SigState::ReadR => {
+                    if self.idx >= self.inst.n {
+                        return Step::Return(0);
+                    }
+                    self.state = SigState::DecideR;
+                    return Step::Op(Op::Read(self.inst.r.at(self.idx)));
+                }
+                SigState::DecideR => {
+                    let registered = last.expect("R flag") != 0;
+                    let i = self.idx;
+                    self.idx += 1;
+                    self.state = SigState::ReadR;
+                    if registered {
+                        return Step::Op(Op::Write(self.inst.v.at(i), 1));
+                    }
+                    // Not registered: continue the scan without an access
+                    // for V — loop to issue the next R read immediately.
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PollState {
+    ReadReg,
+    Branch,
+    MarkReg,
+    ReadS,
+    ReturnLast,
+}
+
+#[derive(Clone, Debug)]
+struct Poll {
+    inst: Inst,
+    me: ProcId,
+    state: PollState,
+}
+
+impl ProcedureCall for Poll {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            PollState::ReadReg => {
+                self.state = PollState::Branch;
+                Step::Op(Op::Read(self.inst.reg.at(self.me.index())))
+            }
+            PollState::Branch => {
+                if last.expect("REG value") == 0 {
+                    self.state = PollState::MarkReg;
+                    Step::Op(Op::Write(self.inst.r.at(self.me.index()), 1))
+                } else {
+                    self.state = PollState::ReturnLast;
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+            PollState::MarkReg => {
+                self.state = PollState::ReadS;
+                Step::Op(Op::Write(self.inst.reg.at(self.me.index()), 1))
+            }
+            PollState::ReadS => {
+                self.state = PollState::ReturnLast;
+                Step::Op(Op::Read(self.inst.s))
+            }
+            PollState::ReturnLast => Step::Return(last.expect("flag value")),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WaitState {
+    ReadReg,
+    Branch,
+    MarkReg,
+    ReadS,
+    DecideS,
+    SpinV,
+}
+
+#[derive(Clone, Debug)]
+struct Wait {
+    inst: Inst,
+    me: ProcId,
+    state: WaitState,
+}
+
+impl ProcedureCall for Wait {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            WaitState::ReadReg => {
+                self.state = WaitState::Branch;
+                Step::Op(Op::Read(self.inst.reg.at(self.me.index())))
+            }
+            WaitState::Branch => {
+                if last.expect("REG value") == 0 {
+                    self.state = WaitState::MarkReg;
+                    Step::Op(Op::Write(self.inst.r.at(self.me.index()), 1))
+                } else {
+                    self.state = WaitState::SpinV;
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+            WaitState::MarkReg => {
+                self.state = WaitState::ReadS;
+                Step::Op(Op::Write(self.inst.reg.at(self.me.index()), 1))
+            }
+            WaitState::ReadS => {
+                self.state = WaitState::DecideS;
+                Step::Op(Op::Read(self.inst.s))
+            }
+            WaitState::DecideS => {
+                if last.expect("S value") != 0 {
+                    Step::Return(1)
+                } else {
+                    self.state = WaitState::SpinV;
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+            WaitState::SpinV => {
+                if last.expect("V value") != 0 {
+                    Step::Return(1)
+                } else {
+                    // Local spin: V[me] lives in our own module.
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, RoundRobin, SeededRandom, Simulator};
+
+    fn roles(n_waiters: usize, signaler: usize) -> Vec<Role> {
+        (0..=signaler)
+            .map(|i| if i == signaler { Role::signaler() } else if i < n_waiters { Role::waiter() } else { Role::Bystander })
+            .collect()
+    }
+
+    #[test]
+    fn spec_holds_under_random_schedules_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..40 {
+                let algo = FixedSignaler { signaler: ProcId(5) };
+                let scenario = Scenario { algorithm: &algo, roles: roles(5, 5), model };
+                let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+                assert!(out.completed, "{model:?} seed {seed}");
+                assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn waiter_costs_constant_rmrs_in_dsm() {
+        let algo = FixedSignaler { signaler: ProcId(3) };
+        let scenario = Scenario { algorithm: &algo, roles: roles(3, 3), model: CostModel::Dsm };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        // Waiter 0 polls many times before the signal.
+        for _ in 0..300 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+        // First poll: R-write (remote) + S-read (remote) = 2 RMRs; later
+        // polls are local.
+        assert!(sim.proc_stats(ProcId(0)).rmrs <= 2, "waiter: {}", sim.proc_stats(ProcId(0)).rmrs);
+    }
+
+    #[test]
+    fn signaler_rmrs_are_one_plus_registered_in_dsm() {
+        let k = 6;
+        let algo = FixedSignaler { signaler: ProcId(k as u32) };
+        let scenario = Scenario { algorithm: &algo, roles: roles(k, k), model: CostModel::Dsm };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        // All waiters register first (each completes one poll).
+        for i in 0..k {
+            for _ in 0..5 {
+                let _ = sim.step(ProcId(i as u32));
+            }
+        }
+        // Now the signaler runs.
+        while sim.is_runnable(ProcId(k as u32)) {
+            let _ = sim.step(ProcId(k as u32));
+        }
+        assert_eq!(
+            sim.proc_stats(ProcId(k as u32)).rmrs,
+            1 + k as u64,
+            "S write + one V write per registered waiter; R scan is local"
+        );
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+
+    #[test]
+    fn registration_race_is_safe() {
+        // Interleave a waiter's first poll inside the signaler's Signal() at
+        // every possible point; the spec must hold each time.
+        let algo = FixedSignaler { signaler: ProcId(1) };
+        for pause_after in 0..8 {
+            let scenario = Scenario {
+                algorithm: &algo,
+                roles: vec![Role::waiter(), Role::signaler()],
+                model: CostModel::Dsm,
+            };
+            let spec = scenario.build();
+            let mut sim = Simulator::new(&spec);
+            for _ in 0..pause_after {
+                if sim.is_runnable(ProcId(1)) {
+                    let _ = sim.step(ProcId(1));
+                }
+            }
+            // Waiter performs its entire first poll mid-signal.
+            for _ in 0..6 {
+                let _ = sim.step(ProcId(0));
+            }
+            assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+            assert_eq!(
+                crate::spec::check_polling(sim.history()),
+                Ok(()),
+                "pause_after={pause_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn native_wait_spins_locally_in_dsm() {
+        let algo = FixedSignaler { signaler: ProcId(1) };
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: vec![Role::BlockingWaiter, Role::signaler()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        // Waiter registers and spins a lot.
+        for _ in 0..200 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_blocking(sim.history()), Ok(()));
+        assert!(
+            sim.proc_stats(ProcId(0)).rmrs <= 2,
+            "register + S check; the V spin is local: {}",
+            sim.proc_stats(ProcId(0)).rmrs
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! §7, "many waiters, fixed in advance": the signaler knows the waiter IDs.
+//!
+//! Shared data: `V[1..N]` with `V[i]` local to `p_i` (the per-waiter signal
+//! flags). `Poll()` by `p_i` reads and returns `V[i]` — 0 RMRs in DSM, O(1)
+//! in CC.
+//!
+//! Two signaler strategies, matching the paper's two paragraphs:
+//!
+//! * **Eager** — `Signal()` writes `V[j]` for every fixed waiter `p_j`:
+//!   wait-free, O(W) RMRs worst case, and *amortized* complexity above O(1)
+//!   when only o(W) waiters actually participate.
+//! * **Awaiting** — a terminating variant that restores O(1) amortized
+//!   cost: the signaler busy-waits for each waiter to raise a participation
+//!   flag (allocated in the **signaler's** module so the spin is local)
+//!   before writing that waiter's `V[j]`. This requires the signaler's
+//!   identity to be fixed too — the price of local spinning in DSM.
+//!
+//! The Ω(W) lower bound for the eager situation (signaler must write every
+//! participating waiter's module) is reproduced executably in the adversary
+//! crate (`fixed_w`).
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use shm_sim::{AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use std::sync::Arc;
+
+/// Signaler strategy for [`FixedWaiters`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FixedWaitersMode {
+    /// Wait-free: write every fixed waiter's flag unconditionally.
+    Eager,
+    /// Terminating: wait (locally) for each waiter to participate before
+    /// writing its flag. The participation flags live in `signaler`'s
+    /// module.
+    Awaiting {
+        /// The (fixed) signaler whose module hosts the participation flags.
+        signaler: ProcId,
+    },
+}
+
+/// The fixed-waiters algorithm of §7.
+#[derive(Clone, Debug)]
+pub struct FixedWaiters {
+    /// The waiter IDs fixed in advance.
+    pub waiters: Vec<ProcId>,
+    /// Signaler strategy.
+    pub mode: FixedWaitersMode,
+}
+
+impl FixedWaiters {
+    /// Eager variant with the given fixed waiter set.
+    #[must_use]
+    pub fn eager(waiters: Vec<ProcId>) -> Self {
+        FixedWaiters { waiters, mode: FixedWaitersMode::Eager }
+    }
+
+    /// Awaiting (terminating, O(1)-amortized) variant.
+    #[must_use]
+    pub fn awaiting(waiters: Vec<ProcId>, signaler: ProcId) -> Self {
+        FixedWaiters { waiters, mode: FixedWaitersMode::Awaiting { signaler } }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Inst {
+    waiters: Vec<ProcId>,
+    mode: FixedWaitersMode,
+    /// Per-process signal flags, `v[i]` local to `p_i`.
+    v: AddrRange,
+    /// Participation flags (Awaiting mode): `part[k]` is raised by the k-th
+    /// fixed waiter; all local to the fixed signaler.
+    part: AddrRange,
+    /// Per-process "first poll done" flags, local to each process.
+    reg: AddrRange,
+}
+
+impl Inst {
+    fn waiter_slot(&self, pid: ProcId) -> Option<usize> {
+        self.waiters.iter().position(|&w| w == pid)
+    }
+}
+
+impl SignalingAlgorithm for FixedWaiters {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            FixedWaitersMode::Eager => "fixed-waiters-eager",
+            FixedWaitersMode::Awaiting { .. } => "fixed-waiters-awaiting",
+        }
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        assert!(
+            self.waiters.iter().all(|w| w.index() < n),
+            "fixed waiter IDs must be < n"
+        );
+        let part = match self.mode {
+            FixedWaitersMode::Awaiting { signaler } => {
+                assert!(signaler.index() < n, "fixed signaler ID must be < n");
+                layout.alloc_local_array(signaler, self.waiters.len(), 0)
+            }
+            // Unused in eager mode; keep a zero-length placeholder range.
+            FixedWaitersMode::Eager => layout.alloc_global_array(0, 0),
+        };
+        Arc::new(Inst {
+            waiters: self.waiters.clone(),
+            mode: self.mode,
+            v: layout.alloc_per_process_array(n, 0),
+            part,
+            reg: layout.alloc_per_process_array(n, 0),
+        })
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Signal { inst: self.clone(), idx: 0, phase: SigPhase::Next })
+    }
+
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SigPhase {
+    /// Decide what to do for waiter `idx`.
+    Next,
+    /// (Awaiting) spinning on `part[idx]`.
+    AwaitPart,
+    /// Write `V[waiters[idx]]`, then advance.
+    WriteV,
+}
+
+#[derive(Clone, Debug)]
+struct Signal {
+    inst: Inst,
+    idx: usize,
+    phase: SigPhase,
+}
+
+impl ProcedureCall for Signal {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        loop {
+            if self.idx >= self.inst.waiters.len() {
+                return Step::Return(0);
+            }
+            match self.phase {
+                SigPhase::Next => match self.inst.mode {
+                    FixedWaitersMode::Eager => {
+                        self.phase = SigPhase::WriteV;
+                        let w = self.inst.waiters[self.idx];
+                        self.idx += 1;
+                        return Step::Op(Op::Write(self.inst.v.at(w.index()), 1));
+                    }
+                    FixedWaitersMode::Awaiting { .. } => {
+                        self.phase = SigPhase::AwaitPart;
+                        return Step::Op(Op::Read(self.inst.part.at(self.idx)));
+                    }
+                },
+                SigPhase::AwaitPart => {
+                    if last.expect("part flag") == 0 {
+                        // Keep spinning (locally, in the signaler's module).
+                        return Step::Op(Op::Read(self.inst.part.at(self.idx)));
+                    }
+                    self.phase = SigPhase::WriteV;
+                    let w = self.inst.waiters[self.idx];
+                    self.idx += 1;
+                    return Step::Op(Op::Write(self.inst.v.at(w.index()), 1));
+                }
+                SigPhase::WriteV => {
+                    // The write completed; move to the next waiter.
+                    self.phase = SigPhase::Next;
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PollState {
+    ReadReg,
+    Branch,
+    WritePart,
+    ReadV,
+    ReturnLast,
+}
+
+#[derive(Clone, Debug)]
+struct Poll {
+    inst: Inst,
+    me: ProcId,
+    state: PollState,
+}
+
+impl ProcedureCall for Poll {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            PollState::ReadReg => {
+                self.state = PollState::Branch;
+                Step::Op(Op::Read(self.inst.reg.at(self.me.index())))
+            }
+            PollState::Branch => {
+                let first = last.expect("REG value") == 0;
+                let needs_part = first
+                    && matches!(self.inst.mode, FixedWaitersMode::Awaiting { .. })
+                    && self.inst.waiter_slot(self.me).is_some();
+                if needs_part {
+                    self.state = PollState::WritePart;
+                    let slot = self.inst.waiter_slot(self.me).expect("checked");
+                    Step::Op(Op::Write(self.inst.part.at(slot), 1))
+                } else if first {
+                    self.state = PollState::ReadV;
+                    Step::Op(Op::Write(self.inst.reg.at(self.me.index()), 1))
+                } else {
+                    self.state = PollState::ReturnLast;
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+            PollState::WritePart => {
+                self.state = PollState::ReadV;
+                Step::Op(Op::Write(self.inst.reg.at(self.me.index()), 1))
+            }
+            PollState::ReadV => {
+                self.state = PollState::ReturnLast;
+                Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+            }
+            PollState::ReturnLast => Step::Return(last.expect("V value")),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, RoundRobin, SeededRandom};
+
+    fn all_waiter_roles(w: usize, signaler: usize, n: usize) -> Vec<Role> {
+        (0..n)
+            .map(|i| {
+                if i == signaler {
+                    Role::signaler()
+                } else if i < w {
+                    Role::waiter()
+                } else {
+                    Role::Bystander
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eager_spec_holds_under_random_schedules() {
+        let waiters: Vec<ProcId> = (0..5).map(ProcId).collect();
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..30 {
+                let algo = FixedWaiters::eager(waiters.clone());
+                let scenario = Scenario {
+                    algorithm: &algo,
+                    roles: all_waiter_roles(5, 6, 7),
+                    model,
+                };
+                let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+                assert!(out.completed, "{model:?} seed {seed}");
+                assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn awaiting_spec_holds_under_random_schedules() {
+        let waiters: Vec<ProcId> = (0..5).map(ProcId).collect();
+        for seed in 0..30 {
+            let algo = FixedWaiters::awaiting(waiters.clone(), ProcId(6));
+            let scenario = Scenario {
+                algorithm: &algo,
+                roles: all_waiter_roles(5, 6, 7),
+                model: CostModel::Dsm,
+            };
+            let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+            assert!(out.completed, "seed {seed}");
+            assert_eq!(out.polling_spec, Ok(()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eager_signaler_costs_w_rmrs_in_dsm() {
+        let w = 16;
+        let waiters: Vec<ProcId> = (0..w).map(|i| ProcId(i as u32)).collect();
+        let algo = FixedWaiters::eager(waiters);
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: all_waiter_roles(w, w, w + 1),
+            model: CostModel::Dsm,
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+        assert!(out.completed);
+        assert_eq!(out.sim.proc_stats(ProcId(w as u32)).rmrs, w as u64, "one write per fixed waiter");
+    }
+
+    #[test]
+    fn eager_waiters_poll_for_free_in_dsm() {
+        let waiters: Vec<ProcId> = (0..3).map(ProcId).collect();
+        let algo = FixedWaiters::eager(waiters);
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: all_waiter_roles(3, 3, 4),
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        // Waiter 0 polls many times before the signal.
+        for _ in 0..200 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 0, "V[0] and REG[0] are local");
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+
+    #[test]
+    fn awaiting_signaler_rmrs_track_participants_not_w() {
+        // All 8 waiters participate: signaler pays 8 V-writes, spins locally.
+        let w = 8;
+        let waiters: Vec<ProcId> = (0..w).map(|i| ProcId(i as u32)).collect();
+        let algo = FixedWaiters::awaiting(waiters, ProcId(w as u32));
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: all_waiter_roles(w, w, w + 1),
+            model: CostModel::Dsm,
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+        assert!(out.completed);
+        assert_eq!(out.polling_spec, Ok(()));
+        let sig = out.sim.proc_stats(ProcId(w as u32));
+        assert_eq!(sig.rmrs, w as u64, "exactly one remote write per participant; spins were local");
+        // Amortized over W+1 participants: O(1).
+        let total = out.sim.totals().rmrs;
+        assert!(total <= 3 * (w as u64 + 1), "total {total} should be O(participants)");
+    }
+
+    #[test]
+    fn awaiting_signal_blocks_until_all_waiters_show_up() {
+        let waiters: Vec<ProcId> = vec![ProcId(0), ProcId(1)];
+        let algo = FixedWaiters::awaiting(waiters, ProcId(2));
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: vec![Role::waiter(), Role::waiter(), Role::signaler()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        // Signaler runs alone: it must not complete Signal() yet.
+        for _ in 0..100 {
+            let _ = sim.step(ProcId(2));
+        }
+        assert!(sim.is_runnable(ProcId(2)));
+        assert!(sim.has_pending_call(ProcId(2)), "Signal() is still awaiting participation");
+        // Waiters show up; now everything drains.
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+}

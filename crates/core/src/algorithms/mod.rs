@@ -1,0 +1,27 @@
+//! The paper's signaling algorithms.
+//!
+//! | Algorithm | Paper section | Primitives | Headline bound |
+//! |-----------|---------------|------------|----------------|
+//! | [`CcFlag`] | §5 | reads/writes | wait-free, O(1) RMR/process **in CC**; unbounded in DSM (the separation's CC side) |
+//! | [`SingleWaiter`] | §7 | reads/writes | O(1) RMR/process worst case, both models |
+//! | [`FixedWaiters`] | §7 | reads/writes | eager: O(W) signaler worst case; awaiting: terminating, O(1) amortized |
+//! | [`FixedSignaler`] | §7 | reads/writes | O(1) waiters, O(k) signaler ⇒ O(1) amortized |
+//! | [`QueueSignaling`] | §7 | reads/writes + FAA | O(1) amortized with nobody fixed in advance (closes the gap) |
+
+mod broadcast;
+mod cas_list;
+mod cc_flag;
+mod common;
+mod fixed_signaler;
+mod fixed_waiters;
+mod queue;
+mod single_waiter;
+
+pub use broadcast::Broadcast;
+pub use cas_list::CasList;
+pub use cc_flag::CcFlag;
+pub use common::SpinUntil;
+pub use fixed_signaler::FixedSignaler;
+pub use fixed_waiters::{FixedWaiters, FixedWaitersMode};
+pub use queue::QueueSignaling;
+pub use single_waiter::SingleWaiter;

@@ -1,0 +1,259 @@
+//! §7, "single waiter": at most one waiter, identity not fixed in advance.
+//!
+//! Variables: `W` (process ID, initially NIL), `S` (Boolean, initially
+//! false), and `V[1..N]` with `V[i]` local to process `p_i`; additionally a
+//! per-process local flag `REG[i]` remembering whether `p_i` already made
+//! its first `Poll()` (persistent per-process state kept in the process's
+//! own module, free to consult in both models).
+//!
+//! * `Poll()` by `p_i`, first call: write `W := i`; read and return `S`.
+//! * `Poll()` by `p_i`, later calls: read and return `V[i]`.
+//! * `Signal()`: write `S := true`; read `W`; if non-NIL, write `V[W] := true`.
+//!
+//! O(1) RMRs per process worst case in both CC and DSM — matching the CC
+//! upper bound, which is why the *single*-waiter case does not separate the
+//! models; many waiters with unknown IDs are needed for that (§6).
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use std::sync::Arc;
+
+/// The single-waiter algorithm of §7.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleWaiter;
+
+#[derive(Clone, Debug)]
+struct Inst {
+    w: Addr,
+    s: Addr,
+    v: AddrRange,
+    reg: AddrRange,
+}
+
+impl SignalingAlgorithm for SingleWaiter {
+    fn name(&self) -> &'static str {
+        "single-waiter"
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        let inst = Inst {
+            w: layout.alloc_global(NIL),
+            s: layout.alloc_global(0),
+            v: layout.alloc_per_process_array(n, 0),
+            reg: layout.alloc_per_process_array(n, 0),
+        };
+        layout.set_label(inst.w, "W");
+        layout.set_label(inst.s, "S");
+        layout.set_array_label(inst.v, "V");
+        layout.set_array_label(inst.reg, "REG");
+        Arc::new(inst)
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Signal { inst: self.clone(), state: SigState::WriteS })
+    }
+
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SigState {
+    WriteS,
+    ReadW,
+    MaybeWriteV,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Signal {
+    inst: Inst,
+    state: SigState,
+}
+
+impl ProcedureCall for Signal {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            SigState::WriteS => {
+                self.state = SigState::ReadW;
+                Step::Op(Op::Write(self.inst.s, 1))
+            }
+            SigState::ReadW => {
+                self.state = SigState::MaybeWriteV;
+                Step::Op(Op::Read(self.inst.w))
+            }
+            SigState::MaybeWriteV => match ProcId::from_word(last.expect("W value")) {
+                None => Step::Return(0),
+                Some(waiter) => {
+                    self.state = SigState::Done;
+                    Step::Op(Op::Write(self.inst.v.at(waiter.index()), 1))
+                }
+            },
+            SigState::Done => Step::Return(0),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PollState {
+    ReadReg,
+    Branch,
+    WriteRegDone,
+    ReadS,
+    ReturnLast,
+}
+
+#[derive(Clone, Debug)]
+struct Poll {
+    inst: Inst,
+    me: ProcId,
+    state: PollState,
+}
+
+impl ProcedureCall for Poll {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            PollState::ReadReg => {
+                self.state = PollState::Branch;
+                Step::Op(Op::Read(self.inst.reg.at(self.me.index())))
+            }
+            PollState::Branch => {
+                if last.expect("REG value") == 0 {
+                    // First Poll: announce ourselves, then consult S.
+                    self.state = PollState::WriteRegDone;
+                    Step::Op(Op::Write(self.inst.w, self.me.to_word()))
+                } else {
+                    // Later Polls: read our local flag.
+                    self.state = PollState::ReturnLast;
+                    Step::Op(Op::Read(self.inst.v.at(self.me.index())))
+                }
+            }
+            PollState::WriteRegDone => {
+                self.state = PollState::ReadS;
+                Step::Op(Op::Write(self.inst.reg.at(self.me.index()), 1))
+            }
+            PollState::ReadS => {
+                self.state = PollState::ReturnLast;
+                Step::Op(Op::Read(self.inst.s))
+            }
+            PollState::ReturnLast => Step::Return(last.expect("flag value")),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, RoundRobin, SeededRandom};
+
+    fn one_waiter_roles(n: usize, waiter: usize, signaler: usize) -> Vec<Role> {
+        (0..n)
+            .map(|i| {
+                if i == waiter {
+                    Role::waiter()
+                } else if i == signaler {
+                    Role::signaler()
+                } else {
+                    Role::Bystander
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spec_holds_under_random_schedules_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..40 {
+                let scenario = Scenario {
+                    algorithm: &SingleWaiter,
+                    roles: one_waiter_roles(6, 4, 1),
+                    model,
+                };
+                let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+                assert!(out.completed, "{model:?} seed {seed}");
+                assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rmrs_per_process_in_dsm() {
+        // The §7 claim: O(1) RMR worst case in DSM, matching CC — make the
+        // waiter poll many times before the signal arrives.
+        let scenario = Scenario {
+            algorithm: &SingleWaiter,
+            roles: one_waiter_roles(4, 0, 3),
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        // Waiter polls ~50 times solo.
+        for _ in 0..250 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+        // Waiter: first poll costs 2 RMRs (W, S); later polls are local.
+        assert!(sim.proc_stats(ProcId(0)).rmrs <= 2, "waiter: {}", sim.proc_stats(ProcId(0)).rmrs);
+        // Signaler: at most 3 RMRs (S, W, V[w]).
+        assert!(sim.proc_stats(ProcId(3)).rmrs <= 3, "signaler: {}", sim.proc_stats(ProcId(3)).rmrs);
+    }
+
+    #[test]
+    fn waiter_gives_up_then_signal_touches_nobody_harmful() {
+        // Waiter terminates unsuccessfully; signaler still completes.
+        let scenario = Scenario {
+            algorithm: &SingleWaiter,
+            roles: vec![Role::Waiter { max_polls: Some(2) }, Role::signaler()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        while sim.is_runnable(ProcId(0)) {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+
+    #[test]
+    fn signal_before_any_poll_returns_quickly() {
+        let scenario = Scenario {
+            algorithm: &SingleWaiter,
+            roles: vec![Role::waiter(), Role::signaler()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = shm_sim::Simulator::new(&spec);
+        // Signaler runs first: W is NIL, so Signal does S write + W read only.
+        while sim.is_runnable(ProcId(1)) {
+            let _ = sim.step(ProcId(1));
+        }
+        assert_eq!(sim.proc_stats(ProcId(1)).accesses, 2);
+        // Waiter's first poll then reads S = 1: true on the very first poll.
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000));
+        let polls: Vec<_> = sim
+            .history()
+            .calls()
+            .iter()
+            .filter(|c| c.kind == crate::kinds::POLL)
+            .map(|c| c.return_value.unwrap())
+            .collect();
+        assert_eq!(polls, vec![1]);
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+}

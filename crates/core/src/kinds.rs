@@ -1,0 +1,10 @@
+//! Call-kind constants for the signaling problem's procedures.
+
+use shm_sim::CallKind;
+
+/// A `Signal()` call.
+pub const SIGNAL: CallKind = CallKind(100);
+/// A `Poll()` call (returns 1 = true, 0 = false).
+pub const POLL: CallKind = CallKind(101);
+/// A `Wait()` call (returns only after some `Signal()` has begun).
+pub const WAIT: CallKind = CallKind(102);

@@ -1,0 +1,53 @@
+//! # signaling: the paper's synchronization problem, executable
+//!
+//! The *signaling problem* (Golab, PODC 2011, §4): **signalers** must make
+//! **waiters** aware that an event has occurred. With *polling semantics* a
+//! solution provides `Signal()` and `Poll()`; with *blocking semantics*,
+//! `Signal()` and `Wait()`. The safety contract is Specification 4.1:
+//!
+//! 1. if some call to `Poll()` returns true, then some call to `Signal()`
+//!    has already begun;
+//! 2. if some call to `Poll()` returns false, then no call to `Signal()`
+//!    completed before this call to `Poll()` began.
+//!
+//! This crate provides:
+//!
+//! * the problem interface ([`SignalingAlgorithm`], [`AlgorithmInstance`])
+//!   and call-kind constants ([`kinds`]);
+//! * a history checker for Specification 4.1 and for blocking semantics
+//!   ([`spec`]);
+//! * the paper's algorithms ([`algorithms`]):
+//!   - [`algorithms::CcFlag`] — the §5 CC upper bound (single Boolean;
+//!     wait-free, O(1) RMRs per process in CC, reads/writes only) — and the
+//!     negative control whose DSM cost the §6 adversary explodes;
+//!   - [`algorithms::SingleWaiter`] — §7, one waiter not fixed in advance
+//!     (O(1) RMRs per process in both models);
+//!   - [`algorithms::FixedWaiters`] — §7, waiter set fixed in advance
+//!     (eager: O(W) worst-case signaler; awaiting: terminating with O(1)
+//!     amortized);
+//!   - [`algorithms::FixedSignaler`] — §7, waiters unknown but the signaler
+//!     fixed in advance (registration in the signaler's module);
+//!   - [`algorithms::QueueSignaling`] — §7, nobody fixed in advance, using
+//!     Fetch-And-Add: the primitive upgrade that closes the CC/DSM gap;
+//!   - [`algorithms::Broadcast`] — the natural *correct* read/write attempt
+//!     (write every local flag), the canonical victim of the §6 bound;
+//!   - [`algorithms::CasList`] — CAS-scan registration, the Corollary 6.14
+//!     subject (comparison primitives buy nothing);
+//! * a scenario harness ([`scenario`]) that assembles waiter/signaler
+//!   populations, runs them under any scheduler and cost model, measures
+//!   RMRs, and checks the specification.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithm;
+pub mod algorithms;
+pub mod kinds;
+pub mod progress;
+pub mod scenario;
+pub mod spec;
+
+pub use algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+pub use scenario::{run_scenario, Role, RunOutcome, Scenario};
+pub use progress::{call_steps, max_accesses_per_call, worst_poll, worst_signal, CallSteps};
+pub use spec::{check_blocking, check_polling, SpecViolation};

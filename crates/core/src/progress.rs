@@ -1,0 +1,153 @@
+//! Progress properties (§2), measurable.
+//!
+//! The paper distinguishes **wait-free** algorithms (an upper bound B on
+//! the steps any procedure call takes, in *every* history) from
+//! **terminating** ones (calls complete in fair crash-free histories, but
+//! may busy-wait). Wait-freedom matters to the results: the §5 algorithm
+//! is wait-free; the lower bound holds "even for terminating solutions"
+//! (weakening 4 of the conclusion); and the Corollary 6.14 transformation
+//! necessarily destroys wait-freedom.
+//!
+//! Wait-freedom is a ∀-histories property, so a measurement over one
+//! history can only *refute* it or report a witness bound; the tests
+//! combine this with adversarial schedules (a waiter parked for k steps
+//! during a call shows the call taking ≥ k steps, refuting any bound < k).
+
+use crate::kinds;
+use shm_sim::{CallKind, Event, History, ProcId};
+use std::collections::BTreeMap;
+
+/// Per-call step accounting for one history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallSteps {
+    /// Memory accesses performed within the call (including for pending
+    /// calls: accesses so far).
+    pub accesses: u64,
+    /// Whether the call completed.
+    pub completed: bool,
+}
+
+/// Counts memory accesses inside every procedure call of `kind` (all kinds
+/// when `kind` is `None`), including pending calls — the paper's
+/// wait-freedom clause covers "partially or fully completed" calls.
+#[must_use]
+pub fn call_steps(history: &History, kind: Option<CallKind>) -> Vec<(ProcId, CallSteps)> {
+    let mut out: Vec<(ProcId, CallSteps)> = Vec::new();
+    let mut open: BTreeMap<ProcId, usize> = BTreeMap::new();
+    for e in history.events() {
+        match *e {
+            Event::Invoke { pid, kind: k, .. }
+                if kind.is_none_or(|want| want == k) => {
+                    open.insert(pid, out.len());
+                    out.push((pid, CallSteps::default()));
+                }
+            Event::Return { pid, kind: k, .. }
+                if kind.is_none_or(|want| want == k) => {
+                    if let Some(idx) = open.remove(&pid) {
+                        out[idx].1.completed = true;
+                    }
+                }
+            Event::Access { pid, .. } => {
+                if let Some(&idx) = open.get(&pid) {
+                    out[idx].1.accesses += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The largest number of accesses any single call of `kind` performed —
+/// a witness bound for wait-freedom claims, or a refutation of one.
+#[must_use]
+pub fn max_accesses_per_call(history: &History, kind: Option<CallKind>) -> u64 {
+    call_steps(history, kind).iter().map(|(_, s)| s.accesses).max().unwrap_or(0)
+}
+
+/// Convenience: the worst `Poll()` cost in the history.
+#[must_use]
+pub fn worst_poll(history: &History) -> u64 {
+    max_accesses_per_call(history, Some(kinds::POLL))
+}
+
+/// Convenience: the worst `Signal()` cost in the history.
+#[must_use]
+pub fn worst_signal(history: &History) -> u64 {
+    max_accesses_per_call(history, Some(kinds::SIGNAL))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{CcFlag, FixedWaiters, QueueSignaling};
+    use crate::scenario::{Role, Scenario};
+    use shm_sim::{CostModel, ProcId, RoundRobin, SeededRandom, Simulator};
+
+    #[test]
+    fn cc_flag_is_wait_free_with_bound_one() {
+        // Every Poll is exactly one access, every Signal exactly one,
+        // under arbitrary schedules.
+        for seed in 0..20 {
+            let mut roles = vec![Role::waiter(); 4];
+            roles.push(Role::signaler());
+            let scenario =
+                Scenario { algorithm: &CcFlag, roles, model: CostModel::Dsm };
+            let out = crate::scenario::run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+            assert!(out.completed);
+            assert_eq!(worst_poll(out.sim.history()), 1);
+            assert_eq!(worst_signal(out.sim.history()), 1);
+        }
+    }
+
+    #[test]
+    fn queue_polls_are_wait_free_signal_is_bounded_by_population() {
+        let mut roles = vec![Role::waiter(); 8];
+        roles.push(Role::signaler());
+        let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+        let out = crate::scenario::run_scenario(&scenario, &mut SeededRandom::new(7), 1_000_000);
+        assert!(out.completed);
+        assert!(worst_poll(out.sim.history()) <= 5, "reg read + FAA + slot + reg write + G read");
+        // Signal scans at most the whole population: 2 + 2*8.
+        assert!(worst_signal(out.sim.history()) <= 18);
+    }
+
+    #[test]
+    fn awaiting_signal_is_not_wait_free() {
+        // The terminating (awaiting) fixed-waiters variant busy-waits inside
+        // Signal(): park the signaler against absent waiters and watch the
+        // call's step count grow beyond any proposed bound.
+        let waiters: Vec<ProcId> = vec![ProcId(0), ProcId(1)];
+        let algo = FixedWaiters::awaiting(waiters, ProcId(2));
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: vec![Role::waiter(), Role::waiter(), Role::signaler()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        for _ in 0..500 {
+            let _ = sim.step(ProcId(2)); // signaler spins on participation
+        }
+        let pending_signal = max_accesses_per_call(sim.history(), Some(crate::kinds::SIGNAL));
+        assert!(pending_signal > 400, "got {pending_signal}");
+        // It is terminating, though: with the waiters scheduled it finishes.
+        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
+    }
+
+    #[test]
+    fn pending_calls_are_counted() {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::waiter()],
+            model: CostModel::Dsm,
+        };
+        let spec = scenario.build();
+        let mut sim = Simulator::new(&spec);
+        let _ = sim.step(ProcId(0)); // invoke + read: call pending
+        let steps = call_steps(sim.history(), Some(crate::kinds::POLL));
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].1, CallSteps { accesses: 1, completed: false });
+    }
+}

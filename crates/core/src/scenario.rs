@@ -1,0 +1,212 @@
+//! Scenario harness: assemble a waiter/signaler population, run it, check it.
+//!
+//! A [`Scenario`] assigns a [`Role`] to each process, builds a
+//! [`SimSpec`] from a [`SignalingAlgorithm`], and [`run_scenario`] executes
+//! it under any scheduler and cost model, returning the simulator together
+//! with the results of the safety checks. This is the measurement frontend
+//! used by the examples, the integration tests, and every experiment binary.
+
+use crate::algorithm::SignalingAlgorithm;
+use crate::kinds;
+use crate::spec::{check_blocking, check_polling, SpecViolation};
+use shm_sim::{
+    CallSource, Chain, CostModel, Idle, MemLayout, RepeatUntil, Scheduler, Script, ScriptedCall, SimSpec, Simulator,
+};
+use std::sync::Arc;
+
+/// What a process does in a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Calls `Poll()` until it returns true; with `max_polls`, gives up and
+    /// terminates after that many unsuccessful polls — the §4 variation the
+    /// lower bound exploits ("waiters can terminate after a finite number of
+    /// calls to `Poll()` even if no such call returned true").
+    Waiter {
+        /// Give-up bound; `None` polls until success (requires a signal to
+        /// terminate).
+        max_polls: Option<u64>,
+    },
+    /// Calls `Wait()` once (blocking semantics). If the algorithm has no
+    /// native `Wait()`, this synthesizes it as `Poll()` until true — the
+    /// generic reduction of §7.
+    BlockingWaiter,
+    /// Optionally polls a few times, then calls `Signal()` once, then
+    /// terminates.
+    Signaler {
+        /// Unsuccessful `Poll()` calls to make before signaling (0 = signal
+        /// immediately when first scheduled).
+        polls_first: u64,
+    },
+    /// Takes no steps (a processor with no process, or a process that never
+    /// participates).
+    Bystander,
+}
+
+impl Role {
+    /// A plain waiter that polls until success.
+    #[must_use]
+    pub fn waiter() -> Role {
+        Role::Waiter { max_polls: None }
+    }
+
+    /// A signaler that signals as soon as it is scheduled.
+    #[must_use]
+    pub fn signaler() -> Role {
+        Role::Signaler { polls_first: 0 }
+    }
+}
+
+/// A population of processes with roles, bound to an algorithm and a model.
+pub struct Scenario<'a> {
+    /// The algorithm under test.
+    pub algorithm: &'a dyn SignalingAlgorithm,
+    /// Role of each process; `roles.len()` is the number of processes.
+    pub roles: Vec<Role>,
+    /// Cost model to price accesses under.
+    pub model: CostModel,
+}
+
+impl Scenario<'_> {
+    /// Builds the executable spec: allocates shared memory and wires one
+    /// call source per process according to its role.
+    #[must_use]
+    pub fn build(&self) -> SimSpec {
+        let n = self.roles.len();
+        let mut layout = MemLayout::new();
+        let inst = self.algorithm.instantiate(&mut layout, n);
+        let sources = self
+            .roles
+            .iter()
+            .enumerate()
+            .map(|(i, role)| {
+                let pid = shm_sim::ProcId(i as u32);
+                let poll = {
+                    let inst = Arc::clone(&inst);
+                    ScriptedCall::new(kinds::POLL, "Poll", Arc::new(move || inst.poll_call(pid)))
+                };
+                let signal = {
+                    let inst = Arc::clone(&inst);
+                    ScriptedCall::new(kinds::SIGNAL, "Signal", Arc::new(move || inst.signal_call(pid)))
+                };
+                match *role {
+                    Role::Waiter { max_polls } => match max_polls {
+                        None => Box::new(RepeatUntil::new(poll, 1)) as Box<dyn CallSource>,
+                        Some(m) => Box::new(RepeatUntil::with_max_calls(poll, 1, m)),
+                    },
+                    Role::BlockingWaiter => {
+                        if inst.wait_call(pid).is_some() {
+                            let inst = Arc::clone(&inst);
+                            let wait = ScriptedCall::new(
+                                kinds::WAIT,
+                                "Wait",
+                                Arc::new(move || inst.wait_call(pid).expect("native Wait")),
+                            );
+                            Box::new(Script::new(vec![wait])) as Box<dyn CallSource>
+                        } else {
+                            // §7's reduction: Wait() = Poll() until true.
+                            Box::new(RepeatUntil::new(poll, 1))
+                        }
+                    }
+                    Role::Signaler { polls_first } => {
+                        let sig = Script::new(vec![signal]);
+                        if polls_first == 0 {
+                            Box::new(sig) as Box<dyn CallSource>
+                        } else {
+                            let pre = RepeatUntil::with_max_calls(poll, 1, polls_first);
+                            Box::new(Chain::new(Box::new(pre), Box::new(sig)))
+                        }
+                    }
+                    Role::Bystander => Box::new(Idle),
+                }
+            })
+            .collect();
+        SimSpec { layout, sources, model: self.model }
+    }
+}
+
+/// The result of running a scenario: the finished simulator plus the safety
+/// verdicts of both semantics' checkers.
+pub struct RunOutcome {
+    /// The simulator after the run (history, stats, memory).
+    pub sim: Simulator,
+    /// Whether the run completed (all processes terminated within budget).
+    pub completed: bool,
+    /// Specification 4.1 verdict.
+    pub polling_spec: Result<(), SpecViolation>,
+    /// Blocking-semantics verdict.
+    pub blocking_spec: Result<(), SpecViolation>,
+}
+
+/// Builds and runs a scenario under `sched` for at most `max_steps` steps,
+/// then checks both safety specifications on the resulting history.
+pub fn run_scenario(scenario: &Scenario<'_>, sched: &mut dyn Scheduler, max_steps: u64) -> RunOutcome {
+    let spec = scenario.build();
+    let mut sim = Simulator::new(&spec);
+    let completed = shm_sim::run_to_completion(&mut sim, sched, max_steps);
+    let polling_spec = check_polling(sim.history());
+    let blocking_spec = check_blocking(sim.history());
+    RunOutcome { sim, completed, polling_spec, blocking_spec }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::CcFlag;
+    use shm_sim::{ProcId, RoundRobin, SeededRandom};
+
+    #[test]
+    fn waiters_and_signaler_complete_and_satisfy_spec() {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::waiter(), Role::waiter(), Role::signaler()],
+            model: CostModel::cc_default(),
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 100_000);
+        assert!(out.completed);
+        assert_eq!(out.polling_spec, Ok(()));
+        assert_eq!(out.blocking_spec, Ok(()));
+    }
+
+    #[test]
+    fn give_up_waiters_terminate_without_signal() {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::Waiter { max_polls: Some(5) }, Role::Bystander],
+            model: CostModel::Dsm,
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 100_000);
+        assert!(out.completed);
+        assert_eq!(out.polling_spec, Ok(()));
+        assert_eq!(out.sim.proc_stats(ProcId(0)).calls_completed, 5);
+        assert_eq!(out.sim.proc_stats(ProcId(1)).steps, 1, "bystander only terminates");
+    }
+
+    #[test]
+    fn signaler_with_pre_polls() {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::waiter(), Role::Signaler { polls_first: 3 }],
+            model: CostModel::cc_default(),
+        };
+        let out = run_scenario(&scenario, &mut SeededRandom::new(5), 100_000);
+        assert!(out.completed);
+        assert_eq!(out.polling_spec, Ok(()));
+        let sig_calls = out.sim.proc_stats(ProcId(1)).calls_completed;
+        assert_eq!(sig_calls, 4, "3 polls + 1 signal");
+    }
+
+    #[test]
+    fn blocking_waiter_uses_native_wait_when_available() {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::BlockingWaiter, Role::signaler()],
+            model: CostModel::cc_default(),
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 100_000);
+        assert!(out.completed);
+        assert_eq!(out.blocking_spec, Ok(()));
+        // Native Wait appears as a WAIT call in the history.
+        let kinds_seen: Vec<_> = out.sim.history().calls().iter().map(|c| c.kind).collect();
+        assert!(kinds_seen.contains(&crate::kinds::WAIT));
+    }
+}

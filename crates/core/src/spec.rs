@@ -1,0 +1,274 @@
+//! History checkers for the signaling problem's safety properties.
+//!
+//! [`check_polling`] verifies Specification 4.1 of the paper; [`check_blocking`]
+//! verifies the blocking-semantics contract ("`Wait()` returns only after some
+//! call to `Signal()` has begun").
+//!
+//! Both checkers work on the simulator's typed [`History`] and judge only
+//! *completed* calls, so histories with crashes or pending calls are checked
+//! on their completed prefix — matching the paper's definitions, which
+//! constrain return values only.
+
+use crate::kinds;
+use shm_sim::{CallRecord, History, ProcId};
+
+/// A violation of the signaling problem's safety properties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecViolation {
+    /// A `Poll()` returned true although no `Signal()` had begun by the time
+    /// the poll returned.
+    TrueWithoutSignalBegun {
+        /// The polling process.
+        pid: ProcId,
+        /// History index of the poll's return event.
+        poll_returned_at: usize,
+    },
+    /// A `Poll()` returned false although some `Signal()` had completed
+    /// before the poll began.
+    FalseAfterSignalCompleted {
+        /// The polling process.
+        pid: ProcId,
+        /// History index of the poll's invoke event.
+        poll_invoked_at: usize,
+        /// History index of the completed signal's return event.
+        signal_returned_at: usize,
+    },
+    /// A `Wait()` returned although no `Signal()` had begun by the time it
+    /// returned.
+    WaitWithoutSignalBegun {
+        /// The waiting process.
+        pid: ProcId,
+        /// History index of the wait's return event.
+        wait_returned_at: usize,
+    },
+    /// A `Poll()` or `Wait()` returned a word other than 0/1 (polls) — an
+    /// interface error rather than a safety error, but worth flagging.
+    MalformedReturn {
+        /// The offending process.
+        pid: ProcId,
+        /// The malformed word.
+        value: shm_sim::Word,
+    },
+}
+
+fn signal_calls(calls: &[CallRecord]) -> (Option<usize>, Option<usize>) {
+    // (earliest Signal invoke index, earliest Signal return index)
+    let mut first_begin = None;
+    let mut first_complete = None;
+    for c in calls.iter().filter(|c| c.kind == kinds::SIGNAL) {
+        first_begin = Some(first_begin.map_or(c.invoked_at, |b: usize| b.min(c.invoked_at)));
+        if let Some(r) = c.returned_at {
+            first_complete = Some(first_complete.map_or(r, |b: usize| b.min(r)));
+        }
+    }
+    (first_begin, first_complete)
+}
+
+/// Checks Specification 4.1 over a history.
+///
+/// # Errors
+///
+/// Returns the first violation found, scanning calls in invocation order.
+pub fn check_polling(history: &History) -> Result<(), SpecViolation> {
+    let calls = history.calls();
+    let (first_signal_begin, first_signal_complete) = signal_calls(&calls);
+    for c in calls.iter().filter(|c| c.kind == kinds::POLL) {
+        let Some(returned_at) = c.returned_at else { continue };
+        match c.return_value {
+            Some(1) => {
+                // Some Signal must have begun before this poll returned.
+                let begun = first_signal_begin.is_some_and(|b| b < returned_at);
+                if !begun {
+                    return Err(SpecViolation::TrueWithoutSignalBegun {
+                        pid: c.pid,
+                        poll_returned_at: returned_at,
+                    });
+                }
+            }
+            Some(0) => {
+                // No Signal may have completed before this poll began.
+                if let Some(sig_ret) = first_signal_complete {
+                    if sig_ret < c.invoked_at {
+                        return Err(SpecViolation::FalseAfterSignalCompleted {
+                            pid: c.pid,
+                            poll_invoked_at: c.invoked_at,
+                            signal_returned_at: sig_ret,
+                        });
+                    }
+                }
+            }
+            Some(v) => return Err(SpecViolation::MalformedReturn { pid: c.pid, value: v }),
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+/// Checks the blocking-semantics contract over a history: every completed
+/// `Wait()` returned after some `Signal()` began.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_blocking(history: &History) -> Result<(), SpecViolation> {
+    let calls = history.calls();
+    let (first_signal_begin, _) = signal_calls(&calls);
+    for c in calls.iter().filter(|c| c.kind == kinds::WAIT) {
+        let Some(returned_at) = c.returned_at else { continue };
+        let begun = first_signal_begin.is_some_and(|b| b < returned_at);
+        if !begun {
+            return Err(SpecViolation::WaitWithoutSignalBegun {
+                pid: c.pid,
+                wait_returned_at: returned_at,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    mod spec_sim_tests {
+        use crate::kinds;
+        use crate::spec::{check_blocking, check_polling, SpecViolation};
+        use shm_sim::*;
+        use std::sync::Arc;
+
+        /// Builds a history by scripting explicit call sequences on a
+        /// scratch simulator; each call returns a constant.
+        fn scripted_history(script: &[(u32, CallKind, Word)]) -> History {
+            // One process per script entry owner; each entry is one call
+            // that returns `w` after a single read of a scratch cell.
+            let mut layout = MemLayout::new();
+            let scratch = layout.alloc_global(0);
+            let n = script.iter().map(|&(p, _, _)| p + 1).max().unwrap_or(1) as usize;
+            let mut per_proc: Vec<Vec<ScriptedCall>> = vec![Vec::new(); n];
+            for &(p, kind, w) in script {
+                per_proc[p as usize].push(ScriptedCall::new(
+                    kind,
+                    "scripted",
+                    Arc::new(move || {
+                        Box::new(ReturnAfterRead { scratch, value: w, read_done: false })
+                    }),
+                ));
+            }
+            let sources = per_proc
+                .into_iter()
+                .map(|calls| Box::new(Script::new(calls)) as Box<dyn CallSource>)
+                .collect();
+            let spec = SimSpec { layout, sources, model: CostModel::Dsm };
+            let mut sim = Simulator::new(&spec);
+            // Execute the scripted calls in the order given: each entry is
+            // run to completion before the next starts (sequential history).
+            for &(p, _, _) in script {
+                let pid = ProcId(p);
+                let _ = sim.step(pid); // invoke + read
+                let _ = sim.step(pid); // return
+            }
+            sim.history().clone()
+        }
+
+        #[derive(Clone)]
+        struct ReturnAfterRead {
+            scratch: Addr,
+            value: Word,
+            read_done: bool,
+        }
+        impl ProcedureCall for ReturnAfterRead {
+            fn step(&mut self, _last: Option<Word>) -> Step {
+                if self.read_done {
+                    Step::Return(self.value)
+                } else {
+                    self.read_done = true;
+                    Step::Op(Op::Read(self.scratch))
+                }
+            }
+            fn clone_call(&self) -> Box<dyn ProcedureCall> {
+                Box::new(self.clone())
+            }
+        }
+
+        #[test]
+        fn empty_history_is_fine() {
+            let h = scripted_history(&[]);
+            assert_eq!(check_polling(&h), Ok(()));
+            assert_eq!(check_blocking(&h), Ok(()));
+        }
+
+        #[test]
+        fn poll_false_before_signal_is_fine() {
+            let h = scripted_history(&[(0, kinds::POLL, 0), (1, kinds::SIGNAL, 0)]);
+            assert_eq!(check_polling(&h), Ok(()));
+        }
+
+        #[test]
+        fn poll_true_after_signal_is_fine() {
+            let h = scripted_history(&[(1, kinds::SIGNAL, 0), (0, kinds::POLL, 1)]);
+            assert_eq!(check_polling(&h), Ok(()));
+        }
+
+        #[test]
+        fn poll_true_without_signal_is_violation() {
+            let h = scripted_history(&[(0, kinds::POLL, 1)]);
+            assert!(matches!(
+                check_polling(&h),
+                Err(SpecViolation::TrueWithoutSignalBegun { pid: ProcId(0), .. })
+            ));
+        }
+
+        #[test]
+        fn poll_false_after_completed_signal_is_violation() {
+            let h = scripted_history(&[(1, kinds::SIGNAL, 0), (0, kinds::POLL, 0)]);
+            assert!(matches!(
+                check_polling(&h),
+                Err(SpecViolation::FalseAfterSignalCompleted { pid: ProcId(0), .. })
+            ));
+        }
+
+        #[test]
+        fn malformed_poll_return_is_flagged() {
+            let h = scripted_history(&[(1, kinds::SIGNAL, 0), (0, kinds::POLL, 7)]);
+            assert!(matches!(
+                check_polling(&h),
+                Err(SpecViolation::MalformedReturn { value: 7, .. })
+            ));
+        }
+
+        #[test]
+        fn wait_after_signal_begun_is_fine() {
+            let h = scripted_history(&[(1, kinds::SIGNAL, 0), (0, kinds::WAIT, 0)]);
+            assert_eq!(check_blocking(&h), Ok(()));
+        }
+
+        #[test]
+        fn wait_without_signal_is_violation() {
+            let h = scripted_history(&[(0, kinds::WAIT, 0)]);
+            assert!(matches!(
+                check_blocking(&h),
+                Err(SpecViolation::WaitWithoutSignalBegun { pid: ProcId(0), .. })
+            ));
+        }
+
+        #[test]
+        fn pending_poll_is_not_judged() {
+            // A poll that never returns cannot violate anything.
+            let mut layout = MemLayout::new();
+            let scratch = layout.alloc_global(0);
+            let poller = Script::new(vec![ScriptedCall::new(
+                kinds::POLL,
+                "poll",
+                Arc::new(move || {
+                    Box::new(ReturnAfterRead { scratch, value: 1, read_done: false })
+                }),
+            )]);
+            let spec = SimSpec {
+                layout,
+                sources: vec![Box::new(poller)],
+                model: CostModel::Dsm,
+            };
+            let mut sim = Simulator::new(&spec);
+            let _ = sim.step(ProcId(0)); // invoke + read, no return yet
+            assert_eq!(check_polling(sim.history()), Ok(()));
+        }
+    }
+}

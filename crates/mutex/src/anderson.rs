@@ -1,0 +1,207 @@
+//! Anderson's array-based queue lock (Fetch-And-Increment).
+//!
+//! Each arriving process takes a ticket with FAI and spins on the array
+//! slot `ticket mod n`; the releaser clears its own slot and sets the next.
+//! In the **CC model** each spinner caches its slot, so a passage costs
+//! O(1) RMRs — the classic result of Anderson \[4\] that motivated RMR
+//! counting. In the **DSM model** the slots are not local to their
+//! spinners, so the spin is remote: Anderson's lock is the canonical
+//! example of a lock that is local-spin in CC only (the asymmetry §1
+//! describes: "such techniques are specific to a shared memory model").
+//!
+//! Because `acquire` and `release` are separate procedure calls, the
+//! claimed slot is parked in a per-process *local* cell between them (an
+//! algorithmic register in the process's own module, free to access).
+
+use crate::lock::{MutexAlgorithm, MutexInstance};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use std::sync::Arc;
+
+/// Anderson's array lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AndersonLock;
+
+#[derive(Clone, Debug)]
+struct Inst {
+    ticket: Addr,
+    /// `flags[i] == 1` means the holder of ticket `i (mod n)` may enter.
+    /// Allocated cell by cell so that slot 0 can start enabled.
+    flags: Vec<Addr>,
+    /// Per-process cell remembering the slot of the passage in progress.
+    my_slot: AddrRange,
+}
+
+impl MutexAlgorithm for AndersonLock {
+    fn name(&self) -> &'static str {
+        "anderson"
+    }
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn MutexInstance> {
+        let n = n.max(1);
+        let ticket = layout.alloc_global(0);
+        let flags = (0..n)
+            .map(|i| layout.alloc_global(u64::from(i == 0)))
+            .collect();
+        let my_slot = layout.alloc_per_process_array(n, 0);
+        Arc::new(Inst { ticket, flags, my_slot })
+    }
+}
+
+impl MutexInstance for Inst {
+    fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Acquire { inst: self.clone(), me: pid, state: AcqState::TakeTicket, slot: 0 })
+    }
+    fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Release { inst: self.clone(), me: pid, state: RelState::ReadSlot, slot: 0 })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AcqState {
+    TakeTicket,
+    StoreSlot,
+    Spin,
+    SpinDecide,
+    ConsumedBaton,
+}
+
+#[derive(Clone, Debug)]
+struct Acquire {
+    inst: Inst,
+    me: ProcId,
+    state: AcqState,
+    slot: usize,
+}
+
+impl ProcedureCall for Acquire {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            AcqState::TakeTicket => {
+                self.state = AcqState::StoreSlot;
+                Step::Op(Op::Faa(self.inst.ticket, 1))
+            }
+            AcqState::StoreSlot => {
+                let ticket = last.expect("FAI result");
+                self.slot = (ticket % self.inst.flags.len() as Word) as usize;
+                self.state = AcqState::Spin;
+                Step::Op(Op::Write(self.inst.my_slot.at(self.me.index()), self.slot as Word))
+            }
+            AcqState::Spin => {
+                self.state = AcqState::SpinDecide;
+                Step::Op(Op::Read(self.inst.flags[self.slot]))
+            }
+            AcqState::SpinDecide => {
+                if last.expect("flag value") == 1 {
+                    // Consume the baton immediately so a wrapped-around
+                    // ticket sharing this slot cannot enter concurrently.
+                    self.state = AcqState::ConsumedBaton;
+                    Step::Op(Op::Write(self.inst.flags[self.slot], 0))
+                } else {
+                    Step::Op(Op::Read(self.inst.flags[self.slot]))
+                }
+            }
+            AcqState::ConsumedBaton => Step::Return(0),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RelState {
+    ReadSlot,
+    EnableNext,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Release {
+    inst: Inst,
+    me: ProcId,
+    state: RelState,
+    slot: usize,
+}
+
+impl ProcedureCall for Release {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            RelState::ReadSlot => {
+                self.state = RelState::EnableNext;
+                Step::Op(Op::Read(self.inst.my_slot.at(self.me.index())))
+            }
+            RelState::EnableNext => {
+                self.slot = last.expect("slot value") as usize;
+                self.state = RelState::Done;
+                let next = (self.slot + 1) % self.inst.flags.len();
+                Step::Op(Op::Write(self.inst.flags[next], 1))
+            }
+            RelState::Done => Step::Return(0),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_lock_workload, LockWorkloadConfig};
+    use shm_sim::CostModel;
+
+    #[test]
+    fn anderson_lock_provides_mutual_exclusion() {
+        for seed in 0..20 {
+            let r = run_lock_workload(
+                &AndersonLock,
+                &LockWorkloadConfig { n: 5, cycles: 3, seed, model: CostModel::Dsm },
+            );
+            assert_eq!(r.violations, Vec::new(), "seed {seed}");
+            assert!(r.completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ticket_wraparound_reuses_slots_safely() {
+        // More passages than slots: tickets wrap around the n-slot array.
+        let r = run_lock_workload(
+            &AndersonLock,
+            &LockWorkloadConfig { n: 3, cycles: 10, seed: 1, model: CostModel::Dsm },
+        );
+        assert_eq!(r.violations, Vec::new());
+        assert!(r.completed);
+        assert_eq!(r.passages, 30);
+    }
+
+    #[test]
+    fn anderson_is_constant_rmr_in_cc_under_contention() {
+        let r = run_lock_workload(
+            &AndersonLock,
+            &LockWorkloadConfig { n: 8, cycles: 4, seed: 7, model: CostModel::cc_default() },
+        );
+        assert!(r.completed);
+        assert!(
+            r.rmrs_per_passage() <= 10.0,
+            "CC passages should be O(1): {}",
+            r.rmrs_per_passage()
+        );
+    }
+
+    #[test]
+    fn anderson_spins_remotely_in_dsm() {
+        let cc = run_lock_workload(
+            &AndersonLock,
+            &LockWorkloadConfig { n: 8, cycles: 4, seed: 7, model: CostModel::cc_default() },
+        );
+        let dsm = run_lock_workload(
+            &AndersonLock,
+            &LockWorkloadConfig { n: 8, cycles: 4, seed: 7, model: CostModel::Dsm },
+        );
+        assert!(
+            dsm.rmrs_per_passage() > 2.0 * cc.rmrs_per_passage(),
+            "DSM {} vs CC {}",
+            dsm.rmrs_per_passage(),
+            cc.rmrs_per_passage()
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Lock workload harness: contended acquire/CS/release cycles with
+//! mutual-exclusion checking and RMR measurement.
+
+use crate::lock::{kinds, MutexAlgorithm};
+use shm_sim::{
+    run_to_completion, CallSource, CostModel, MemLayout, Op, OpSequence, ProcId, Script, ScriptedCall, SeededRandom,
+    SimSpec, Simulator, Totals,
+};
+use std::sync::Arc;
+
+/// Workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LockWorkloadConfig {
+    /// Number of contending processes.
+    pub n: usize,
+    /// Passages (acquire/CS/release cycles) per process.
+    pub cycles: u64,
+    /// Seed for the random scheduler.
+    pub seed: u64,
+    /// Cost model.
+    pub model: CostModel,
+}
+
+/// A mutual-exclusion violation: two overlapping critical sections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutexViolation {
+    /// First process and its critical-section event range.
+    pub a: (ProcId, usize, usize),
+    /// Second process and its critical-section event range.
+    pub b: (ProcId, usize, usize),
+}
+
+/// Result of one workload run.
+#[derive(Clone, Debug)]
+pub struct LockWorkloadResult {
+    /// Whether all processes completed all cycles within the step budget.
+    pub completed: bool,
+    /// Overlapping critical sections found (must be empty).
+    pub violations: Vec<MutexViolation>,
+    /// Aggregate costs.
+    pub totals: Totals,
+    /// Completed passages (critical sections executed).
+    pub passages: u64,
+    /// The finished simulator, for deeper inspection.
+    pub sim: Simulator,
+}
+
+impl LockWorkloadResult {
+    /// Average RMRs per passage — the quantity the classical lock papers
+    /// report and §3's bounds constrain.
+    #[must_use]
+    pub fn rmrs_per_passage(&self) -> f64 {
+        if self.passages == 0 {
+            0.0
+        } else {
+            self.totals.rmrs as f64 / self.passages as f64
+        }
+    }
+}
+
+/// Finds overlapping critical sections in a history.
+///
+/// A critical section is the span of a [`kinds::CRITICAL`] call (invoke to
+/// return). Spans of different processes must be disjoint.
+#[must_use]
+pub fn check_mutual_exclusion(history: &shm_sim::History) -> Vec<MutexViolation> {
+    let mut spans: Vec<(ProcId, usize, usize)> = history
+        .calls()
+        .iter()
+        .filter(|c| c.kind == kinds::CRITICAL && c.is_complete())
+        .map(|c| (c.pid, c.invoked_at, c.returned_at.expect("complete")))
+        .collect();
+    spans.sort_by_key(|&(_, start, _)| start);
+    let mut violations = Vec::new();
+    // Sweep: remember the span reaching furthest right; any later span
+    // starting before that end overlaps it.
+    let mut furthest: Option<(ProcId, usize, usize)> = None;
+    for &(pid, start, end) in &spans {
+        if let Some((fp, fs, fe)) = furthest {
+            if start < fe && pid != fp {
+                violations.push(MutexViolation { a: (fp, fs, fe), b: (pid, start, end) });
+            }
+        }
+        if furthest.is_none_or(|(_, _, fe)| end > fe) {
+            furthest = Some((pid, start, end));
+        }
+    }
+    violations
+}
+
+/// Builds and runs the workload: `n` processes each perform `cycles`
+/// passages of acquire → critical section → release under a seeded random
+/// scheduler.
+pub fn run_lock_workload(algo: &dyn MutexAlgorithm, cfg: &LockWorkloadConfig) -> LockWorkloadResult {
+    let mut layout = MemLayout::new();
+    let inst = algo.instantiate(&mut layout, cfg.n);
+    let scratch = layout.alloc_global(0);
+    let sources: Vec<Box<dyn CallSource>> = (0..cfg.n)
+        .map(|i| {
+            let pid = ProcId(i as u32);
+            let mut calls = Vec::with_capacity(3 * cfg.cycles as usize);
+            for _ in 0..cfg.cycles {
+                let inst_a = Arc::clone(&inst);
+                calls.push(ScriptedCall::new(
+                    kinds::ACQUIRE,
+                    "acquire",
+                    Arc::new(move || inst_a.acquire_call(pid)),
+                ));
+                calls.push(ScriptedCall::new(
+                    kinds::CRITICAL,
+                    "critical",
+                    Arc::new(move || {
+                        Box::new(OpSequence::new(vec![
+                            Op::Read(scratch),
+                            Op::Write(scratch, pid.to_word()),
+                        ])) as Box<dyn shm_sim::ProcedureCall>
+                    }),
+                ));
+                let inst_r = Arc::clone(&inst);
+                calls.push(ScriptedCall::new(
+                    kinds::RELEASE,
+                    "release",
+                    Arc::new(move || inst_r.release_call(pid)),
+                ));
+            }
+            Box::new(Script::new(calls)) as Box<dyn CallSource>
+        })
+        .collect();
+    let spec = SimSpec { layout, sources, model: cfg.model };
+    let mut sim = Simulator::new(&spec);
+    let budget = 4_000_000 + cfg.n as u64 * cfg.cycles * 50_000;
+    let completed = run_to_completion(&mut sim, &mut SeededRandom::new(cfg.seed), budget);
+    let violations = check_mutual_exclusion(sim.history());
+    let passages = sim
+        .history()
+        .calls()
+        .iter()
+        .filter(|c| c.kind == kinds::CRITICAL && c.is_complete())
+        .count() as u64;
+    LockWorkloadResult { completed, violations, totals: sim.totals(), passages, sim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tas::TasLock;
+
+    #[test]
+    fn workload_counts_passages() {
+        let r = run_lock_workload(
+            &TasLock,
+            &LockWorkloadConfig { n: 3, cycles: 4, seed: 0, model: CostModel::Dsm },
+        );
+        assert!(r.completed);
+        assert_eq!(r.passages, 12);
+        assert!(r.rmrs_per_passage() > 0.0);
+    }
+
+    #[test]
+    fn checker_flags_overlapping_critical_sections() {
+        // A deliberately broken "lock" that lets everyone in immediately.
+        struct NoLock;
+        struct NoLockInst;
+        impl MutexAlgorithm for NoLock {
+            fn name(&self) -> &'static str {
+                "nolock"
+            }
+            fn instantiate(&self, _l: &mut MemLayout, _n: usize) -> Arc<dyn crate::lock::MutexInstance> {
+                Arc::new(NoLockInst)
+            }
+        }
+        impl crate::lock::MutexInstance for NoLockInst {
+            fn acquire_call(&self, _pid: ProcId) -> Box<dyn shm_sim::ProcedureCall> {
+                Box::new(shm_sim::ReturnConst(0))
+            }
+            fn release_call(&self, _pid: ProcId) -> Box<dyn shm_sim::ProcedureCall> {
+                Box::new(shm_sim::ReturnConst(0))
+            }
+        }
+        let mut found = false;
+        for seed in 0..20 {
+            let r = run_lock_workload(
+                &NoLock,
+                &LockWorkloadConfig { n: 4, cycles: 3, seed, model: CostModel::Dsm },
+            );
+            if !r.violations.is_empty() {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "the broken lock must produce overlapping critical sections");
+    }
+
+    #[test]
+    fn checker_ignores_same_process_adjacent_sections() {
+        let r = run_lock_workload(
+            &TasLock,
+            &LockWorkloadConfig { n: 1, cycles: 5, seed: 0, model: CostModel::Dsm },
+        );
+        assert_eq!(r.violations, Vec::new());
+    }
+}

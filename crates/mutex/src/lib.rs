@@ -1,0 +1,38 @@
+//! # shm-mutex: mutual exclusion as deterministic step machines
+//!
+//! The paper's related-work section (§3) and its practice discussion (§8)
+//! lean on the classical RMR-complexity landscape of mutual exclusion:
+//!
+//! * reads/writes (and comparison primitives): tight bound **Θ(log N)** RMRs
+//!   per passage, the *same* in CC and DSM (Yang–Anderson tournament);
+//! * with Fetch-And-Increment / Fetch-And-Store: **O(1)** RMRs per passage
+//!   (Anderson's array lock in CC, the MCS queue lock in both models);
+//! * non-local-spin locks (TAS/TTAS): **unbounded** RMRs under contention.
+//!
+//! Reproducing those numbers on the same simulator (experiment E6)
+//! establishes that our RMR accounting matches the literature the paper
+//! builds on — and shows the contrast the paper draws: for mutual
+//! exclusion, CC and DSM agree; for signaling, they separate.
+//!
+//! Locks provided: [`TasLock`], [`TtasLock`], [`AndersonLock`] (local-spin
+//! in CC only), [`McsLock`] (local-spin in both), [`TournamentLock`]
+//! (Yang–Anderson arbitration tree, reads/writes only, local-spin in both).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod anderson;
+pub mod gme;
+pub mod harness;
+pub mod lock;
+pub mod mcs;
+pub mod tas;
+pub mod tournament;
+
+pub use anderson::AndersonLock;
+pub use gme::{check_gme, run_gme_workload, GmeAlgorithm, GmeInstance, GmeViolation, GmeWorkloadConfig, GmeWorkloadResult, MutexBackedGme};
+pub use harness::{check_mutual_exclusion, run_lock_workload, LockWorkloadConfig, LockWorkloadResult, MutexViolation};
+pub use lock::{kinds, MutexAlgorithm, MutexInstance};
+pub use mcs::McsLock;
+pub use tas::{TasLock, TtasLock};
+pub use tournament::TournamentLock;

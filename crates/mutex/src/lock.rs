@@ -1,0 +1,38 @@
+//! The mutual-exclusion interface.
+
+use shm_sim::{MemLayout, ProcedureCall, ProcId};
+use std::sync::Arc;
+
+/// Call-kind constants for lock procedures.
+pub mod kinds {
+    use shm_sim::CallKind;
+    /// An `acquire()` call; its return marks critical-section entry.
+    pub const ACQUIRE: CallKind = CallKind(200);
+    /// A `release()` call; its invocation marks critical-section exit.
+    pub const RELEASE: CallKind = CallKind(201);
+    /// The critical section itself (used by the workload harness).
+    pub const CRITICAL: CallKind = CallKind(202);
+}
+
+/// A mutual-exclusion algorithm: a recipe for laying out shared variables
+/// and producing per-process acquire/release calls.
+pub trait MutexAlgorithm: Send + Sync {
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Allocates the lock's shared variables for `n` processes.
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn MutexInstance>;
+}
+
+/// A lock bound to concrete addresses.
+///
+/// Contract: a process alternates `acquire` and `release` calls, starting
+/// with `acquire`; it may not call `release` without holding the lock.
+pub trait MutexInstance: Send + Sync {
+    /// One `acquire()` call by `pid`; returns (value ignored) only when the
+    /// lock is held.
+    fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall>;
+
+    /// One `release()` call by `pid`.
+    fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall>;
+}

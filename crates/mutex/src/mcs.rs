@@ -1,0 +1,277 @@
+//! The MCS queue lock (Mellor-Crummey & Scott \[28\]).
+//!
+//! Each process owns a queue node in its **own memory module** (a `next`
+//! pointer and a `locked` flag), so waiting spins on local memory in *both*
+//! the CC and DSM models: O(1) RMRs per passage with Fetch-And-Store and
+//! CAS — the classical witness that, for mutual exclusion, the two models
+//! agree (§3's context for the paper's separation, which needs a different
+//! problem).
+//!
+//! Protocol (per passage by process `p`):
+//!
+//! ```text
+//! acquire:  next[p] := NIL; locked[p] := 1
+//!           pred := FAS(tail, p)
+//!           if pred != NIL { next[pred] := p; await locked[p] == 0 }  // local spin
+//! release:  if next[p] == NIL {
+//!               if CAS(tail, p, NIL) succeeds { return }      // no successor
+//!               await next[p] != NIL                          // local spin
+//!           }
+//!           locked[next[p]] := 0
+//! ```
+
+use crate::lock::{MutexAlgorithm, MutexInstance};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use std::sync::Arc;
+
+/// The MCS queue lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct McsLock;
+
+#[derive(Clone, Debug)]
+struct Inst {
+    tail: Addr,
+    /// `next[p]`: successor pointer, local to `p`.
+    next: AddrRange,
+    /// `locked[p]`: spin flag, local to `p` (1 = wait, 0 = go).
+    locked: AddrRange,
+}
+
+impl MutexAlgorithm for McsLock {
+    fn name(&self) -> &'static str {
+        "mcs"
+    }
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn MutexInstance> {
+        Arc::new(Inst {
+            tail: layout.alloc_global(NIL),
+            next: layout.alloc_per_process_array(n, NIL),
+            locked: layout.alloc_per_process_array(n, 0),
+        })
+    }
+}
+
+impl MutexInstance for Inst {
+    fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Acquire { inst: self.clone(), me: pid, state: AcqState::InitNext, pred: 0 })
+    }
+    fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Release { inst: self.clone(), me: pid, state: RelState::ReadNext })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AcqState {
+    InitNext,
+    InitLocked,
+    Swap,
+    CheckPred,
+    LinkPred,
+    SpinDecide,
+}
+
+#[derive(Clone, Debug)]
+struct Acquire {
+    inst: Inst,
+    me: ProcId,
+    state: AcqState,
+    pred: Word,
+}
+
+impl ProcedureCall for Acquire {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        let me = self.me.index();
+        match self.state {
+            AcqState::InitNext => {
+                self.state = AcqState::InitLocked;
+                Step::Op(Op::Write(self.inst.next.at(me), NIL))
+            }
+            AcqState::InitLocked => {
+                self.state = AcqState::Swap;
+                Step::Op(Op::Write(self.inst.locked.at(me), 1))
+            }
+            AcqState::Swap => {
+                self.state = AcqState::CheckPred;
+                Step::Op(Op::Fas(self.inst.tail, self.me.to_word()))
+            }
+            AcqState::CheckPred => {
+                self.pred = last.expect("FAS result");
+                if self.pred == NIL {
+                    Step::Return(0)
+                } else {
+                    self.state = AcqState::LinkPred;
+                    let pred = ProcId::from_word(self.pred).expect("valid pred");
+                    Step::Op(Op::Write(self.inst.next.at(pred.index()), self.me.to_word()))
+                }
+            }
+            AcqState::LinkPred => {
+                self.state = AcqState::SpinDecide;
+                Step::Op(Op::Read(self.inst.locked.at(me)))
+            }
+            AcqState::SpinDecide => {
+                if last.expect("locked value") == 0 {
+                    Step::Return(0)
+                } else {
+                    self.state = AcqState::SpinDecide;
+                    Step::Op(Op::Read(self.inst.locked.at(me)))
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RelState {
+    ReadNext,
+    DecideNext,
+    TryCas,
+    AwaitSuccessor,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Release {
+    inst: Inst,
+    me: ProcId,
+    state: RelState,
+}
+
+impl ProcedureCall for Release {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        let me = self.me.index();
+        match self.state {
+            RelState::ReadNext => {
+                self.state = RelState::DecideNext;
+                Step::Op(Op::Read(self.inst.next.at(me)))
+            }
+            RelState::DecideNext => {
+                let next = last.expect("next value");
+                if next == NIL {
+                    self.state = RelState::TryCas;
+                    Step::Op(Op::Cas(self.inst.tail, self.me.to_word(), NIL))
+                } else {
+                    self.state = RelState::Done;
+                    let succ = ProcId::from_word(next).expect("valid successor");
+                    Step::Op(Op::Write(self.inst.locked.at(succ.index()), 0))
+                }
+            }
+            RelState::TryCas => {
+                let old = last.expect("CAS result");
+                if old == self.me.to_word() {
+                    // CAS succeeded: no successor.
+                    Step::Return(0)
+                } else {
+                    // Someone swapped in behind us; await the link.
+                    self.state = RelState::AwaitSuccessor;
+                    Step::Op(Op::Read(self.inst.next.at(me)))
+                }
+            }
+            RelState::AwaitSuccessor => {
+                let next = last.expect("next value");
+                if next == NIL {
+                    // Local spin until the successor links itself.
+                    Step::Op(Op::Read(self.inst.next.at(me)))
+                } else {
+                    self.state = RelState::Done;
+                    let succ = ProcId::from_word(next).expect("valid successor");
+                    Step::Op(Op::Write(self.inst.locked.at(succ.index()), 0))
+                }
+            }
+            RelState::Done => Step::Return(0),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_lock_workload, LockWorkloadConfig};
+    use shm_sim::CostModel;
+
+    #[test]
+    fn mcs_provides_mutual_exclusion_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..25 {
+                let r = run_lock_workload(
+                    &McsLock,
+                    &LockWorkloadConfig { n: 6, cycles: 3, seed, model },
+                );
+                assert_eq!(r.violations, Vec::new(), "{model:?} seed {seed}");
+                assert!(r.completed, "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mcs_is_constant_rmr_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            let r = run_lock_workload(
+                &McsLock,
+                &LockWorkloadConfig { n: 8, cycles: 5, seed: 3, model },
+            );
+            assert!(r.completed);
+            assert!(
+                r.rmrs_per_passage() <= 10.0,
+                "{model:?}: {} RMRs/passage",
+                r.rmrs_per_passage()
+            );
+        }
+    }
+
+    #[test]
+    fn handoff_race_no_successor_yet() {
+        // p0 acquires; p1 swaps into the tail but is suspended before
+        // linking; p0's release must CAS-fail and await the link.
+        let mut layout = MemLayout::new();
+        let inst = McsLock.instantiate(&mut layout, 2);
+        let spec = shm_sim::SimSpec {
+            layout,
+            sources: vec![
+                Box::new(shm_sim::Idle) as Box<dyn shm_sim::CallSource>,
+                Box::new(shm_sim::Idle),
+            ],
+            model: CostModel::Dsm,
+        };
+        let mut sim = shm_sim::Simulator::new(&spec);
+        let acquire = |sim: &mut shm_sim::Simulator, p: u32| {
+            sim.inject_call(
+                ProcId(p),
+                shm_sim::Call::new(crate::lock::kinds::ACQUIRE, "acquire", inst.acquire_call(ProcId(p))),
+            );
+        };
+        acquire(&mut sim, 0);
+        while sim.has_pending_call(ProcId(0)) {
+            let _ = sim.step(ProcId(0));
+        }
+        // p1: init next, init locked, FAS — freeze before linking next[p0].
+        acquire(&mut sim, 1);
+        for _ in 0..3 {
+            let _ = sim.step(ProcId(1));
+        }
+        // p0 releases: must spin on next[p0] until p1 links.
+        sim.inject_call(
+            ProcId(0),
+            shm_sim::Call::new(crate::lock::kinds::RELEASE, "release", inst.release_call(ProcId(0))),
+        );
+        for _ in 0..20 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(sim.has_pending_call(ProcId(0)), "release is awaiting the successor link");
+        // Let p1 link itself (one step), after which p0's release can hand
+        // off, unblocking p1's spin.
+        let _ = sim.step(ProcId(1));
+        while sim.has_pending_call(ProcId(0)) {
+            let _ = sim.step(ProcId(0));
+        }
+        while sim.has_pending_call(ProcId(1)) {
+            let _ = sim.step(ProcId(1));
+        }
+        // p1 now holds the lock.
+        assert_eq!(sim.memory().peek(shm_sim::Addr(0)), 1, "tail points at p1");
+    }
+}

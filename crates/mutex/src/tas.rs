@@ -1,0 +1,193 @@
+//! Test-And-Set spin locks: the non-local-spin baselines.
+//!
+//! [`TasLock`] spins directly on `TAS(L)`; every spin is a nontrivial
+//! operation, so it is an RMR in *both* models (in CC each failed TAS
+//! invalidates every other spinner's copy).
+//!
+//! [`TtasLock`] (test-and-test-and-set) spins on a plain read and attempts
+//! `TAS` only when the lock looks free. In the CC model the read spin is
+//! served from cache, so waiting is local until a release invalidates the
+//! line; in the DSM model the read spin is remote every time. Both locks
+//! have unbounded worst-case RMR complexity — the §8 "non-local-spin"
+//! baselines that the literature's experiments show collapsing under
+//! contention.
+
+use crate::lock::{MutexAlgorithm, MutexInstance};
+use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcedureCall, ProcId, Step, Word};
+use std::sync::Arc;
+
+/// The plain TAS spin lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TasLock;
+
+/// The test-and-test-and-set spin lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TtasLock;
+
+#[derive(Clone, Copy, Debug)]
+struct Inst {
+    lock: Addr,
+    test_first: bool,
+}
+
+impl MutexAlgorithm for TasLock {
+    fn name(&self) -> &'static str {
+        "tas"
+    }
+    fn instantiate(&self, layout: &mut MemLayout, _n: usize) -> Arc<dyn MutexInstance> {
+        Arc::new(Inst { lock: layout.alloc_global(0), test_first: false })
+    }
+}
+
+impl MutexAlgorithm for TtasLock {
+    fn name(&self) -> &'static str {
+        "ttas"
+    }
+    fn instantiate(&self, layout: &mut MemLayout, _n: usize) -> Arc<dyn MutexInstance> {
+        Arc::new(Inst { lock: layout.alloc_global(0), test_first: true })
+    }
+}
+
+impl MutexInstance for Inst {
+    fn acquire_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Acquire {
+            lock: self.lock,
+            test_first: self.test_first,
+            state: if self.test_first { AcqState::TestRead } else { AcqState::Tas },
+        })
+    }
+    fn release_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(OpSequence::new(vec![Op::Write(self.lock, 0)]))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AcqState {
+    TestRead,
+    TestDecide,
+    Tas,
+    TasDecide,
+}
+
+#[derive(Clone, Debug)]
+struct Acquire {
+    lock: Addr,
+    test_first: bool,
+    state: AcqState,
+}
+
+impl ProcedureCall for Acquire {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            AcqState::TestRead => {
+                self.state = AcqState::TestDecide;
+                Step::Op(Op::Read(self.lock))
+            }
+            AcqState::TestDecide => {
+                if last.expect("lock value") == 0 {
+                    self.state = AcqState::TasDecide;
+                    Step::Op(Op::Tas(self.lock))
+                } else {
+                    self.state = AcqState::TestDecide;
+                    Step::Op(Op::Read(self.lock))
+                }
+            }
+            AcqState::Tas => {
+                self.state = AcqState::TasDecide;
+                Step::Op(Op::Tas(self.lock))
+            }
+            AcqState::TasDecide => {
+                if last.expect("TAS result") == 0 {
+                    Step::Return(0)
+                } else if self.test_first {
+                    self.state = AcqState::TestDecide;
+                    Step::Op(Op::Read(self.lock))
+                } else {
+                    self.state = AcqState::TasDecide;
+                    Step::Op(Op::Tas(self.lock))
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_lock_workload, LockWorkloadConfig};
+    use shm_sim::CostModel;
+
+    #[test]
+    fn tas_lock_provides_mutual_exclusion() {
+        for seed in 0..20 {
+            let r = run_lock_workload(
+                &TasLock,
+                &LockWorkloadConfig { n: 4, cycles: 3, seed, model: CostModel::Dsm },
+            );
+            assert_eq!(r.violations, Vec::new(), "seed {seed}");
+            assert!(r.completed);
+        }
+    }
+
+    #[test]
+    fn ttas_lock_provides_mutual_exclusion() {
+        for seed in 0..20 {
+            let r = run_lock_workload(
+                &TtasLock,
+                &LockWorkloadConfig { n: 4, cycles: 3, seed, model: CostModel::cc_default() },
+            );
+            assert_eq!(r.violations, Vec::new(), "seed {seed}");
+            assert!(r.completed);
+        }
+    }
+
+    #[test]
+    fn uncontended_acquire_is_cheap() {
+        let r = run_lock_workload(
+            &TasLock,
+            &LockWorkloadConfig { n: 1, cycles: 5, seed: 0, model: CostModel::Dsm },
+        );
+        // TAS + CS + release per cycle: bounded constant.
+        assert!(r.rmrs_per_passage() <= 5.0);
+    }
+
+    #[test]
+    fn ttas_spins_locally_in_cc_but_not_in_dsm() {
+        // One holder + one spinner; let the spinner spin a lot.
+        let mk = |model| {
+            let mut layout = MemLayout::new();
+            let inst = TtasLock.instantiate(&mut layout, 2);
+            let spec = shm_sim::SimSpec {
+                layout,
+                sources: vec![
+                    Box::new(shm_sim::Idle) as Box<dyn shm_sim::CallSource>,
+                    Box::new(shm_sim::Idle),
+                ],
+                model,
+            };
+            let mut sim = shm_sim::Simulator::new(&spec);
+            // p0 acquires directly.
+            sim.inject_call(
+                ProcId(0),
+                shm_sim::Call::new(crate::lock::kinds::ACQUIRE, "acquire", inst.acquire_call(ProcId(0))),
+            );
+            while sim.has_pending_call(ProcId(0)) {
+                let _ = sim.step(ProcId(0));
+            }
+            // p1 spins.
+            sim.inject_call(
+                ProcId(1),
+                shm_sim::Call::new(crate::lock::kinds::ACQUIRE, "acquire", inst.acquire_call(ProcId(1))),
+            );
+            for _ in 0..100 {
+                let _ = sim.step(ProcId(1));
+            }
+            sim.proc_stats(ProcId(1)).rmrs
+        };
+        assert!(mk(CostModel::cc_default()) <= 2, "CC: cached spin");
+        assert!(mk(CostModel::Dsm) >= 100, "DSM: every spin is remote");
+    }
+}

@@ -1,0 +1,365 @@
+//! Yang–Anderson tournament lock: Θ(log N) RMRs from reads and writes.
+//!
+//! Yang and Anderson \[30\] arrange N processes at the leaves of a binary
+//! arbitration tree; each internal node runs a 2-process mutual exclusion
+//! protocol in which every wait spins on the waiting process's **own** spin
+//! variable `P[p]` — local in the DSM model, cached in the CC model. A
+//! passage climbs ⌈log₂ N⌉ nodes, each costing O(1) RMRs: the Θ(log N)
+//! read/write tight bound of §3, identical in both models.
+//!
+//! Per-node protocol (process `p` arriving on side `i` at tree level `ℓ`):
+//!
+//! ```text
+//! ENTRY:  C[i] := p;  T := p;  P[p][ℓ] := 0
+//!         rival := C[1−i]
+//!         if rival ≠ NIL and T = p:
+//!             if P[rival][ℓ] = 0:  P[rival][ℓ] := 1
+//!             await P[p][ℓ] ≥ 1                 // spin on own variable
+//!             if T = p:  await P[p][ℓ] = 2      // spin on own variable
+//! EXIT:   C[i] := NIL
+//!         rival := T
+//!         if rival ≠ p:  P[rival][ℓ] := 2
+//! ```
+//!
+//! The spin variables are **per process per level**: with a single flag per
+//! process, a wakeup at one level can clobber a handoff at another (a
+//! lost-wakeup deadlock this crate's test suite reproduces if you collapse
+//! the array — both sides of a node agree on ℓ, so targeting is unambiguous).
+
+use crate::lock::{MutexAlgorithm, MutexInstance};
+use shm_sim::{AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use std::sync::Arc;
+
+/// The Yang–Anderson arbitration-tree lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TournamentLock;
+
+#[derive(Clone, Debug)]
+struct Inst {
+    /// `c0[v]`, `c1[v]`: announcement registers of node `v` (heap-indexed,
+    /// root = 1; index 0 unused).
+    c0: AddrRange,
+    c1: AddrRange,
+    /// `t[v]`: tie-breaker register of node `v`.
+    t: AddrRange,
+    /// `p_flag[ℓ]` is a per-process array for level `ℓ`; cell `p` is the
+    /// spin variable of process `p` at that level, local to `p`.
+    p_flag: Vec<AddrRange>,
+    /// Number of leaf slots (a power of two ≥ n).
+    leaves: usize,
+}
+
+impl Inst {
+    /// The (node, side) path from process `pid`'s leaf up to the root.
+    fn path(&self, pid: ProcId) -> Vec<(usize, usize)> {
+        let mut x = self.leaves + pid.index();
+        let mut out = Vec::new();
+        while x > 1 {
+            out.push((x / 2, x & 1));
+            x /= 2;
+        }
+        out
+    }
+}
+
+impl MutexAlgorithm for TournamentLock {
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn MutexInstance> {
+        let leaves = n.max(2).next_power_of_two();
+        let nodes = leaves; // internal nodes are 1..leaves
+        let levels = leaves.ilog2() as usize;
+        Arc::new(Inst {
+            c0: layout.alloc_global_array(nodes, NIL),
+            c1: layout.alloc_global_array(nodes, NIL),
+            t: layout.alloc_global_array(nodes, NIL),
+            p_flag: (0..levels).map(|_| layout.alloc_per_process_array(n, 0)).collect(),
+            leaves,
+        })
+    }
+}
+
+impl MutexInstance for Inst {
+    fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        let path = self.path(pid);
+        Box::new(Acquire { inst: self.clone(), me: pid, path, level: 0, line: Line::WriteC, rival: NIL })
+    }
+    fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        let mut path = self.path(pid);
+        path.reverse(); // exit root-to-leaf
+        Box::new(Release { inst: self.clone(), me: pid, path, level: 0, line: ExitLine::ClearC })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Line {
+    WriteC,
+    WriteT,
+    ResetP,
+    ReadRival,
+    ReadT1,
+    Decide1,
+    MaybeWake,
+    Await1,
+    ReadT2,
+    Await2,
+}
+
+#[derive(Clone, Debug)]
+struct Acquire {
+    inst: Inst,
+    me: ProcId,
+    path: Vec<(usize, usize)>,
+    level: usize,
+    line: Line,
+    rival: Word,
+}
+
+impl Acquire {
+    fn c_side(&self, node: usize, side: usize) -> shm_sim::Addr {
+        if side == 0 {
+            self.inst.c0.at(node)
+        } else {
+            self.inst.c1.at(node)
+        }
+    }
+
+    fn next_level(&mut self) -> Step {
+        self.level += 1;
+        self.line = Line::WriteC;
+        if self.level == self.path.len() {
+            Step::Return(0)
+        } else {
+            let (node, side) = self.path[self.level];
+            self.line = Line::WriteT;
+            Step::Op(Op::Write(self.c_side(node, side), self.me.to_word()))
+        }
+    }
+}
+
+impl ProcedureCall for Acquire {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        if self.path.is_empty() {
+            return Step::Return(0);
+        }
+        let (node, side) = self.path[self.level];
+        let my_flag = self.inst.p_flag[self.level].at(self.me.index());
+        match self.line {
+            Line::WriteC => {
+                self.line = Line::WriteT;
+                Step::Op(Op::Write(self.c_side(node, side), self.me.to_word()))
+            }
+            Line::WriteT => {
+                self.line = Line::ResetP;
+                Step::Op(Op::Write(self.inst.t.at(node), self.me.to_word()))
+            }
+            Line::ResetP => {
+                self.line = Line::ReadRival;
+                Step::Op(Op::Write(my_flag, 0))
+            }
+            Line::ReadRival => {
+                self.line = Line::ReadT1;
+                Step::Op(Op::Read(self.c_side(node, 1 - side)))
+            }
+            Line::ReadT1 => {
+                self.rival = last.expect("rival value");
+                self.line = Line::Decide1;
+                Step::Op(Op::Read(self.inst.t.at(node)))
+            }
+            Line::Decide1 => {
+                let t = last.expect("T value");
+                if self.rival != NIL && t == self.me.to_word() {
+                    self.line = Line::MaybeWake;
+                    let rival = ProcId::from_word(self.rival).expect("valid rival");
+                    Step::Op(Op::Read(self.inst.p_flag[self.level].at(rival.index())))
+                } else {
+                    self.next_level()
+                }
+            }
+            Line::MaybeWake => {
+                let rival_flag = last.expect("rival P value");
+                self.line = Line::Await1;
+                if rival_flag == 0 {
+                    let rival = ProcId::from_word(self.rival).expect("valid rival");
+                    Step::Op(Op::Write(self.inst.p_flag[self.level].at(rival.index()), 1))
+                } else {
+                    Step::Op(Op::Read(my_flag))
+                }
+            }
+            Line::Await1 => {
+                // `last` is either the wake write's result or our flag read.
+                // Distinguish by re-reading until our flag is ≥ 1; the first
+                // entry into this state after the wake write must issue a
+                // fresh read.
+                match last {
+                    Some(v) if v >= 1 && self.reading_own_flag_previously() => {
+                        self.line = Line::ReadT2;
+                        Step::Op(Op::Read(self.inst.t.at(node)))
+                    }
+                    _ => {
+                        self.mark_reading_own_flag();
+                        Step::Op(Op::Read(my_flag))
+                    }
+                }
+            }
+            Line::ReadT2 => {
+                let t = last.expect("T value");
+                if t == self.me.to_word() {
+                    self.line = Line::Await2;
+                    Step::Op(Op::Read(my_flag))
+                } else {
+                    self.next_level()
+                }
+            }
+            Line::Await2 => {
+                if last.expect("own P value") == 2 {
+                    self.next_level()
+                } else {
+                    Step::Op(Op::Read(my_flag))
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+impl Acquire {
+    // Await1 needs to know whether `last` came from reading our own flag or
+    // from the wake write to the rival's flag. We track it with the rival
+    // field sentinel: once we start spinning we set `rival` to NIL.
+    fn reading_own_flag_previously(&self) -> bool {
+        self.rival == NIL
+    }
+    fn mark_reading_own_flag(&mut self) {
+        self.rival = NIL;
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ExitLine {
+    ClearC,
+    ReadT,
+    Decide,
+    AfterWake,
+}
+
+#[derive(Clone, Debug)]
+struct Release {
+    inst: Inst,
+    me: ProcId,
+    /// Path root-to-leaf.
+    path: Vec<(usize, usize)>,
+    level: usize,
+    line: ExitLine,
+}
+
+impl Release {
+    fn next_level(&mut self) -> Step {
+        self.level += 1;
+        self.line = ExitLine::ClearC;
+        if self.level == self.path.len() {
+            Step::Return(0)
+        } else {
+            self.emit_clear()
+        }
+    }
+    fn emit_clear(&mut self) -> Step {
+        let (node, side) = self.path[self.level];
+        self.line = ExitLine::ReadT;
+        let c = if side == 0 { self.inst.c0.at(node) } else { self.inst.c1.at(node) };
+        Step::Op(Op::Write(c, NIL))
+    }
+}
+
+impl ProcedureCall for Release {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        if self.path.is_empty() {
+            return Step::Return(0);
+        }
+        let (node, _side) = self.path[self.level];
+        match self.line {
+            ExitLine::ClearC => self.emit_clear(),
+            ExitLine::ReadT => {
+                self.line = ExitLine::Decide;
+                Step::Op(Op::Read(self.inst.t.at(node)))
+            }
+            ExitLine::Decide => {
+                let t = last.expect("T value");
+                if t != self.me.to_word() && t != NIL {
+                    self.line = ExitLine::AfterWake;
+                    let rival = ProcId::from_word(t).expect("valid rival");
+                    Step::Op(Op::Write(self.inst.p_flag[self.path.len() - 1 - self.level].at(rival.index()), 2))
+                } else {
+                    self.next_level()
+                }
+            }
+            ExitLine::AfterWake => self.next_level(),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_lock_workload, LockWorkloadConfig};
+    use shm_sim::CostModel;
+
+    #[test]
+    fn tournament_provides_mutual_exclusion_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            for seed in 0..40 {
+                let r = run_lock_workload(
+                    &TournamentLock,
+                    &LockWorkloadConfig { n: 6, cycles: 3, seed, model },
+                );
+                assert_eq!(r.violations, Vec::new(), "{model:?} seed {seed}");
+                assert!(r.completed, "{model:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_process_duel_many_schedules() {
+        for seed in 0..150 {
+            let r = run_lock_workload(
+                &TournamentLock,
+                &LockWorkloadConfig { n: 2, cycles: 4, seed, model: CostModel::Dsm },
+            );
+            assert_eq!(r.violations, Vec::new(), "seed {seed}");
+            assert!(r.completed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rmrs_scale_logarithmically() {
+        let per_passage = |n: usize| {
+            let r = run_lock_workload(
+                &TournamentLock,
+                &LockWorkloadConfig { n, cycles: 4, seed: 11, model: CostModel::Dsm },
+            );
+            assert!(r.completed);
+            assert_eq!(r.violations, Vec::new());
+            r.rmrs_per_passage()
+        };
+        let small = per_passage(4); // 2 levels
+        let large = per_passage(64); // 6 levels
+        assert!(large < small * 5.0, "log growth, not linear: {small} -> {large}");
+        assert!(large > small, "more levels cost more");
+    }
+
+    #[test]
+    fn solo_passage_climbs_quietly() {
+        let r = run_lock_workload(
+            &TournamentLock,
+            &LockWorkloadConfig { n: 1, cycles: 3, seed: 0, model: CostModel::Dsm },
+        );
+        assert!(r.completed);
+        assert_eq!(r.violations, Vec::new());
+    }
+}

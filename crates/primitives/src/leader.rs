@@ -1,0 +1,265 @@
+//! One-shot leader election.
+//!
+//! §7 of the paper reduces the many-signalers signaling variant to the
+//! one-signaler variant by electing a leader, and observes that with
+//! "virtually any read-modify-write primitive (e.g., Test-And-Set or
+//! Fetch-And-Store)" election takes **one step per process**. The paper also
+//! notes the catch for the blocking reduction: "the leader election
+//! algorithm must tell each waiter the ID of the leader rather than merely
+//! telling each waiter whether it is the leader" (§7).
+//!
+//! We provide two elections that announce the winner's ID:
+//!
+//! * [`CasLeaderElection`] — genuinely one step: a failed `CAS(NIL → me)`
+//!   returns the winner's ID directly. O(1) RMRs per process, wait-free,
+//!   in both models.
+//! * [`FasLeaderElection`] — the one-step FAS/TAS election decides *whether*
+//!   you won; announcing the winner requires an extra announce cell that
+//!   losers spin on. That spin is O(1) RMRs in the CC model but unbounded in
+//!   the worst case in the DSM model — a pocket-sized instance of the
+//!   paper's central theme that shared spin variables are free in CC and
+//!   poisonous in DSM.
+//!
+//! (The read/write-only O(1)-RMR election of Golab–Hendler–Woelfel \[13\] is
+//! cited by the paper but not needed by any construction we reproduce; the
+//! splitter in [`crate::splitter`] is the read/write contrast object we
+//! property-test instead.)
+
+use shm_sim::{Addr, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+
+/// Leader election decided by a single CAS on a shared cell.
+///
+/// `elect_call(p)` returns the elected leader's ID (as a word): `p` CASes
+/// its own ID into the cell; on failure the old value *is* the leader,
+/// because exactly one CAS on a [`NIL`]-initialized cell can succeed.
+/// One memory access per process, O(1) RMRs in both models, wait-free.
+#[derive(Clone, Copy, Debug)]
+pub struct CasLeaderElection {
+    /// The election cell, initially [`NIL`].
+    pub cell: Addr,
+}
+
+impl CasLeaderElection {
+    /// Allocates the election cell.
+    #[must_use]
+    pub fn allocate(layout: &mut MemLayout) -> Self {
+        CasLeaderElection { cell: layout.alloc_global(NIL) }
+    }
+
+    /// The election call for process `pid`; returns the leader's ID word.
+    #[must_use]
+    pub fn elect_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(CasElect { cell: self.cell, me: pid.to_word(), issued: false })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CasElect {
+    cell: Addr,
+    me: Word,
+    issued: bool,
+}
+
+impl ProcedureCall for CasElect {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        if !self.issued {
+            self.issued = true;
+            Step::Op(Op::Cas(self.cell, NIL, self.me))
+        } else {
+            let old = last.expect("CAS result");
+            Step::Return(if old == NIL { self.me } else { old })
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+/// Leader election from Fetch-And-Store plus an announce cell.
+///
+/// Election: `FAS(race, me)`; the process that displaces [`NIL`] wins.
+/// Announcement: the winner writes its ID to `announce`; losers busy-wait
+/// until `announce` is non-NIL and return it.
+///
+/// Terminating but not wait-free (losers wait for the winner). Loser spins
+/// cost O(1) RMRs in the CC model (the announce cell is cached until the
+/// winner's single write) and Θ(spins) RMRs in the DSM model (the announce
+/// cell cannot be local to every loser) — measured in the E3/E6 experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct FasLeaderElection {
+    /// The race cell, initially [`NIL`].
+    pub race: Addr,
+    /// The announce cell, initially [`NIL`].
+    pub announce: Addr,
+}
+
+impl FasLeaderElection {
+    /// Allocates the election cells.
+    #[must_use]
+    pub fn allocate(layout: &mut MemLayout) -> Self {
+        FasLeaderElection { race: layout.alloc_global(NIL), announce: layout.alloc_global(NIL) }
+    }
+
+    /// The election call for process `pid`; returns the leader's ID word.
+    #[must_use]
+    pub fn elect_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(FasElect { cells: *self, me: pid.to_word(), state: FasState::Swap })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FasState {
+    Swap,
+    Decide,
+    WinnerReturn,
+    SpinAnnounce,
+}
+
+#[derive(Clone, Debug)]
+struct FasElect {
+    cells: FasLeaderElection,
+    me: Word,
+    state: FasState,
+}
+
+impl ProcedureCall for FasElect {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            FasState::Swap => {
+                self.state = FasState::Decide;
+                Step::Op(Op::Fas(self.cells.race, self.me))
+            }
+            FasState::Decide => {
+                let old = last.expect("FAS result");
+                if old == NIL {
+                    self.state = FasState::WinnerReturn;
+                    Step::Op(Op::Write(self.cells.announce, self.me))
+                } else {
+                    self.state = FasState::SpinAnnounce;
+                    Step::Op(Op::Read(self.cells.announce))
+                }
+            }
+            FasState::WinnerReturn => Step::Return(self.me),
+            FasState::SpinAnnounce => {
+                let seen = last.expect("read result");
+                if seen == NIL {
+                    Step::Op(Op::Read(self.cells.announce))
+                } else {
+                    Step::Return(seen)
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shm_sim::{
+        run_to_completion, CallKind, CostModel, RoundRobin, Script, ScriptedCall, SeededRandom, SimSpec, Simulator,
+    };
+    use std::sync::Arc;
+
+    enum Which {
+        Cas,
+        Fas,
+    }
+
+    fn election_spec(n: usize, which: &Which, model: CostModel) -> SimSpec {
+        let mut layout = MemLayout::new();
+        let cas = CasLeaderElection::allocate(&mut layout);
+        let fas = FasLeaderElection::allocate(&mut layout);
+        let sources = (0..n)
+            .map(|i| {
+                let pid = ProcId(i as u32);
+                let factory: shm_sim::CallFactory = match which {
+                    Which::Cas => Arc::new(move || cas.elect_call(pid)),
+                    Which::Fas => Arc::new(move || fas.elect_call(pid)),
+                };
+                Box::new(Script::new(vec![ScriptedCall::new(CallKind(0), "elect", factory)]))
+                    as Box<dyn shm_sim::CallSource>
+            })
+            .collect();
+        SimSpec { layout, sources, model }
+    }
+
+    fn run_and_collect_leaders(spec: &SimSpec, seed: u64) -> Vec<Word> {
+        let mut sim = Simulator::new(spec);
+        assert!(run_to_completion(&mut sim, &mut SeededRandom::new(seed), 1_000_000));
+        sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect()
+    }
+
+    #[test]
+    fn cas_everyone_agrees_on_one_leader() {
+        for seed in 0..20 {
+            let leaders = run_and_collect_leaders(&election_spec(9, &Which::Cas, CostModel::Dsm), seed);
+            assert!(leaders.windows(2).all(|w| w[0] == w[1]), "disagreement: {leaders:?}");
+            assert!(ProcId::from_word(leaders[0]).is_some());
+        }
+    }
+
+    #[test]
+    fn fas_everyone_agrees_on_one_leader() {
+        for seed in 0..50 {
+            let leaders = run_and_collect_leaders(&election_spec(9, &Which::Fas, CostModel::Dsm), seed);
+            assert!(leaders.windows(2).all(|w| w[0] == w[1]), "seed {seed} disagreement: {leaders:?}");
+        }
+    }
+
+    #[test]
+    fn solo_process_elects_itself() {
+        for which in [Which::Cas, Which::Fas] {
+            let spec = election_spec(1, &which, CostModel::Dsm);
+            assert_eq!(run_and_collect_leaders(&spec, 0), vec![0]);
+        }
+    }
+
+    #[test]
+    fn cas_election_costs_constant_rmrs_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            let spec = election_spec(8, &Which::Cas, model);
+            let mut sim = Simulator::new(&spec);
+            assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 100_000));
+            for i in 0..8 {
+                assert!(sim.proc_stats(ProcId(i)).rmrs <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn fas_loser_spin_is_cheap_in_cc_expensive_in_dsm() {
+        // Deterministic adversarial-ish interleaving: the winner (p0) swaps,
+        // then stalls while p1 spins k times, then p0 announces.
+        let run = |model| {
+            let spec = election_spec(2, &Which::Fas, model);
+            let mut sim = Simulator::new(&spec);
+            let _ = sim.step(ProcId(0)); // invoke + FAS (wins)
+            let _ = sim.step(ProcId(1)); // invoke + FAS (loses)
+            let _ = sim.step(ProcId(1)); // first announce read
+            for _ in 0..50 {
+                let _ = sim.step(ProcId(1)); // spin on announce
+            }
+            assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000));
+            sim.proc_stats(ProcId(1)).rmrs
+        };
+        assert!(run(CostModel::cc_default()) <= 3, "CC: spin served from cache");
+        assert!(run(CostModel::Dsm) >= 50, "DSM: every spin read is an RMR");
+    }
+
+    #[test]
+    fn fas_leader_is_first_swapper() {
+        let spec = election_spec(3, &Which::Fas, CostModel::Dsm);
+        let mut sim = Simulator::new(&spec);
+        // p2 swaps first; then p0 and p1 race.
+        let _ = sim.step(ProcId(2)); // invoke + FAS: p2 wins
+        let _ = sim.step(ProcId(0));
+        let _ = sim.step(ProcId(1));
+        assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000));
+        let leaders: Vec<Word> =
+            sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect();
+        assert!(leaders.iter().all(|&l| l == 2), "p2 swapped first: {leaders:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # shm-primitives: building-block synchronization objects
+//!
+//! Small shared-memory objects used by the signaling algorithms of §7 of
+//! Golab's paper and by the experiment harness:
+//!
+//! * [`RegistrationList`] — a wait-free append-only set built from
+//!   Fetch-And-Add, the "shared queue" the paper uses to close the
+//!   CC/DSM gap for signaling when FAA is available (§7).
+//! * [`leader`] — one-shot leader election. The paper notes that with
+//!   "virtually any read-modify-write primitive (e.g., Test-And-Set or
+//!   Fetch-And-Store)" leader election takes one step per process (§7,
+//!   many-signalers case); we provide exactly those one-step variants, plus
+//!   a CAS variant.
+//! * [`splitter`] — Moir–Anderson-style splitter (at most one process
+//!   *stops*), built from reads and writes only; useful as a property-tested
+//!   micro-object and as the read/write contrast to the one-step RMW
+//!   elections.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod leader;
+pub mod reglist;
+pub mod splitter;
+
+pub use leader::{CasLeaderElection, FasLeaderElection};
+pub use reglist::RegistrationList;
+pub use splitter::Splitter;

@@ -1,0 +1,214 @@
+//! Wait-free append-only registration list built from Fetch-And-Add.
+//!
+//! §7 of the paper ("many waiters not fixed in advance, one signaler not
+//! fixed in advance") closes the CC/DSM gap by letting waiters register in a
+//! shared queue that the signaler later drains. A full FIFO queue is not
+//! needed — only *enqueue* and *scan* — so we implement the minimal object:
+//! a ticket counter dispensed by FAA plus a slot array.
+//!
+//! Each `enqueue` is wait-free and costs O(1) RMRs in both models (one FAA
+//! on the ticket counter, one write to the claimed slot). A scan reads the
+//! counter and then the claimed slots; unwritten slots (ticket claimed but
+//! value not yet stored) read as [`NIL`] and may be skipped by scanners that
+//! can prove the racing enqueuer will learn the relevant fact another way —
+//! exactly the argument the queue-based signaling algorithm makes.
+
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, Step, Word, NIL};
+
+/// Addresses of a registration list's cells.
+///
+/// Allocate with [`RegistrationList::allocate`]; all cells are global (the
+/// object is inherently shared — §6 shows *some* sharing is unavoidable).
+#[derive(Clone, Copy, Debug)]
+pub struct RegistrationList {
+    /// Ticket counter (next free slot index).
+    pub tail: Addr,
+    /// Slot array; slot `t` holds the word stored by the holder of ticket
+    /// `t`, or [`NIL`] if not yet written.
+    pub slots: AddrRange,
+}
+
+impl RegistrationList {
+    /// Allocates a list with capacity for `capacity` registrations.
+    ///
+    /// `capacity` is normally the number of processes, because each process
+    /// registers at most once in the signaling protocols.
+    #[must_use]
+    pub fn allocate(layout: &mut MemLayout, capacity: usize) -> Self {
+        RegistrationList {
+            tail: layout.alloc_global(0),
+            slots: layout.alloc_global_array(capacity, NIL),
+        }
+    }
+
+    /// Capacity of the slot array.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A procedure call that appends `value` to the list and returns the
+    /// ticket (slot index) it claimed.
+    ///
+    /// Wait-free, two memory accesses, O(1) RMRs in both models.
+    ///
+    /// # Panics
+    ///
+    /// The *call* panics at run time (when stepped) if the list is full,
+    /// i.e. more than `capacity` enqueues were attempted.
+    #[must_use]
+    pub fn enqueue_call(&self, value: Word) -> Box<dyn ProcedureCall> {
+        Box::new(Enqueue { list: *self, value, ticket: None, state: EnqueueState::Start })
+    }
+
+    /// Reads the current registration count from a simulator's memory
+    /// (test/inspection helper; not a process step).
+    #[must_use]
+    pub fn snapshot_count(&self, memory: &shm_sim::Memory) -> u64 {
+        memory.peek(self.tail)
+    }
+
+    /// Reads all registered values from a simulator's memory, skipping
+    /// claimed-but-unwritten slots (test/inspection helper).
+    #[must_use]
+    pub fn snapshot_values(&self, memory: &shm_sim::Memory) -> Vec<Word> {
+        let count = (self.snapshot_count(memory) as usize).min(self.capacity());
+        (0..count)
+            .map(|i| memory.peek(self.slots.at(i)))
+            .filter(|&w| w != NIL)
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EnqueueState {
+    Start,
+    WriteSlot,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Enqueue {
+    list: RegistrationList,
+    value: Word,
+    ticket: Option<Word>,
+    state: EnqueueState,
+}
+
+impl ProcedureCall for Enqueue {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            EnqueueState::Start => {
+                self.state = EnqueueState::WriteSlot;
+                Step::Op(Op::Faa(self.list.tail, 1))
+            }
+            EnqueueState::WriteSlot => {
+                let ticket = last.expect("FAA result expected");
+                assert!(
+                    (ticket as usize) < self.list.capacity(),
+                    "registration list overflow: ticket {ticket} >= capacity {}",
+                    self.list.capacity()
+                );
+                self.ticket = Some(ticket);
+                self.state = EnqueueState::Done;
+                Step::Op(Op::Write(self.list.slots.at(ticket as usize), self.value))
+            }
+            EnqueueState::Done => Step::Return(self.ticket.expect("ticket recorded")),
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shm_sim::{
+        run_to_completion, CallKind, CostModel, ProcId, RoundRobin, Script, ScriptedCall, SeededRandom, SimSpec,
+        Simulator,
+    };
+    use std::sync::Arc;
+
+    fn enqueue_spec(n: usize, model: CostModel) -> (SimSpec, RegistrationList) {
+        let mut layout = MemLayout::new();
+        let list = RegistrationList::allocate(&mut layout, n);
+        let sources = (0..n)
+            .map(|i| {
+                let call = ScriptedCall::new(
+                    CallKind(0),
+                    "enqueue",
+                    Arc::new(move || list.enqueue_call(i as Word)),
+                );
+                Box::new(Script::new(vec![call])) as Box<dyn shm_sim::CallSource>
+            })
+            .collect();
+        (SimSpec { layout, sources, model }, list)
+    }
+
+    #[test]
+    fn all_enqueuers_get_distinct_tickets() {
+        let (spec, list) = enqueue_spec(8, CostModel::Dsm);
+        let mut sim = Simulator::new(&spec);
+        assert!(run_to_completion(&mut sim, &mut SeededRandom::new(42), 100_000));
+        let mut tickets: Vec<Word> =
+            sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect();
+        tickets.sort_unstable();
+        assert_eq!(tickets, (0..8).collect::<Vec<Word>>());
+        assert_eq!(list.snapshot_count(sim.memory()), 8);
+        let mut values = list.snapshot_values(sim.memory());
+        values.sort_unstable();
+        assert_eq!(values, (0..8).collect::<Vec<Word>>());
+    }
+
+    #[test]
+    fn enqueue_costs_constant_rmrs_in_both_models() {
+        for model in [CostModel::Dsm, CostModel::cc_default()] {
+            let (spec, _) = enqueue_spec(16, model);
+            let mut sim = Simulator::new(&spec);
+            assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 100_000));
+            for i in 0..16 {
+                assert!(
+                    sim.proc_stats(ProcId(i)).rmrs <= 2,
+                    "enqueue must be O(1) RMRs, got {} under {model:?}",
+                    sim.proc_stats(ProcId(i)).rmrs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_enqueue_leaves_skippable_nil_slot() {
+        let (spec, list) = enqueue_spec(2, CostModel::Dsm);
+        let mut sim = Simulator::new(&spec);
+        // p0 claims a ticket but is suspended before writing its slot.
+        let _ = sim.step(ProcId(0)); // invoke + FAA
+        assert_eq!(list.snapshot_count(sim.memory()), 1);
+        assert_eq!(list.snapshot_values(sim.memory()), Vec::<Word>::new());
+        // p1 registers fully.
+        while sim.is_runnable(ProcId(1)) {
+            let _ = sim.step(ProcId(1));
+        }
+        assert_eq!(list.snapshot_count(sim.memory()), 2);
+        assert_eq!(list.snapshot_values(sim.memory()), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut layout = MemLayout::new();
+        let list = RegistrationList::allocate(&mut layout, 1);
+        let mk = |v: Word| {
+            ScriptedCall::new(CallKind(0), "enqueue", Arc::new(move || list.enqueue_call(v)))
+        };
+        let spec = SimSpec {
+            layout,
+            sources: vec![
+                Box::new(Script::new(vec![mk(0), mk(1)])) as Box<dyn shm_sim::CallSource>,
+            ],
+            model: CostModel::Dsm,
+        };
+        let mut sim = Simulator::new(&spec);
+        run_to_completion(&mut sim, &mut RoundRobin::new(), 100);
+    }
+}

@@ -1,0 +1,196 @@
+//! A wait-free splitter from reads and writes only.
+//!
+//! The splitter (Lamport's fast-path mechanism, isolated by Moir and
+//! Anderson) guarantees with just one multi-writer register `X` and one
+//! Boolean `Y`:
+//!
+//! * at most one process returns **Stop**;
+//! * if a process runs the splitter alone, it returns Stop;
+//! * not all processes return the same non-Stop direction: at most `n - 1`
+//!   return **Right** and at most `n - 1` return **Down**.
+//!
+//! It is the classic read/write building block for renaming and adaptive
+//! algorithms, and serves here as the read/write-only contrast to the
+//! one-step RMW elections in [`crate::leader`] — with reads and writes only,
+//! one splitter cannot elect a leader, it can only *filter* contenders.
+//!
+//! Protocol for process `p`:
+//!
+//! ```text
+//! X := p
+//! if Y then return Right
+//! Y := true
+//! if X = p then return Stop else return Down
+//! ```
+
+use shm_sim::{Addr, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+
+/// Result encoding for splitter calls.
+pub mod outcome {
+    use shm_sim::Word;
+    /// The process stopped (won the splitter).
+    pub const STOP: Word = 2;
+    /// The process was deflected right (saw `Y` set).
+    pub const RIGHT: Word = 1;
+    /// The process was deflected down (lost the `X` race).
+    pub const DOWN: Word = 0;
+}
+
+/// Addresses of a splitter's two registers.
+#[derive(Clone, Copy, Debug)]
+pub struct Splitter {
+    /// Multi-writer ID register, initially [`NIL`].
+    pub x: Addr,
+    /// Boolean gate, initially 0.
+    pub y: Addr,
+}
+
+impl Splitter {
+    /// Allocates the splitter's registers (global cells).
+    #[must_use]
+    pub fn allocate(layout: &mut MemLayout) -> Self {
+        Splitter { x: layout.alloc_global(NIL), y: layout.alloc_global(0) }
+    }
+
+    /// The splitter call for process `pid`; returns one of
+    /// [`outcome::STOP`], [`outcome::RIGHT`], [`outcome::DOWN`].
+    ///
+    /// Wait-free: at most 4 memory accesses.
+    #[must_use]
+    pub fn enter_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        Box::new(Enter { s: *self, me: pid.to_word(), state: EnterState::WriteX })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EnterState {
+    WriteX,
+    ReadY,
+    DecideY,
+    CheckX,
+    DecideX,
+}
+
+#[derive(Clone, Debug)]
+struct Enter {
+    s: Splitter,
+    me: Word,
+    state: EnterState,
+}
+
+impl ProcedureCall for Enter {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            EnterState::WriteX => {
+                self.state = EnterState::ReadY;
+                Step::Op(Op::Write(self.s.x, self.me))
+            }
+            EnterState::ReadY => {
+                self.state = EnterState::DecideY;
+                Step::Op(Op::Read(self.s.y))
+            }
+            EnterState::DecideY => {
+                if last.expect("Y value") != 0 {
+                    Step::Return(outcome::RIGHT)
+                } else {
+                    self.state = EnterState::CheckX;
+                    Step::Op(Op::Write(self.s.y, 1))
+                }
+            }
+            EnterState::CheckX => {
+                self.state = EnterState::DecideX;
+                Step::Op(Op::Read(self.s.x))
+            }
+            EnterState::DecideX => {
+                if last.expect("X value") == self.me {
+                    Step::Return(outcome::STOP)
+                } else {
+                    Step::Return(outcome::DOWN)
+                }
+            }
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shm_sim::{
+        run_to_completion, CallKind, CostModel, RoundRobin, Script, ScriptedCall, SeededRandom, SimSpec, Simulator,
+    };
+    use std::sync::Arc;
+
+    fn splitter_spec(n: usize) -> SimSpec {
+        let mut layout = MemLayout::new();
+        let s = Splitter::allocate(&mut layout);
+        let sources = (0..n)
+            .map(|i| {
+                let pid = ProcId(i as u32);
+                let call =
+                    ScriptedCall::new(CallKind(0), "splitter", Arc::new(move || s.enter_call(pid)));
+                Box::new(Script::new(vec![call])) as Box<dyn shm_sim::CallSource>
+            })
+            .collect();
+        SimSpec { layout, sources, model: CostModel::Dsm }
+    }
+
+    fn outcomes(n: usize, seed: u64) -> Vec<Word> {
+        let spec = splitter_spec(n);
+        let mut sim = Simulator::new(&spec);
+        assert!(run_to_completion(&mut sim, &mut SeededRandom::new(seed), 100_000));
+        sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect()
+    }
+
+    #[test]
+    fn at_most_one_stop_across_many_schedules() {
+        for seed in 0..200 {
+            let out = outcomes(6, seed);
+            let stops = out.iter().filter(|&&o| o == outcome::STOP).count();
+            assert!(stops <= 1, "seed {seed}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn solo_process_stops() {
+        assert_eq!(outcomes(1, 0), vec![outcome::STOP]);
+    }
+
+    #[test]
+    fn not_everyone_goes_right_and_not_everyone_goes_down() {
+        for seed in 0..100 {
+            let out = outcomes(5, seed);
+            let rights = out.iter().filter(|&&o| o == outcome::RIGHT).count();
+            let downs = out.iter().filter(|&&o| o == outcome::DOWN).count();
+            assert!(rights < out.len(), "seed {seed}: all went right");
+            assert!(downs < out.len(), "seed {seed}: all went down");
+        }
+    }
+
+    #[test]
+    fn sequential_processes_first_stops_rest_go_right() {
+        let spec = splitter_spec(3);
+        let mut sim = Simulator::new(&spec);
+        // Run each process to completion, one at a time.
+        for pid in 0..3 {
+            while sim.is_runnable(ProcId(pid)) {
+                let _ = sim.step(ProcId(pid));
+            }
+        }
+        let out: Vec<Word> =
+            sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect();
+        assert_eq!(out, vec![outcome::STOP, outcome::RIGHT, outcome::RIGHT]);
+    }
+
+    #[test]
+    fn splitter_is_wait_free_four_accesses_max() {
+        let spec = splitter_spec(4);
+        let mut sim = Simulator::new(&spec);
+        assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 100_000));
+        for i in 0..4 {
+            assert!(sim.proc_stats(ProcId(i)).accesses <= 4);
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Histories: the typed event log of an execution, with the queries the
+//! paper's definitions need (participation, *sees*, *touches*, regularity).
+
+use crate::ids::{Addr, ProcId, Word};
+use crate::machine::CallKind;
+use crate::model::AccessCost;
+use crate::op::Op;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One event in a history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A process began a procedure call.
+    Invoke {
+        /// Calling process.
+        pid: ProcId,
+        /// Domain tag of the procedure.
+        kind: CallKind,
+        /// Procedure name for traces.
+        name: &'static str,
+    },
+    /// A procedure call returned.
+    Return {
+        /// Calling process.
+        pid: ProcId,
+        /// Domain tag of the procedure.
+        kind: CallKind,
+        /// The returned word.
+        value: Word,
+    },
+    /// A process performed one atomic memory access.
+    Access {
+        /// Acting process.
+        pid: ProcId,
+        /// The operation performed.
+        op: Op,
+        /// The word returned by the operation.
+        result: Word,
+        /// Whether the operation was nontrivial (overwrote the cell).
+        wrote: bool,
+        /// Price of the access under the simulation's cost model.
+        cost: AccessCost,
+        /// `Some(q)` iff this access *sees* q: it observed a value last
+        /// written by the distinct process q (Definition 6.4; we apply it to
+        /// every value-returning operation, i.e. everything except `Write`).
+        sees: Option<ProcId>,
+        /// `Some(q)` iff this access *touches* q: the cell is local to the
+        /// distinct process q (Definition 6.5).
+        touches: Option<ProcId>,
+    },
+    /// A process terminated (its call source was exhausted).
+    Terminate {
+        /// The terminating process.
+        pid: ProcId,
+    },
+    /// A process crashed: it was stopped while performing a procedure call.
+    Crash {
+        /// The crashed process.
+        pid: ProcId,
+    },
+}
+
+impl Event {
+    /// The process the event belongs to.
+    #[must_use]
+    pub fn pid(&self) -> ProcId {
+        match *self {
+            Event::Invoke { pid, .. }
+            | Event::Return { pid, .. }
+            | Event::Access { pid, .. }
+            | Event::Terminate { pid }
+            | Event::Crash { pid } => pid,
+        }
+    }
+}
+
+/// A completed or pending procedure call reconstructed from a history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallRecord {
+    /// Calling process.
+    pub pid: ProcId,
+    /// Domain tag.
+    pub kind: CallKind,
+    /// Index of the `Invoke` event in the history.
+    pub invoked_at: usize,
+    /// Index of the `Return` event, if the call completed.
+    pub returned_at: Option<usize>,
+    /// Return value, if the call completed.
+    pub return_value: Option<Word>,
+}
+
+impl CallRecord {
+    /// Whether the call completed within the history.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.returned_at.is_some()
+    }
+}
+
+/// A violation of history regularity (Definition 6.6).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegularityViolation {
+    /// Condition 1: `seer` sees `seen`, but `seen` is not finished.
+    SeesActive {
+        /// The reading process.
+        seer: ProcId,
+        /// The unfinished process whose write was observed.
+        seen: ProcId,
+        /// History index of the offending access.
+        at: usize,
+    },
+    /// Condition 2: `toucher` touches `touched`, but `touched` is not finished.
+    TouchesActive {
+        /// The accessing process.
+        toucher: ProcId,
+        /// The unfinished owner of the touched cell.
+        touched: ProcId,
+        /// History index of the offending access.
+        at: usize,
+    },
+    /// Condition 3: a multi-writer cell's last write is by an unfinished process.
+    MultiWriterLastWriteActive {
+        /// The cell in question.
+        addr: Addr,
+        /// The unfinished last writer.
+        last_writer: ProcId,
+    },
+}
+
+/// A history event as one process experiences it: cost metadata stripped,
+/// identities of other processes invisible. See [`History::projection`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProjectedEvent {
+    /// The process invoked a call of this kind.
+    Invoke(CallKind),
+    /// The process's call of this kind returned this value.
+    Return(CallKind, Word),
+    /// The process performed this operation and received this result.
+    Access(Op, Word),
+}
+
+/// The event log of one execution.
+///
+/// A `History` corresponds to the paper's history `H`: a finite sequence of
+/// steps from well-defined initial conditions (§2). Queries implement the
+/// definitions of §6 so the adversary and the test suite can check the
+/// constructions mechanically.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Creates an empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event (used by the simulator).
+    pub(crate) fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `Par(H)`: processes that take at least one step in the history.
+    #[must_use]
+    pub fn participants(&self) -> BTreeSet<ProcId> {
+        self.events.iter().map(Event::pid).collect()
+    }
+
+    /// `Fin(H)`: participating processes that have terminated (or crashed)
+    /// by the end of the history.
+    #[must_use]
+    pub fn finished(&self) -> BTreeSet<ProcId> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Terminate { pid } | Event::Crash { pid } => Some(pid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `Act(H) = Par(H) \ Fin(H)`.
+    #[must_use]
+    pub fn active(&self) -> BTreeSet<ProcId> {
+        let fin = self.finished();
+        self.participants().into_iter().filter(|p| !fin.contains(p)).collect()
+    }
+
+    /// All (seer, seen) pairs: p sees q if p observed a value last written by
+    /// the distinct process q (Definition 6.4).
+    #[must_use]
+    pub fn sees_pairs(&self) -> BTreeSet<(ProcId, ProcId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Access { pid, sees: Some(q), .. } => Some((pid, q)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All (toucher, touched) pairs: p touches q if p accessed a cell local
+    /// to the distinct process q (Definition 6.5).
+    #[must_use]
+    pub fn touches_pairs(&self) -> BTreeSet<(ProcId, ProcId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Access { pid, touches: Some(q), .. } => Some((pid, q)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total RMRs across all accesses.
+    #[must_use]
+    pub fn total_rmrs(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Access { cost, .. } => u64::from(cost.rmr),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// RMRs incurred by one process.
+    #[must_use]
+    pub fn rmrs_of(&self, pid: ProcId) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Access { pid: p, cost, .. } if *p == pid => u64::from(cost.rmr),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Reconstructs per-call records by matching `Invoke`/`Return` events.
+    #[must_use]
+    pub fn calls(&self) -> Vec<CallRecord> {
+        let mut out: Vec<CallRecord> = Vec::new();
+        let mut open: BTreeMap<ProcId, usize> = BTreeMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                Event::Invoke { pid, kind, .. } => {
+                    let idx = out.len();
+                    out.push(CallRecord {
+                        pid,
+                        kind,
+                        invoked_at: i,
+                        returned_at: None,
+                        return_value: None,
+                    });
+                    open.insert(pid, idx);
+                }
+                Event::Return { pid, value, .. } => {
+                    let idx = open.remove(&pid).expect("return without matching invoke");
+                    out[idx].returned_at = Some(i);
+                    out[idx].return_value = Some(value);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The semantic projection of the history onto one process: its invokes,
+    /// returns, and accesses (operation + result), with cost metadata
+    /// stripped. Two executions are indistinguishable to a process iff its
+    /// projections are equal — the criterion the lower-bound adversary uses
+    /// to certify that *erasing* other processes was transparent
+    /// (Lemma 6.7's conclusion, checked mechanically).
+    #[must_use]
+    pub fn projection(&self, pid: ProcId) -> Vec<ProjectedEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Invoke { pid: p, kind, .. } if p == pid => Some(ProjectedEvent::Invoke(kind)),
+                Event::Return { pid: p, kind, value } if p == pid => {
+                    Some(ProjectedEvent::Return(kind, value))
+                }
+                Event::Access { pid: p, op, result, .. } if p == pid => {
+                    Some(ProjectedEvent::Access(op, result))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks regularity (Definition 6.6). Conditions 1 and 2 require every
+    /// seen/touched process to be in `Fin(H)`; condition 3 requires the last
+    /// writer of every multi-writer cell to be in `Fin(H)`.
+    ///
+    /// Returns all violations (empty = regular).
+    #[must_use]
+    pub fn regularity_violations(&self) -> Vec<RegularityViolation> {
+        self.regularity_violations_given_fin(&self.finished())
+    }
+
+    /// Like [`History::regularity_violations`], but with the finished set
+    /// supplied by the caller. The lower-bound adversary manages termination
+    /// as bookkeeping (a rolled-forward waiter "completes its pending
+    /// `Poll()` and terminates" without the simulator recording a
+    /// `Terminate` event), so it checks regularity against its own `Fin`.
+    #[must_use]
+    pub fn regularity_violations_given_fin(&self, fin: &BTreeSet<ProcId>) -> Vec<RegularityViolation> {
+        let mut violations = Vec::new();
+        // Definition 6.6 quantifies over p, q ∈ Par(H): seeing or touching a
+        // process that never takes a step (e.g. the owner of a memory module
+        // who was erased) constrains nothing.
+        let participants = self.participants();
+        // Conditions 1 and 2, checked against end-of-history Fin (the
+        // definition quantifies over the whole history).
+        for (i, e) in self.events.iter().enumerate() {
+            if let Event::Access { pid, sees, touches, .. } = *e {
+                if let Some(q) = sees {
+                    if participants.contains(&q) && !fin.contains(&q) {
+                        violations.push(RegularityViolation::SeesActive { seer: pid, seen: q, at: i });
+                    }
+                }
+                if let Some(q) = touches {
+                    if participants.contains(&q) && !fin.contains(&q) {
+                        violations.push(RegularityViolation::TouchesActive { toucher: pid, touched: q, at: i });
+                    }
+                }
+            }
+        }
+        // Condition 3: reconstruct per-cell writer sets from the log.
+        let mut writers: BTreeMap<Addr, (BTreeSet<ProcId>, ProcId)> = BTreeMap::new();
+        for e in &self.events {
+            if let Event::Access { pid, op, wrote: true, .. } = *e {
+                let entry = writers.entry(op.addr()).or_insert_with(|| (BTreeSet::new(), pid));
+                entry.0.insert(pid);
+                entry.1 = pid;
+            }
+        }
+        for (addr, (set, last)) in writers {
+            if set.len() > 1 && !fin.contains(&last) {
+                violations.push(RegularityViolation::MultiWriterLastWriteActive { addr, last_writer: last });
+            }
+        }
+        violations
+    }
+
+    /// Whether the history is regular (Definition 6.6).
+    #[must_use]
+    pub fn is_regular(&self) -> bool {
+        self.regularity_violations().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AccessCost;
+
+    fn access(pid: u32, addr: u32, wrote: bool, sees: Option<u32>, touches: Option<u32>) -> Event {
+        Event::Access {
+            pid: ProcId(pid),
+            op: if wrote { Op::Write(Addr(addr), 1) } else { Op::Read(Addr(addr)) },
+            result: 0,
+            wrote,
+            cost: AccessCost { rmr: true, messages: 1, invalidations: 0 },
+            sees: sees.map(ProcId),
+            touches: touches.map(ProcId),
+        }
+    }
+
+    #[test]
+    fn participants_active_finished() {
+        let mut h = History::new();
+        h.push(access(0, 0, true, None, None));
+        h.push(access(1, 1, false, None, None));
+        h.push(Event::Terminate { pid: ProcId(1) });
+        assert_eq!(h.participants().len(), 2);
+        assert_eq!(h.finished(), BTreeSet::from([ProcId(1)]));
+        assert_eq!(h.active(), BTreeSet::from([ProcId(0)]));
+    }
+
+    #[test]
+    fn empty_history_is_regular() {
+        assert!(History::new().is_regular());
+    }
+
+    #[test]
+    fn sees_active_process_breaks_regularity() {
+        let mut h = History::new();
+        h.push(access(0, 0, true, None, None)); // p0 writes
+        h.push(access(1, 0, false, Some(0), None)); // p1 sees p0
+        assert!(!h.is_regular());
+        h.push(Event::Terminate { pid: ProcId(0) });
+        assert!(h.is_regular(), "finishing the seen process restores regularity");
+    }
+
+    #[test]
+    fn touches_active_process_breaks_regularity() {
+        let mut h = History::new();
+        h.push(access(0, 9, false, None, None)); // p0 participates
+        h.push(access(1, 5, false, None, Some(0)));
+        assert!(matches!(
+            h.regularity_violations()[0],
+            RegularityViolation::TouchesActive { toucher: ProcId(1), touched: ProcId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn touching_a_non_participant_is_not_a_violation() {
+        // Definition 6.6 quantifies over Par(H): the owner of a touched
+        // module that never takes a step constrains nothing.
+        let mut h = History::new();
+        h.push(access(1, 5, false, None, Some(0)));
+        assert!(h.is_regular());
+    }
+
+    #[test]
+    fn multi_writer_last_write_by_active_breaks_regularity() {
+        let mut h = History::new();
+        h.push(access(0, 3, true, None, None));
+        h.push(access(1, 3, true, None, None));
+        h.push(Event::Terminate { pid: ProcId(0) });
+        let v = h.regularity_violations();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(
+            v[0],
+            RegularityViolation::MultiWriterLastWriteActive { addr: Addr(3), last_writer: ProcId(1) }
+        ));
+    }
+
+    #[test]
+    fn single_writer_cell_never_violates_condition_3() {
+        let mut h = History::new();
+        h.push(access(0, 3, true, None, None));
+        h.push(access(0, 3, true, None, None));
+        assert!(h.is_regular());
+    }
+
+    #[test]
+    fn call_records_match_invokes_to_returns() {
+        let mut h = History::new();
+        h.push(Event::Invoke { pid: ProcId(0), kind: CallKind(1), name: "Poll" });
+        h.push(Event::Invoke { pid: ProcId(1), kind: CallKind(2), name: "Signal" });
+        h.push(Event::Return { pid: ProcId(0), kind: CallKind(1), value: 0 });
+        let calls = h.calls();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].return_value, Some(0));
+        assert!(calls[0].is_complete());
+        assert!(!calls[1].is_complete());
+    }
+
+    #[test]
+    fn rmr_counting() {
+        let mut h = History::new();
+        h.push(access(0, 0, true, None, None));
+        h.push(access(1, 0, false, None, None));
+        assert_eq!(h.total_rmrs(), 2);
+        assert_eq!(h.rmrs_of(ProcId(0)), 1);
+        assert_eq!(h.rmrs_of(ProcId(2)), 0);
+    }
+
+    #[test]
+    fn crash_counts_as_finished() {
+        let mut h = History::new();
+        h.push(access(0, 0, true, None, None));
+        h.push(Event::Crash { pid: ProcId(0) });
+        assert!(h.finished().contains(&ProcId(0)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Cell labels for trace rendering.
+
+use crate::ids::Addr;
+use std::collections::BTreeMap;
+
+/// A registry of human-readable names for allocated cells.
+///
+/// Produced by [`crate::mem::MemLayout::labels`]; unlabelled cells render
+/// as their raw address.
+#[derive(Clone, Debug, Default)]
+pub struct Labels {
+    names: BTreeMap<u32, String>,
+}
+
+impl Labels {
+    pub(crate) fn insert(&mut self, addr: Addr, name: String) {
+        self.names.insert(addr.0, name);
+    }
+
+    /// The display name of `addr`.
+    #[must_use]
+    pub fn name(&self, addr: Addr) -> String {
+        self.names.get(&addr.0).cloned().unwrap_or_else(|| format!("{addr}"))
+    }
+
+    /// Number of labelled cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no cells are labelled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}

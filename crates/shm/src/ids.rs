@@ -1,0 +1,154 @@
+//! Core identifier newtypes shared across the simulator.
+
+use std::fmt;
+
+/// Machine word stored in a shared-memory cell.
+///
+/// All values exchanged through shared memory are plain 64-bit words; domain
+/// crates encode Booleans as `0`/`1` and process IDs via [`ProcId::to_word`].
+pub type Word = u64;
+
+/// Sentinel word used to encode "no process" / NIL pointers.
+///
+/// Process IDs are small, so `u64::MAX` can never collide with an encoded ID.
+pub const NIL: Word = u64::MAX;
+
+/// Identifier of a process (equivalently, of the processor it runs on).
+///
+/// The paper's process `p_i` has `ProcId(i - 1)`: IDs are zero-based indices
+/// into the simulator's process table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// Encodes this ID as a shared-memory word (e.g. to store in a cell).
+    #[must_use]
+    pub fn to_word(self) -> Word {
+        Word::from(self.0)
+    }
+
+    /// Decodes a word previously produced by [`ProcId::to_word`].
+    ///
+    /// Returns `None` for [`NIL`] or out-of-range words.
+    #[must_use]
+    pub fn from_word(w: Word) -> Option<ProcId> {
+        if w == NIL || w > Word::from(u32::MAX) {
+            None
+        } else {
+            Some(ProcId(w as u32))
+        }
+    }
+
+    /// Zero-based index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Address of a shared-memory cell.
+///
+/// Addresses are allocated through [`crate::mem::MemLayout`] and index into
+/// the flat cell array of a [`crate::mem::Memory`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Index of this address in the flat cell array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A contiguous range of addresses produced by array allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AddrRange {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+impl AddrRange {
+    /// Address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn at(&self, i: usize) -> Addr {
+        assert!(i < self.len as usize, "array index {i} out of bounds (len {})", self.len);
+        Addr(self.start + i as u32)
+    }
+
+    /// Number of elements in the range.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the range is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the addresses in the range.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        (0..self.len).map(move |i| Addr(self.start + i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_word_round_trip() {
+        for raw in [0_u32, 1, 17, u32::MAX] {
+            let id = ProcId(raw);
+            assert_eq!(ProcId::from_word(id.to_word()), Some(id));
+        }
+    }
+
+    #[test]
+    fn nil_decodes_to_none() {
+        assert_eq!(ProcId::from_word(NIL), None);
+        assert_eq!(ProcId::from_word(Word::from(u32::MAX) + 1), None);
+    }
+
+    #[test]
+    fn addr_range_indexing() {
+        let r = AddrRange { start: 5, len: 3 };
+        assert_eq!(r.at(0), Addr(5));
+        assert_eq!(r.at(2), Addr(7));
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        let collected: Vec<Addr> = r.iter().collect();
+        assert_eq!(collected, vec![Addr(5), Addr(6), Addr(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn addr_range_oob_panics() {
+        let r = AddrRange { start: 0, len: 2 };
+        let _ = r.at(2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcId(3).to_string(), "p3");
+        assert_eq!(Addr(9).to_string(), "@9");
+    }
+}

@@ -1,0 +1,190 @@
+//! The step-machine framework in which all algorithms are written.
+//!
+//! A *procedure call* (the paper's `Signal()`, `Poll()`, `Wait()`, or a
+//! lock's `acquire`) is a deterministic state machine that is advanced one
+//! step at a time by the simulator. Each step either issues one atomic
+//! memory operation or returns a value and ends the call.
+//!
+//! Determinism plus cloneability is what makes the lower-bound adversary's
+//! techniques executable: *erasing* a process is a replay of the schedule
+//! without its steps, and *peeking* at a process's next memory operation
+//! clones only its machine state (a step machine never touches memory
+//! directly — it sees values exclusively through the `last` argument).
+
+use crate::ids::Word;
+use crate::op::Op;
+use std::fmt;
+
+/// What a procedure call does in one step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Issue one atomic memory operation; its result is passed to the next
+    /// `step` invocation.
+    Op(Op),
+    /// Finish the call, returning a word to the caller (Booleans are encoded
+    /// as 0/1; procedures without a result return 0).
+    Return(Word),
+}
+
+/// A single procedure call as a deterministic, cloneable state machine.
+///
+/// # Contract
+///
+/// * `step` is called with `None` first, then with `Some(result)` of the
+///   operation issued by the previous step.
+/// * After returning [`Step::Return`], `step` is never called again.
+/// * `step` must be deterministic: equal state and inputs give equal outputs.
+///   (No clocks, no randomness — randomized algorithms would take their coins
+///   as explicit construction parameters.)
+///
+/// # Examples
+///
+/// A call that reads one cell and returns its value:
+///
+/// ```
+/// use shm_sim::{Addr, Op, ProcedureCall, Step, Word};
+///
+/// #[derive(Clone)]
+/// struct ReadCell { addr: Addr, issued: bool }
+///
+/// impl ProcedureCall for ReadCell {
+///     fn step(&mut self, last: Option<Word>) -> Step {
+///         if self.issued {
+///             Step::Return(last.expect("read result"))
+///         } else {
+///             self.issued = true;
+///             Step::Op(Op::Read(self.addr))
+///         }
+///     }
+///     fn clone_call(&self) -> Box<dyn ProcedureCall> { Box::new(self.clone()) }
+/// }
+/// ```
+pub trait ProcedureCall: Send {
+    /// Advances the call by one step. See the trait-level contract.
+    fn step(&mut self, last: Option<Word>) -> Step;
+
+    /// Clones the call's state (object-safe `Clone`).
+    fn clone_call(&self) -> Box<dyn ProcedureCall>;
+}
+
+impl Clone for Box<dyn ProcedureCall> {
+    fn clone(&self) -> Self {
+        self.clone_call()
+    }
+}
+
+impl fmt::Debug for Box<dyn ProcedureCall> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Box<dyn ProcedureCall>")
+    }
+}
+
+/// Domain tag identifying what kind of procedure a call is.
+///
+/// The simulator treats this as opaque; domain crates define constants (e.g.
+/// the signaling crate uses `SIGNAL`, `POLL`, `WAIT`) and their history
+/// checkers dispatch on it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CallKind(pub u32);
+
+/// A labelled procedure call ready to be run by the simulator.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Domain tag (see [`CallKind`]).
+    pub kind: CallKind,
+    /// Human-readable procedure name for traces (e.g. `"Poll"`).
+    pub name: &'static str,
+    /// The state machine implementing the call.
+    pub machine: Box<dyn ProcedureCall>,
+}
+
+impl Call {
+    /// Creates a labelled call.
+    #[must_use]
+    pub fn new(kind: CallKind, name: &'static str, machine: Box<dyn ProcedureCall>) -> Self {
+        Call { kind, name, machine }
+    }
+}
+
+/// A ready-made call that immediately returns a constant. Useful in tests
+/// and as a no-op procedure.
+#[derive(Clone, Copy, Debug)]
+pub struct ReturnConst(pub Word);
+
+impl ProcedureCall for ReturnConst {
+    fn step(&mut self, _last: Option<Word>) -> Step {
+        Step::Return(self.0)
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(*self)
+    }
+}
+
+/// A call that executes a fixed straight-line sequence of operations and
+/// returns the result of the last one (or 0 if the sequence is empty).
+///
+/// Handy for tests and for simple registration procedures.
+#[derive(Clone, Debug)]
+pub struct OpSequence {
+    ops: Vec<Op>,
+    next: usize,
+}
+
+impl OpSequence {
+    /// Creates a straight-line call from the given operations.
+    #[must_use]
+    pub fn new(ops: Vec<Op>) -> Self {
+        OpSequence { ops, next: 0 }
+    }
+}
+
+impl ProcedureCall for OpSequence {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        if self.next < self.ops.len() {
+            let op = self.ops[self.next];
+            self.next += 1;
+            Step::Op(op)
+        } else {
+            Step::Return(last.unwrap_or(0))
+        }
+    }
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Addr;
+
+    #[test]
+    fn return_const_returns_immediately() {
+        let mut c = ReturnConst(42);
+        assert_eq!(c.step(None), Step::Return(42));
+    }
+
+    #[test]
+    fn op_sequence_runs_in_order_then_returns_last_result() {
+        let mut c = OpSequence::new(vec![Op::Write(Addr(0), 1), Op::Read(Addr(1))]);
+        assert_eq!(c.step(None), Step::Op(Op::Write(Addr(0), 1)));
+        assert_eq!(c.step(Some(1)), Step::Op(Op::Read(Addr(1))));
+        assert_eq!(c.step(Some(99)), Step::Return(99));
+    }
+
+    #[test]
+    fn empty_op_sequence_returns_zero() {
+        let mut c = OpSequence::new(vec![]);
+        assert_eq!(c.step(None), Step::Return(0));
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut c = OpSequence::new(vec![Op::Read(Addr(0)), Op::Read(Addr(1))]);
+        let _ = c.step(None);
+        let mut copy: Box<dyn ProcedureCall> = c.clone_call();
+        // The clone resumes exactly where the original was.
+        assert_eq!(copy.step(Some(7)), Step::Op(Op::Read(Addr(1))));
+        assert_eq!(c.step(Some(7)), Step::Op(Op::Read(Addr(1))));
+    }
+}

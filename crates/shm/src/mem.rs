@@ -1,0 +1,445 @@
+//! Shared memory: allocation layout and the cell array with atomic semantics.
+//!
+//! The DSM model (§1–2 of the paper) partitions memory into modules tied to
+//! processors; every cell therefore carries an optional *owner*. Ownership is
+//! what makes an access remote in the DSM cost model; in the CC cost model it
+//! is ignored.
+
+use crate::ids::{Addr, AddrRange, ProcId, Word};
+use crate::op::{Applied, Op};
+
+/// Specification of one cell at initialization time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct CellSpec {
+    init: Word,
+    owner: Option<ProcId>,
+}
+
+/// A reusable allocation plan for shared memory.
+///
+/// Algorithms allocate their variables through a `MemLayout` once; the
+/// simulator instantiates a fresh [`Memory`] from the layout for every run
+/// and replay, which is what makes history replay (and hence the
+/// lower-bound adversary's *erasing* strategy) deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use shm_sim::{MemLayout, ProcId};
+///
+/// let mut layout = MemLayout::new();
+/// let flag = layout.alloc_global(0);
+/// let mine = layout.alloc_local(ProcId(3), 7);
+/// assert_eq!(layout.owner(flag), None);
+/// assert_eq!(layout.owner(mine), Some(ProcId(3)));
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct MemLayout {
+    cells: Vec<CellSpec>,
+    labels: crate::history_label::Labels,
+}
+
+impl MemLayout {
+    /// Creates an empty layout.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a cell in no process's module (meaningful only in the CC
+    /// model, where all memory is symmetric; in the DSM model a global cell
+    /// is remote to *every* process).
+    pub fn alloc_global(&mut self, init: Word) -> Addr {
+        self.push(CellSpec { init, owner: None })
+    }
+
+    /// Allocates a cell in `owner`'s memory module.
+    pub fn alloc_local(&mut self, owner: ProcId, init: Word) -> Addr {
+        self.push(CellSpec { init, owner: Some(owner) })
+    }
+
+    /// Allocates a contiguous array of global cells.
+    pub fn alloc_global_array(&mut self, len: usize, init: Word) -> AddrRange {
+        let start = self.cells.len() as u32;
+        for _ in 0..len {
+            self.cells.push(CellSpec { init, owner: None });
+        }
+        AddrRange { start, len: len as u32 }
+    }
+
+    /// Allocates a contiguous array of cells all local to `owner`'s module
+    /// (e.g. registration flags hosted by a fixed signaler so it can spin on
+    /// them locally in the DSM model).
+    pub fn alloc_local_array(&mut self, owner: ProcId, len: usize, init: Word) -> AddrRange {
+        let start = self.cells.len() as u32;
+        for _ in 0..len {
+            self.cells.push(CellSpec { init, owner: Some(owner) });
+        }
+        AddrRange { start, len: len as u32 }
+    }
+
+    /// Allocates an array with one cell per process, element `i` local to
+    /// process `ProcId(i)`. This is the paper's recurring `V[1..N]` pattern
+    /// ("V\[i\] is local to process p_i").
+    pub fn alloc_per_process_array(&mut self, n: usize, init: Word) -> AddrRange {
+        let start = self.cells.len() as u32;
+        for i in 0..n {
+            self.cells.push(CellSpec { init, owner: Some(ProcId(i as u32)) });
+        }
+        AddrRange { start, len: n as u32 }
+    }
+
+    fn push(&mut self, spec: CellSpec) -> Addr {
+        let a = Addr(self.cells.len() as u32);
+        self.cells.push(spec);
+        a
+    }
+
+    /// Number of allocated cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells have been allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The module owner of `addr` (`None` = global).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` was not allocated by this layout.
+    #[must_use]
+    pub fn owner(&self, addr: Addr) -> Option<ProcId> {
+        self.cells[addr.index()].owner
+    }
+
+    /// The initial value of `addr`.
+    #[must_use]
+    pub fn initial_value(&self, addr: Addr) -> Word {
+        self.cells[addr.index()].init
+    }
+
+    /// Attaches a display name to a cell for trace rendering
+    /// (see [`crate::trace`]).
+    pub fn set_label(&mut self, addr: Addr, name: impl Into<String>) {
+        self.labels.insert(addr, name.into());
+    }
+
+    /// Labels array elements as `name[0]`, `name[1]`, ….
+    pub fn set_array_label(&mut self, range: AddrRange, name: &str) {
+        for (i, addr) in range.iter().enumerate() {
+            self.labels.insert(addr, format!("{name}[{i}]"));
+        }
+    }
+
+    /// The label registry (cloned; cheap for the handful of labelled cells).
+    #[must_use]
+    pub fn labels(&self) -> crate::history_label::Labels {
+        self.labels.clone()
+    }
+}
+
+/// Runtime state of one memory cell.
+#[derive(Clone, Debug)]
+struct Cell {
+    value: Word,
+    owner: Option<ProcId>,
+    /// Last process that performed a nontrivial operation on the cell.
+    last_writer: Option<ProcId>,
+    /// Distinct processes that have performed nontrivial operations
+    /// (needed for regularity condition 3 of Definition 6.6). Kept sorted
+    /// and deduplicated; in practice tiny.
+    writers: Vec<ProcId>,
+    /// Processes holding an unbroken LL reservation on this cell.
+    reservations: Vec<ProcId>,
+}
+
+/// The flat cell array with atomic-operation semantics.
+///
+/// `Memory` implements *functional* semantics only; cost accounting (RMRs,
+/// cache state, messages) lives in [`crate::model`]. This separation lets the
+/// same execution be priced under both the CC and DSM models.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    cells: Vec<Cell>,
+}
+
+impl Memory {
+    /// Instantiates memory in the initial state described by `layout`.
+    #[must_use]
+    pub fn from_layout(layout: &MemLayout) -> Self {
+        Memory {
+            cells: layout
+                .cells
+                .iter()
+                .map(|spec| Cell {
+                    value: spec.init,
+                    owner: spec.owner,
+                    last_writer: None,
+                    writers: Vec::new(),
+                    reservations: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the memory has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Current value of `addr` (inspection only; does not count as a step).
+    #[must_use]
+    pub fn peek(&self, addr: Addr) -> Word {
+        self.cells[addr.index()].value
+    }
+
+    /// Module owner of `addr`.
+    #[must_use]
+    pub fn owner(&self, addr: Addr) -> Option<ProcId> {
+        self.cells[addr.index()].owner
+    }
+
+    /// Last process that performed a nontrivial operation on `addr`.
+    #[must_use]
+    pub fn last_writer(&self, addr: Addr) -> Option<ProcId> {
+        self.cells[addr.index()].last_writer
+    }
+
+    /// Distinct processes that have performed nontrivial operations on `addr`.
+    #[must_use]
+    pub fn writers(&self, addr: Addr) -> &[ProcId] {
+        &self.cells[addr.index()].writers
+    }
+
+    /// Atomically applies `op` on behalf of `pid`.
+    ///
+    /// Returns the result word plus the trivial/nontrivial classification the
+    /// cost models and the history log need.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation addresses an unallocated cell.
+    pub fn apply(&mut self, pid: ProcId, op: Op) -> Applied {
+        let cell = &mut self.cells[op.addr().index()];
+        match op {
+            Op::Read(_) => Applied { result: cell.value, nontrivial: false, failed_comparison: false },
+            Op::Ll(_) => {
+                if !cell.reservations.contains(&pid) {
+                    cell.reservations.push(pid);
+                }
+                Applied { result: cell.value, nontrivial: false, failed_comparison: false }
+            }
+            Op::Write(_, w) => {
+                cell.overwrite(pid, w);
+                Applied { result: w, nontrivial: true, failed_comparison: false }
+            }
+            Op::Cas(_, expected, new) => {
+                let old = cell.value;
+                if old == expected {
+                    cell.overwrite(pid, new);
+                    Applied { result: old, nontrivial: true, failed_comparison: false }
+                } else {
+                    Applied { result: old, nontrivial: false, failed_comparison: true }
+                }
+            }
+            Op::Sc(_, w) => {
+                if cell.reservations.contains(&pid) {
+                    cell.overwrite(pid, w);
+                    Applied { result: 1, nontrivial: true, failed_comparison: false }
+                } else {
+                    Applied { result: 0, nontrivial: false, failed_comparison: true }
+                }
+            }
+            Op::Faa(_, d) => {
+                let old = cell.value;
+                cell.overwrite(pid, old.wrapping_add(d));
+                Applied { result: old, nontrivial: true, failed_comparison: false }
+            }
+            Op::Fas(_, w) => {
+                let old = cell.value;
+                cell.overwrite(pid, w);
+                Applied { result: old, nontrivial: true, failed_comparison: false }
+            }
+            Op::Tas(_) => {
+                let old = cell.value;
+                cell.overwrite(pid, 1);
+                Applied { result: old, nontrivial: true, failed_comparison: false }
+            }
+        }
+    }
+}
+
+impl Cell {
+    /// Performs a nontrivial update: sets the value, records the writer, and
+    /// breaks all LL reservations (including the writer's own, per the usual
+    /// LL/SC semantics where SC consumes the reservation).
+    fn overwrite(&mut self, pid: ProcId, value: Word) {
+        self.value = value;
+        self.last_writer = Some(pid);
+        if let Err(pos) = self.writers.binary_search(&pid) {
+            self.writers.insert(pos, pid);
+        }
+        self.reservations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cell_memory() -> (Memory, Addr, Addr) {
+        let mut layout = MemLayout::new();
+        let a = layout.alloc_global(5);
+        let b = layout.alloc_local(ProcId(1), 0);
+        (Memory::from_layout(&layout), a, b)
+    }
+
+    #[test]
+    fn read_and_write() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        assert_eq!(m.apply(p, Op::Read(a)).result, 5);
+        let w = m.apply(p, Op::Write(a, 9));
+        assert!(w.nontrivial);
+        assert_eq!(m.peek(a), 9);
+        assert_eq!(m.last_writer(a), Some(p));
+    }
+
+    #[test]
+    fn write_of_same_value_is_nontrivial() {
+        // The paper: "A nontrivial operation overwrites a memory location,
+        // possibly with the same value as before."
+        let (mut m, a, _) = two_cell_memory();
+        let applied = m.apply(ProcId(0), Op::Write(a, 5));
+        assert!(applied.nontrivial);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(2);
+        let ok = m.apply(p, Op::Cas(a, 5, 6));
+        assert_eq!(ok.result, 5);
+        assert!(ok.nontrivial && !ok.failed_comparison);
+        let fail = m.apply(p, Op::Cas(a, 5, 7));
+        assert_eq!(fail.result, 6);
+        assert!(!fail.nontrivial && fail.failed_comparison);
+        assert_eq!(m.peek(a), 6);
+    }
+
+    #[test]
+    fn ll_sc_basic_success() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        assert_eq!(m.apply(p, Op::Ll(a)).result, 5);
+        let sc = m.apply(p, Op::Sc(a, 8));
+        assert_eq!(sc.result, 1);
+        assert!(sc.nontrivial);
+        assert_eq!(m.peek(a), 8);
+    }
+
+    #[test]
+    fn sc_fails_after_intervening_write() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        let q = ProcId(1);
+        m.apply(p, Op::Ll(a));
+        m.apply(q, Op::Write(a, 6));
+        let sc = m.apply(p, Op::Sc(a, 8));
+        assert_eq!(sc.result, 0);
+        assert!(sc.failed_comparison);
+        assert_eq!(m.peek(a), 6);
+    }
+
+    #[test]
+    fn sc_fails_even_if_value_restored_aba() {
+        // LL/SC is immune to ABA: reservation is broken by *any* nontrivial op.
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        let q = ProcId(1);
+        m.apply(p, Op::Ll(a));
+        m.apply(q, Op::Write(a, 6));
+        m.apply(q, Op::Write(a, 5)); // restore original value
+        assert_eq!(m.apply(p, Op::Sc(a, 8)).result, 0);
+    }
+
+    #[test]
+    fn sc_without_ll_fails() {
+        let (mut m, a, _) = two_cell_memory();
+        assert_eq!(m.apply(ProcId(0), Op::Sc(a, 3)).result, 0);
+    }
+
+    #[test]
+    fn sc_consumes_reservation() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        m.apply(p, Op::Ll(a));
+        assert_eq!(m.apply(p, Op::Sc(a, 8)).result, 1);
+        assert_eq!(m.apply(p, Op::Sc(a, 9)).result, 0, "second SC must fail");
+    }
+
+    #[test]
+    fn faa_wraps_and_returns_old() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        assert_eq!(m.apply(p, Op::Faa(a, 2)).result, 5);
+        assert_eq!(m.peek(a), 7);
+        m.apply(p, Op::Write(a, u64::MAX));
+        assert_eq!(m.apply(p, Op::Faa(a, 1)).result, u64::MAX);
+        assert_eq!(m.peek(a), 0, "FAA wraps");
+    }
+
+    #[test]
+    fn fas_and_tas() {
+        let (mut m, a, _) = two_cell_memory();
+        let p = ProcId(0);
+        assert_eq!(m.apply(p, Op::Fas(a, 11)).result, 5);
+        assert_eq!(m.peek(a), 11);
+        m.apply(p, Op::Write(a, 0));
+        assert_eq!(m.apply(p, Op::Tas(a)).result, 0);
+        assert_eq!(m.apply(p, Op::Tas(a)).result, 1);
+        assert_eq!(m.peek(a), 1);
+    }
+
+    #[test]
+    fn writer_tracking_is_deduplicated() {
+        let (mut m, a, _) = two_cell_memory();
+        m.apply(ProcId(2), Op::Write(a, 1));
+        m.apply(ProcId(0), Op::Write(a, 2));
+        m.apply(ProcId(2), Op::Write(a, 3));
+        assert_eq!(m.writers(a), &[ProcId(0), ProcId(2)]);
+        assert_eq!(m.last_writer(a), Some(ProcId(2)));
+    }
+
+    #[test]
+    fn failed_cas_does_not_record_writer() {
+        let (mut m, a, _) = two_cell_memory();
+        m.apply(ProcId(0), Op::Cas(a, 99, 1));
+        assert!(m.writers(a).is_empty());
+        assert_eq!(m.last_writer(a), None);
+    }
+
+    #[test]
+    fn per_process_array_ownership() {
+        let mut layout = MemLayout::new();
+        let v = layout.alloc_per_process_array(4, 0);
+        for i in 0..4 {
+            assert_eq!(layout.owner(v.at(i)), Some(ProcId(i as u32)));
+        }
+        let g = layout.alloc_global_array(2, 3);
+        assert_eq!(layout.owner(g.at(1)), None);
+        assert_eq!(layout.initial_value(g.at(0)), 3);
+    }
+}

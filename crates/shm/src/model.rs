@@ -1,0 +1,395 @@
+//! Cost models: what makes a memory access a *remote memory reference*.
+//!
+//! The paper prices the same abstract execution differently in two models:
+//!
+//! * **DSM** — an access is an RMR iff the cell lives in another processor's
+//!   memory module (ownership is static; see [`crate::mem::MemLayout`]).
+//! * **CC** — an access is an RMR iff it cannot be served by the processor's
+//!   cache. We implement the paper's "ideal cache" (§2): caches never drop
+//!   data spuriously, so a sequence of reads of one location costs one RMR
+//!   until some other process performs a nontrivial operation on it.
+//!
+//! The CC model is configurable along the three axes §8 discusses:
+//! write-through vs. write-back propagation, LFCU (local failed comparisons
+//! with write-update) vs. standard invalidation, and the interconnect that
+//! determines how many *messages* one coherence action costs (shared bus,
+//! ideal directory, or stateless broadcast).
+
+use crate::ids::{Addr, ProcId, Word};
+use crate::op::Applied;
+
+/// How writes propagate in the CC model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Protocol {
+    /// Every nontrivial operation goes to main memory (always an RMR).
+    #[default]
+    WriteThrough,
+    /// A nontrivial operation by the sole cache-line holder is local.
+    WriteBack,
+}
+
+/// Message cost of one coherence action (§8's "exchange rate" discussion).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Interconnect {
+    /// Shared bus: a single broadcast serves the write and all invalidations,
+    /// so CC RMRs are "at par" with DSM RMRs (one message each).
+    #[default]
+    Bus,
+    /// Ideal directory: invalidations are sent exactly to the remote caches
+    /// that hold a copy (requires ~N bits of state per line; §8 calls this
+    /// unrealistic but it makes amortized RMRs track amortized messages).
+    IdealDirectory,
+    /// Stateless broadcast fabric: every write RMR notifies all other N-1
+    /// processors whether or not they hold a copy (superfluous invalidation
+    /// messages; amortized messages can exceed amortized RMRs).
+    StatelessBroadcast,
+}
+
+/// Configuration of the cache-coherent cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CcConfig {
+    /// Write propagation policy.
+    pub protocol: Protocol,
+    /// Local-Failed-Comparison with write-Update semantics (Anderson–Kim's
+    /// LFCU systems, §3): failed CAS/SC are free and local, and writes update
+    /// remote copies instead of invalidating them.
+    pub lfcu: bool,
+    /// Message accounting for coherence actions.
+    pub interconnect: Interconnect,
+}
+
+/// The two architecture models of Figure 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+pub enum CostModel {
+    /// Distributed shared memory: RMR iff the address maps to another
+    /// processor's module.
+    #[default]
+    Dsm,
+    /// Cache-coherent with the given configuration.
+    Cc(CcConfig),
+}
+
+impl CostModel {
+    /// Standard write-through CC machine with a shared bus.
+    #[must_use]
+    pub fn cc_default() -> Self {
+        CostModel::Cc(CcConfig::default())
+    }
+}
+
+
+/// Price of one memory access under a cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AccessCost {
+    /// Whether the access is a remote memory reference.
+    pub rmr: bool,
+    /// Interconnect messages generated (RMR traffic + coherence traffic).
+    pub messages: u64,
+    /// Cached copies actually destroyed by this access (CC only). §8's key
+    /// observation: totals satisfy `invalidations <= RMRs` because a copy is
+    /// created by an RMR and destroyed at most once.
+    pub invalidations: u64,
+}
+
+/// Compact set of process IDs (one bit per process).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct ProcSet {
+    bits: Vec<u64>,
+}
+
+impl ProcSet {
+    fn contains(&self, p: ProcId) -> bool {
+        let (blk, bit) = (p.index() / 64, p.index() % 64);
+        self.bits.get(blk).is_some_and(|b| b >> bit & 1 == 1)
+    }
+
+    fn insert(&mut self, p: ProcId) {
+        let (blk, bit) = (p.index() / 64, p.index() % 64);
+        if self.bits.len() <= blk {
+            self.bits.resize(blk + 1, 0);
+        }
+        self.bits[blk] |= 1 << bit;
+    }
+
+    fn len(&self) -> u64 {
+        self.bits.iter().map(|b| u64::from(b.count_ones())).sum()
+    }
+
+    /// Number of members other than `p`.
+    fn count_others(&self, p: ProcId) -> u64 {
+        self.len() - u64::from(self.contains(p))
+    }
+
+    /// Retains only `p` (if present or not, the set becomes `{p}`).
+    fn reset_to(&mut self, p: ProcId) {
+        self.bits.iter_mut().for_each(|b| *b = 0);
+        self.insert(p);
+    }
+}
+
+/// Mutable pricing state for one execution under one cost model.
+///
+/// For DSM this is stateless; for CC it tracks which processes hold a valid
+/// cached copy of each cell.
+#[derive(Clone, Debug)]
+pub struct CostState {
+    model: CostModel,
+    n_procs: usize,
+    /// `valid[a]` = processes holding a valid cached copy of cell `a`
+    /// (CC only; empty vec for DSM).
+    valid: Vec<ProcSet>,
+}
+
+impl CostState {
+    /// Creates pricing state for `n_procs` processes and `n_cells` cells.
+    #[must_use]
+    pub fn new(model: CostModel, n_procs: usize, n_cells: usize) -> Self {
+        let valid = match model {
+            CostModel::Dsm => Vec::new(),
+            CostModel::Cc(_) => vec![ProcSet::default(); n_cells],
+        };
+        CostState { model, n_procs, valid }
+    }
+
+    /// The model being priced.
+    #[must_use]
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Prices the access `applied` performed by `pid` on `addr` (whose module
+    /// owner is `owner`), updating cache state for the CC model.
+    ///
+    /// Must be called exactly once per memory access, in execution order.
+    pub fn charge(&mut self, pid: ProcId, addr: Addr, owner: Option<ProcId>, applied: &Applied) -> AccessCost {
+        match self.model {
+            CostModel::Dsm => {
+                let rmr = owner != Some(pid);
+                AccessCost { rmr, messages: u64::from(rmr), invalidations: 0 }
+            }
+            CostModel::Cc(cfg) => self.charge_cc(cfg, pid, addr, applied),
+        }
+    }
+
+    fn charge_cc(&mut self, cfg: CcConfig, pid: ProcId, addr: Addr, applied: &Applied) -> AccessCost {
+        let valid = &mut self.valid[addr.index()];
+        if applied.failed_comparison && cfg.lfcu {
+            // LFCU: a failed comparison primitive is applied locally.
+            return AccessCost::default();
+        }
+        if !applied.nontrivial {
+            // Read-like access (read, LL, or standard failed comparison):
+            // served by the cache if a valid copy exists, otherwise one fetch.
+            let rmr = !valid.contains(pid);
+            valid.insert(pid);
+            return AccessCost { rmr, messages: u64::from(rmr), invalidations: 0 };
+        }
+        // Nontrivial operation.
+        let holders_elsewhere = valid.count_others(pid);
+        let rmr = match cfg.protocol {
+            Protocol::WriteThrough => true,
+            Protocol::WriteBack => !(valid.contains(pid) && holders_elsewhere == 0),
+        };
+        let (invalidations, coherence_messages) = if cfg.lfcu {
+            // Write-update: remote copies are refreshed in place, not destroyed.
+            let updates = match cfg.interconnect {
+                Interconnect::Bus => u64::from(holders_elsewhere > 0),
+                Interconnect::IdealDirectory => holders_elsewhere,
+                Interconnect::StatelessBroadcast => {
+                    if rmr { self.n_procs as u64 - 1 } else { 0 }
+                }
+            };
+            (0, updates)
+        } else {
+            let msgs = match cfg.interconnect {
+                Interconnect::Bus => u64::from(holders_elsewhere > 0),
+                Interconnect::IdealDirectory => holders_elsewhere,
+                Interconnect::StatelessBroadcast => {
+                    if rmr { self.n_procs as u64 - 1 } else { 0 }
+                }
+            };
+            (holders_elsewhere, msgs)
+        };
+        if cfg.lfcu {
+            valid.insert(pid);
+        } else {
+            valid.reset_to(pid);
+        }
+        AccessCost { rmr, messages: u64::from(rmr) + coherence_messages, invalidations }
+    }
+}
+
+/// Convenience: prices a single hypothetical access without mutating state.
+///
+/// Useful for "is the next op an RMR?" peeks by the lower-bound adversary.
+#[must_use]
+pub fn would_be_rmr(state: &CostState, pid: ProcId, addr: Addr, owner: Option<ProcId>, nontrivial_hint: bool) -> bool {
+    match state.model {
+        CostModel::Dsm => owner != Some(pid),
+        CostModel::Cc(cfg) => {
+            let valid = &state.valid[addr.index()];
+            if !nontrivial_hint {
+                !valid.contains(pid)
+            } else {
+                match cfg.protocol {
+                    Protocol::WriteThrough => true,
+                    Protocol::WriteBack => !(valid.contains(pid) && valid.count_others(pid) == 0),
+                }
+            }
+        }
+    }
+}
+
+/// Dummy word re-export so doctests elsewhere can reference the alias.
+#[doc(hidden)]
+pub type _Word = Word;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Applied;
+
+    fn read_applied(v: Word) -> Applied {
+        Applied { result: v, nontrivial: false, failed_comparison: false }
+    }
+    fn write_applied() -> Applied {
+        Applied { result: 0, nontrivial: true, failed_comparison: false }
+    }
+    fn failed_cas() -> Applied {
+        Applied { result: 0, nontrivial: false, failed_comparison: true }
+    }
+
+    const A: Addr = Addr(0);
+    const P: ProcId = ProcId(0);
+    const Q: ProcId = ProcId(1);
+
+    #[test]
+    fn dsm_charges_by_ownership_only() {
+        let mut st = CostState::new(CostModel::Dsm, 4, 1);
+        assert!(st.charge(P, A, Some(Q), &read_applied(0)).rmr);
+        assert!(!st.charge(P, A, Some(P), &read_applied(0)).rmr);
+        assert!(st.charge(P, A, None, &write_applied()).rmr, "global cells are remote to all in DSM");
+        // Repeated remote reads stay RMRs in DSM (no caching).
+        assert!(st.charge(P, A, Some(Q), &read_applied(0)).rmr);
+        assert!(st.charge(P, A, Some(Q), &read_applied(0)).rmr);
+    }
+
+    #[test]
+    fn cc_repeated_reads_cost_one_rmr() {
+        let mut st = CostState::new(CostModel::cc_default(), 4, 1);
+        assert!(st.charge(P, A, None, &read_applied(0)).rmr);
+        assert!(!st.charge(P, A, None, &read_applied(0)).rmr);
+        assert!(!st.charge(P, A, None, &read_applied(0)).rmr);
+    }
+
+    #[test]
+    fn cc_write_by_other_invalidates_reader() {
+        let mut st = CostState::new(CostModel::cc_default(), 4, 1);
+        st.charge(P, A, None, &read_applied(0));
+        let w = st.charge(Q, A, None, &write_applied());
+        assert!(w.rmr);
+        assert_eq!(w.invalidations, 1, "P's copy destroyed");
+        assert!(st.charge(P, A, None, &read_applied(0)).rmr, "P must re-fetch");
+    }
+
+    #[test]
+    fn cc_write_through_writes_always_rmr() {
+        let mut st = CostState::new(
+            CostModel::Cc(CcConfig { protocol: Protocol::WriteThrough, ..Default::default() }),
+            4,
+            1,
+        );
+        assert!(st.charge(P, A, None, &write_applied()).rmr);
+        assert!(st.charge(P, A, None, &write_applied()).rmr);
+    }
+
+    #[test]
+    fn cc_write_back_sole_holder_writes_locally() {
+        let mut st = CostState::new(
+            CostModel::Cc(CcConfig { protocol: Protocol::WriteBack, ..Default::default() }),
+            4,
+            1,
+        );
+        assert!(st.charge(P, A, None, &write_applied()).rmr, "first write fetches the line");
+        assert!(!st.charge(P, A, None, &write_applied()).rmr, "exclusive holder writes locally");
+        st.charge(Q, A, None, &read_applied(0)); // Q caches a copy
+        assert!(st.charge(P, A, None, &write_applied()).rmr, "sharing forces an RMR again");
+    }
+
+    #[test]
+    fn failed_comparison_standard_vs_lfcu() {
+        let mut standard = CostState::new(CostModel::cc_default(), 4, 1);
+        assert!(standard.charge(P, A, None, &failed_cas()).rmr, "standard: failed CAS fetches the line");
+        assert!(!standard.charge(P, A, None, &failed_cas()).rmr, "…then it is cached");
+
+        let mut lfcu = CostState::new(
+            CostModel::Cc(CcConfig { lfcu: true, ..Default::default() }),
+            4,
+            1,
+        );
+        let c = lfcu.charge(P, A, None, &failed_cas());
+        assert!(!c.rmr && c.messages == 0, "LFCU: failed comparisons are local");
+    }
+
+    #[test]
+    fn lfcu_write_updates_instead_of_invalidating() {
+        let cfg = CcConfig { lfcu: true, interconnect: Interconnect::IdealDirectory, ..Default::default() };
+        let mut st = CostState::new(CostModel::Cc(cfg), 4, 1);
+        st.charge(Q, A, None, &read_applied(0));
+        let w = st.charge(P, A, None, &write_applied());
+        assert_eq!(w.invalidations, 0);
+        assert_eq!(w.messages, 2, "1 write + 1 update to Q");
+        assert!(!st.charge(Q, A, None, &read_applied(0)).rmr, "Q's copy stays valid");
+    }
+
+    #[test]
+    fn interconnect_message_counts() {
+        // Two readers cache the line, then P writes.
+        let setup = |ic| {
+            let mut st = CostState::new(
+                CostModel::Cc(CcConfig { interconnect: ic, ..Default::default() }),
+                8,
+                1,
+            );
+            st.charge(Q, A, None, &read_applied(0));
+            st.charge(ProcId(2), A, None, &read_applied(0));
+            st.charge(P, A, None, &write_applied())
+        };
+        assert_eq!(setup(Interconnect::Bus).messages, 1 + 1, "write + one broadcast");
+        assert_eq!(setup(Interconnect::IdealDirectory).messages, 1 + 2, "write + exactly the 2 holders");
+        assert_eq!(setup(Interconnect::StatelessBroadcast).messages, 1 + 7, "write + all N-1 others");
+    }
+
+    #[test]
+    fn bus_write_with_no_holders_sends_no_coherence_traffic() {
+        let mut st = CostState::new(CostModel::cc_default(), 8, 1);
+        let w = st.charge(P, A, None, &write_applied());
+        assert_eq!(w.messages, 1);
+        assert_eq!(w.invalidations, 0);
+    }
+
+    #[test]
+    fn would_be_rmr_matches_charge_for_reads() {
+        let mut st = CostState::new(CostModel::cc_default(), 4, 1);
+        assert!(would_be_rmr(&st, P, A, None, false));
+        st.charge(P, A, None, &read_applied(0));
+        assert!(!would_be_rmr(&st, P, A, None, false));
+        assert!(would_be_rmr(&st, Q, A, None, false));
+    }
+
+    #[test]
+    fn procset_operations() {
+        let mut s = ProcSet::default();
+        assert!(!s.contains(ProcId(70)));
+        s.insert(ProcId(70));
+        s.insert(ProcId(3));
+        assert!(s.contains(ProcId(70)) && s.contains(ProcId(3)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.count_others(ProcId(3)), 1);
+        assert_eq!(s.count_others(ProcId(9)), 2);
+        s.reset_to(ProcId(9));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(ProcId(9)) && !s.contains(ProcId(70)));
+    }
+}

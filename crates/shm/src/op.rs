@@ -1,0 +1,149 @@
+//! Atomic shared-memory operations.
+//!
+//! The paper's machine model (§2) provides atomic reads, writes,
+//! Compare-And-Swap and Load-Linked/Store-Conditional. We additionally
+//! implement Fetch-And-Add, Fetch-And-Store and Test-And-Set, which §7 uses
+//! to close the complexity gap and which the mutual-exclusion substrate
+//! needs (Anderson and MCS locks).
+
+use crate::ids::{Addr, Word};
+use std::fmt;
+
+/// One atomic operation on a shared-memory cell.
+///
+/// Every operation returns a single [`Word`]; see [`Op::describe_result`] for
+/// the per-variant meaning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Atomic read; returns the cell value.
+    Read(Addr),
+    /// Atomic write of the given word; returns the written word.
+    Write(Addr, Word),
+    /// `Cas(a, expected, new)`: if the cell holds `expected`, replace it with
+    /// `new`. Returns the *old* value (success iff old == expected).
+    Cas(Addr, Word, Word),
+    /// Load-Linked: read the value and establish a reservation that is broken
+    /// by any subsequent nontrivial operation on the cell.
+    Ll(Addr),
+    /// Store-Conditional: write the word iff the caller's reservation from a
+    /// prior [`Op::Ll`] is still intact. Returns 1 on success and 0 on failure.
+    Sc(Addr, Word),
+    /// Fetch-And-Add (wrapping); returns the old value.
+    Faa(Addr, Word),
+    /// Fetch-And-Store (atomic swap); returns the old value.
+    Fas(Addr, Word),
+    /// Test-And-Set: write 1; returns the old value.
+    Tas(Addr),
+}
+
+impl Op {
+    /// The address the operation accesses.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        match *self {
+            Op::Read(a)
+            | Op::Write(a, _)
+            | Op::Cas(a, _, _)
+            | Op::Ll(a)
+            | Op::Sc(a, _)
+            | Op::Faa(a, _)
+            | Op::Fas(a, _)
+            | Op::Tas(a) => a,
+        }
+    }
+
+    /// Whether this is a comparison primitive (CAS or SC), whose *failed*
+    /// applications are trivial and, on LFCU cache-coherent systems, local.
+    #[must_use]
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, Op::Cas(..) | Op::Sc(..))
+    }
+
+    /// Whether this operation belongs to the reads/writes-only class studied
+    /// by Theorem 6.2 before Corollary 6.14 extends it.
+    #[must_use]
+    pub fn is_read_write(&self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(..))
+    }
+
+    /// Human-oriented description of the result word, for traces.
+    #[must_use]
+    pub fn describe_result(&self) -> &'static str {
+        match self {
+            Op::Read(_) | Op::Ll(_) => "value read",
+            Op::Write(..) => "value written",
+            Op::Cas(..) | Op::Faa(..) | Op::Fas(..) | Op::Tas(_) => "old value",
+            Op::Sc(..) => "1 iff stored",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Read(a) => write!(f, "read({a})"),
+            Op::Write(a, w) => write!(f, "write({a}, {w})"),
+            Op::Cas(a, e, n) => write!(f, "cas({a}, {e}, {n})"),
+            Op::Ll(a) => write!(f, "ll({a})"),
+            Op::Sc(a, w) => write!(f, "sc({a}, {w})"),
+            Op::Faa(a, d) => write!(f, "faa({a}, {d})"),
+            Op::Fas(a, w) => write!(f, "fas({a}, {w})"),
+            Op::Tas(a) => write!(f, "tas({a})"),
+        }
+    }
+}
+
+/// Outcome of applying an [`Op`] to memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Applied {
+    /// The word returned to the caller.
+    pub result: Word,
+    /// Whether the operation was *nontrivial* in the paper's sense (§2): it
+    /// overwrote the cell, possibly with the same value. Failed CAS/SC are
+    /// trivial; everything except `Read`/`Ll` and failed comparisons is
+    /// nontrivial.
+    pub nontrivial: bool,
+    /// Whether this was a comparison primitive that failed (used by the LFCU
+    /// cache model, which makes failed comparisons local).
+    pub failed_comparison: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_extraction_covers_all_variants() {
+        let a = Addr(7);
+        let ops = [
+            Op::Read(a),
+            Op::Write(a, 1),
+            Op::Cas(a, 0, 1),
+            Op::Ll(a),
+            Op::Sc(a, 1),
+            Op::Faa(a, 1),
+            Op::Fas(a, 1),
+            Op::Tas(a),
+        ];
+        for op in ops {
+            assert_eq!(op.addr(), a, "{op}");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let a = Addr(0);
+        assert!(Op::Cas(a, 0, 1).is_comparison());
+        assert!(Op::Sc(a, 1).is_comparison());
+        assert!(!Op::Faa(a, 1).is_comparison());
+        assert!(Op::Read(a).is_read_write());
+        assert!(Op::Write(a, 0).is_read_write());
+        assert!(!Op::Tas(a).is_read_write());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Op::Cas(Addr(2), 0, 5).to_string(), "cas(@2, 0, 5)");
+        assert_eq!(Op::Read(Addr(1)).to_string(), "read(@1)");
+    }
+}

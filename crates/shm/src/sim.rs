@@ -1,0 +1,771 @@
+//! The simulator: deterministic execution of step machines over shared
+//! memory with exact cost accounting, schedule recording, and replay.
+
+use crate::event::{Event, History};
+use crate::ids::{ProcId, Word};
+use crate::machine::{Call, CallKind, Step};
+use crate::mem::{MemLayout, Memory};
+use crate::model::{AccessCost, CostModel, CostState};
+use crate::op::Op;
+use crate::source::CallSource;
+
+/// Everything needed to (re)start an execution from the initial state.
+///
+/// Replaying a recorded schedule against a fresh simulator built from the
+/// same spec reproduces the execution exactly; replaying it with some
+/// processes *erased* implements Lemma 6.7's history surgery.
+#[derive(Clone, Debug)]
+pub struct SimSpec {
+    /// The shared-memory allocation plan.
+    pub layout: MemLayout,
+    /// Per-process call sources; `sources.len()` is the number of processes.
+    pub sources: Vec<Box<dyn CallSource>>,
+    /// The cost model to price accesses under.
+    pub model: CostModel,
+}
+
+impl SimSpec {
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// Execution status of a process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Still able to take steps.
+    Runnable,
+    /// Call source exhausted; the process terminated normally.
+    Terminated,
+    /// Stopped while performing a procedure call.
+    Crashed,
+}
+
+/// Per-process statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProcStats {
+    /// Steps taken (state-machine transitions, including returns).
+    pub steps: u64,
+    /// Memory accesses performed.
+    pub accesses: u64,
+    /// Remote memory references incurred.
+    pub rmrs: u64,
+    /// Interconnect messages generated.
+    pub messages: u64,
+    /// Procedure calls completed.
+    pub calls_completed: u64,
+}
+
+/// Aggregate statistics for the whole execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Totals {
+    /// Steps taken by all processes.
+    pub steps: u64,
+    /// Memory accesses performed by all processes.
+    pub accesses: u64,
+    /// Total RMRs.
+    pub rmrs: u64,
+    /// Total interconnect messages.
+    pub messages: u64,
+    /// Total cache invalidations (CC models only).
+    pub invalidations: u64,
+}
+
+/// What one `step` call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepReport {
+    /// The process performed a memory access.
+    Access {
+        /// The operation performed.
+        op: Op,
+        /// The operation's result word.
+        result: Word,
+        /// The access's price.
+        cost: AccessCost,
+    },
+    /// The process's current call returned.
+    Returned {
+        /// Domain tag of the completed call.
+        kind: CallKind,
+        /// Returned word.
+        value: Word,
+    },
+    /// The process terminated (its source is exhausted).
+    Terminated,
+    /// The process was not runnable; nothing happened and the step was not
+    /// recorded in the schedule.
+    NotRunnable,
+}
+
+/// What one *single* `step` call would do next (see
+/// [`Simulator::peek_transition`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransitionPeek {
+    /// The step will perform this memory access.
+    Access(Op),
+    /// The step will complete the current (or immediately invoked) call.
+    Return {
+        /// Domain tag of the completing call.
+        kind: CallKind,
+        /// The value it will return.
+        value: Word,
+    },
+    /// The step will terminate the process.
+    WillTerminate,
+    /// The process is not runnable.
+    NotRunnable,
+}
+
+/// What the next effective step of a process will be (computed without
+/// touching shared memory; see [`Simulator::peek_next_op`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Peek {
+    /// The next memory access the process will perform (possibly after one
+    /// or more intervening return/invoke steps).
+    Access(Op),
+    /// The process will terminate without performing another access.
+    WillTerminate,
+    /// The process is not runnable.
+    NotRunnable,
+}
+
+#[derive(Clone, Debug)]
+struct ProcState {
+    source: Box<dyn CallSource>,
+    current: Option<Call>,
+    last_op_result: Option<Word>,
+    last_return: Option<Word>,
+    status: Status,
+    stats: ProcStats,
+}
+
+/// Deterministic shared-memory simulator.
+///
+/// A `Simulator` advances processes one step at a time under the control of
+/// a scheduler (or the lower-bound adversary), records the schedule and a
+/// typed [`History`], and prices every access under its [`CostModel`].
+///
+/// Cloning a simulator snapshots the *entire* execution state — memory,
+/// caches, process machines, history — which the adversary uses for
+/// tentative exploration.
+///
+/// # Examples
+///
+/// ```
+/// use shm_sim::{CostModel, MemLayout, Op, OpSequence, Script, ScriptedCall, CallKind, SimSpec, Simulator, ProcId};
+/// use std::sync::Arc;
+///
+/// let mut layout = MemLayout::new();
+/// let flag = layout.alloc_global(0);
+/// let writer = Script::new(vec![ScriptedCall::new(
+///     CallKind(0),
+///     "set",
+///     Arc::new(move || Box::new(OpSequence::new(vec![Op::Write(flag, 1)]))),
+/// )]);
+/// let spec = SimSpec { layout, sources: vec![Box::new(writer)], model: CostModel::Dsm };
+/// let mut sim = Simulator::new(&spec);
+/// while sim.step(ProcId(0)) != shm_sim::StepReport::NotRunnable {}
+/// assert_eq!(sim.memory().peek(flag), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    memory: Memory,
+    cost: CostState,
+    procs: Vec<ProcState>,
+    history: History,
+    schedule: Vec<ProcId>,
+    totals: Totals,
+    injected: u64,
+}
+
+impl Simulator {
+    /// Maximum internal transitions `peek_next_op` will look through before
+    /// concluding the process loops forever without accessing memory.
+    const PEEK_LIMIT: usize = 65_536;
+
+    /// Builds a fresh simulator in the initial state of `spec`.
+    #[must_use]
+    pub fn new(spec: &SimSpec) -> Self {
+        let memory = Memory::from_layout(&spec.layout);
+        let cost = CostState::new(spec.model, spec.n(), spec.layout.len());
+        let procs = spec
+            .sources
+            .iter()
+            .map(|s| ProcState {
+                source: s.clone(),
+                current: None,
+                last_op_result: None,
+                last_return: None,
+                status: Status::Runnable,
+                stats: ProcStats::default(),
+            })
+            .collect();
+        Simulator {
+            memory,
+            cost,
+            procs,
+            history: History::new(),
+            schedule: Vec::new(),
+            totals: Totals::default(),
+            injected: 0,
+        }
+    }
+
+    /// Replays `schedule` against a fresh simulator built from `spec`,
+    /// skipping all steps of processes in `erased`.
+    ///
+    /// This is the executable form of *erasing* (Lemma 6.7): because step
+    /// machines are deterministic and only communicate through memory, the
+    /// filtered replay is a legal history, and it is identical (from every
+    /// surviving process's point of view) whenever no survivor saw an erased
+    /// process.
+    #[must_use]
+    pub fn replay(spec: &SimSpec, schedule: &[ProcId], erased: &std::collections::BTreeSet<ProcId>) -> Self {
+        let mut sim = Simulator::new(spec);
+        for &pid in schedule {
+            if !erased.contains(&pid) {
+                let _ = sim.step(pid);
+            }
+        }
+        sim
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Read access to shared memory (inspection; not a step).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The recorded history so far.
+    #[must_use]
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The recorded schedule: one entry per effective step, in order.
+    #[must_use]
+    pub fn schedule(&self) -> &[ProcId] {
+        &self.schedule
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn totals(&self) -> Totals {
+        self.totals
+    }
+
+    /// Statistics of one process.
+    #[must_use]
+    pub fn proc_stats(&self, pid: ProcId) -> ProcStats {
+        self.procs[pid.index()].stats
+    }
+
+    /// Execution status of one process.
+    #[must_use]
+    pub fn status(&self, pid: ProcId) -> Status {
+        self.procs[pid.index()].status
+    }
+
+    /// Whether the process can still take steps.
+    #[must_use]
+    pub fn is_runnable(&self, pid: ProcId) -> bool {
+        self.procs[pid.index()].status == Status::Runnable
+    }
+
+    /// IDs of all runnable processes.
+    #[must_use]
+    pub fn runnable(&self) -> Vec<ProcId> {
+        (0..self.n())
+            .map(|i| ProcId(i as u32))
+            .filter(|&p| self.is_runnable(p))
+            .collect()
+    }
+
+    /// Whether every process has terminated or crashed.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.procs.iter().all(|p| p.status != Status::Runnable)
+    }
+
+    /// Number of calls injected via [`Simulator::inject_call`]. When nonzero,
+    /// the recorded schedule alone no longer reconstructs this execution;
+    /// callers doing replay-based surgery must re-inject manually.
+    #[must_use]
+    pub fn injected_calls(&self) -> u64 {
+        self.injected
+    }
+
+    /// Advances `pid` by one step.
+    ///
+    /// One step is one state-machine transition: it performs exactly one
+    /// memory access, or completes a call, or terminates the process. If the
+    /// process has no call in progress, the next call is fetched from its
+    /// source (and its first transition executed) within the same step.
+    pub fn step(&mut self, pid: ProcId) -> StepReport {
+        if self.procs[pid.index()].status != Status::Runnable {
+            return StepReport::NotRunnable;
+        }
+        self.schedule.push(pid);
+        self.totals.steps += 1;
+        self.procs[pid.index()].stats.steps += 1;
+
+        // Fetch the next call if none is in progress.
+        if self.procs[pid.index()].current.is_none() {
+            let prev = self.procs[pid.index()].last_return;
+            match self.procs[pid.index()].source.next_call(prev) {
+                None => {
+                    self.procs[pid.index()].status = Status::Terminated;
+                    self.history.push(Event::Terminate { pid });
+                    return StepReport::Terminated;
+                }
+                Some(call) => {
+                    self.history.push(Event::Invoke { pid, kind: call.kind, name: call.name });
+                    self.procs[pid.index()].current = Some(call);
+                    self.procs[pid.index()].last_op_result = None;
+                }
+            }
+        }
+
+        // One machine transition.
+        let last = self.procs[pid.index()].last_op_result;
+        let step = self.procs[pid.index()]
+            .current
+            .as_mut()
+            .expect("current call set above")
+            .machine
+            .step(last);
+        match step {
+            Step::Op(op) => {
+                let (result, cost) = self.apply_access(pid, op);
+                self.procs[pid.index()].last_op_result = Some(result);
+                StepReport::Access { op, result, cost }
+            }
+            Step::Return(value) => {
+                let call = self.procs[pid.index()].current.take().expect("current call");
+                self.history.push(Event::Return { pid, kind: call.kind, value });
+                self.procs[pid.index()].last_return = Some(value);
+                self.procs[pid.index()].stats.calls_completed += 1;
+                StepReport::Returned { kind: call.kind, value }
+            }
+        }
+    }
+
+    fn apply_access(&mut self, pid: ProcId, op: Op) -> (Word, AccessCost) {
+        // `sees` must be computed from the cell's last writer *before* the
+        // access mutates it.
+        let addr = op.addr();
+        let observes_value = !matches!(op, Op::Write(..));
+        let sees = if observes_value {
+            self.memory.last_writer(addr).filter(|&q| q != pid)
+        } else {
+            None
+        };
+        let touches = self.memory.owner(addr).filter(|&q| q != pid);
+        let applied = self.memory.apply(pid, op);
+        let cost = self.cost.charge(pid, addr, self.memory.owner(addr), &applied);
+        let st = &mut self.procs[pid.index()].stats;
+        st.accesses += 1;
+        st.rmrs += u64::from(cost.rmr);
+        st.messages += cost.messages;
+        self.totals.accesses += 1;
+        self.totals.rmrs += u64::from(cost.rmr);
+        self.totals.messages += cost.messages;
+        self.totals.invalidations += cost.invalidations;
+        self.history.push(Event::Access {
+            pid,
+            op,
+            result: applied.result,
+            wrote: applied.nontrivial,
+            cost,
+            sees,
+            touches,
+        });
+        (applied.result, cost)
+    }
+
+    /// Computes the next memory access `pid` will perform, without executing
+    /// anything and without touching shared memory.
+    ///
+    /// Step machines receive values only through their `last` argument, so
+    /// the next operation is a pure function of the process's private state;
+    /// this method clones that state (source + current call) and runs it
+    /// forward through any non-access transitions (returns, call fetches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process makes more than an internal limit of
+    /// transitions without either accessing memory or terminating (which
+    /// would mean a livelocked call source).
+    #[must_use]
+    pub fn peek_next_op(&self, pid: ProcId) -> Peek {
+        let p = &self.procs[pid.index()];
+        if p.status != Status::Runnable {
+            return Peek::NotRunnable;
+        }
+        let mut source = p.source.clone();
+        let mut current = p.current.clone();
+        let mut last_op_result = p.last_op_result;
+        let mut last_return = p.last_return;
+        for _ in 0..Self::PEEK_LIMIT {
+            if current.is_none() {
+                match source.next_call(last_return) {
+                    None => return Peek::WillTerminate,
+                    Some(call) => {
+                        current = Some(call);
+                        last_op_result = None;
+                    }
+                }
+            }
+            match current.as_mut().expect("set above").machine.step(last_op_result) {
+                Step::Op(op) => return Peek::Access(op),
+                Step::Return(v) => {
+                    current = None;
+                    last_return = Some(v);
+                }
+            }
+        }
+        panic!("peek_next_op: {pid} made {} transitions without accessing memory", Self::PEEK_LIMIT);
+    }
+
+    /// Computes what the next *single* `step(pid)` call would do, without
+    /// executing it. Unlike [`Simulator::peek_next_op`], this does not look
+    /// through return/invoke transitions — it reports exactly the next
+    /// step's effect, which the lower-bound adversary needs to stop a
+    /// process precisely "just before" an access.
+    #[must_use]
+    pub fn peek_transition(&self, pid: ProcId) -> TransitionPeek {
+        let p = &self.procs[pid.index()];
+        if p.status != Status::Runnable {
+            return TransitionPeek::NotRunnable;
+        }
+        let (mut current, last_op_result) = match &p.current {
+            Some(call) => (call.clone(), p.last_op_result),
+            None => {
+                let mut source = p.source.clone();
+                match source.next_call(p.last_return) {
+                    None => return TransitionPeek::WillTerminate,
+                    Some(call) => (call, None),
+                }
+            }
+        };
+        match current.machine.step(last_op_result) {
+            Step::Op(op) => TransitionPeek::Access(op),
+            Step::Return(value) => TransitionPeek::Return { kind: current.kind, value },
+        }
+    }
+
+    /// Whether executing `op` right now on behalf of `pid` would be an RMR.
+    ///
+    /// Exact for every operation: CAS/SC success is decided against current
+    /// memory contents, so the trivial/nontrivial distinction is resolved
+    /// precisely.
+    #[must_use]
+    pub fn op_would_be_rmr(&self, pid: ProcId, op: &Op) -> bool {
+        let addr = op.addr();
+        let nontrivial = match *op {
+            Op::Read(_) | Op::Ll(_) => false,
+            Op::Write(..) | Op::Faa(..) | Op::Fas(..) | Op::Tas(_) => true,
+            Op::Cas(a, expected, _) => self.memory.peek(a) == expected,
+            // Conservative: we cannot inspect reservations cheaply here, but
+            // a successful SC requires a prior LL by the same process, whose
+            // reservation state is in memory; treat as nontrivial iff it
+            // would succeed is not observable, so price as nontrivial (the
+            // more expensive case) — exact for DSM where it is irrelevant.
+            Op::Sc(..) => true,
+        };
+        crate::model::would_be_rmr(&self.cost, pid, addr, self.memory.owner(addr), nontrivial)
+    }
+
+    /// Observation footprint of executing `op` as `pid` right now:
+    /// `(sees, touches)` per Definitions 6.4/6.5. Used by the adversary to
+    /// decide whether to erase a process *before* letting a step happen.
+    #[must_use]
+    pub fn op_observation(&self, pid: ProcId, op: &Op) -> (Option<ProcId>, Option<ProcId>) {
+        let addr = op.addr();
+        let sees = if matches!(op, Op::Write(..)) {
+            None
+        } else {
+            self.memory.last_writer(addr).filter(|&q| q != pid)
+        };
+        let touches = self.memory.owner(addr).filter(|&q| q != pid);
+        (sees, touches)
+    }
+
+    /// Injects a procedure call into `pid`, reviving it if it had terminated.
+    ///
+    /// Used by the lower-bound adversary (proof Part 2) to direct a chosen
+    /// process to call `Signal()` after the waiter population has stabilized:
+    /// in the history family `H_A` (Definition 6.1) every process may make
+    /// calls in arbitrary order before terminating, so injection just selects
+    /// a longer call sequence for that process. Replay via the recorded
+    /// schedule does **not** reproduce injected calls — callers replay the
+    /// pre-injection prefix and re-inject (see [`Simulator::injected_calls`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process currently has a call in progress or crashed.
+    pub fn inject_call(&mut self, pid: ProcId, call: Call) {
+        let p = &mut self.procs[pid.index()];
+        assert!(p.current.is_none(), "inject_call: {pid} has a call in progress");
+        assert!(p.status != Status::Crashed, "inject_call: {pid} crashed");
+        p.status = Status::Runnable;
+        self.history.push(Event::Invoke { pid, kind: call.kind, name: call.name });
+        p.current = Some(call);
+        p.last_op_result = None;
+        self.injected += 1;
+    }
+
+    /// Whether `pid` has a procedure call in progress.
+    #[must_use]
+    pub fn has_pending_call(&self, pid: ProcId) -> bool {
+        self.procs[pid.index()].current.is_some()
+    }
+
+    /// Crashes `pid`: it stops taking steps, mid-call or not.
+    ///
+    /// Models the paper's crash (§2: a process crashes if it terminates while
+    /// performing a procedure call). Used for failure-injection tests.
+    pub fn crash(&mut self, pid: ProcId) {
+        let p = &mut self.procs[pid.index()];
+        if p.status == Status::Runnable {
+            p.status = Status::Crashed;
+            self.history.push(Event::Crash { pid });
+        }
+    }
+
+    /// Runs `pid` alone until its current call completes (or it terminates),
+    /// up to `max_steps`. Returns the number of steps taken, or `None` if the
+    /// budget was exhausted first.
+    pub fn run_solo_until_call_boundary(&mut self, pid: ProcId, max_steps: u64) -> Option<u64> {
+        let mut taken = 0;
+        while taken < max_steps {
+            if !self.has_pending_call(pid) || !self.is_runnable(pid) {
+                return Some(taken);
+            }
+            let _ = self.step(pid);
+            taken += 1;
+        }
+        if !self.has_pending_call(pid) || !self.is_runnable(pid) {
+            Some(taken)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OpSequence;
+    use crate::source::{RepeatUntil, Script, ScriptedCall};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    fn write_then_read_spec() -> (SimSpec, crate::ids::Addr) {
+        let mut layout = MemLayout::new();
+        let flag = layout.alloc_global(0);
+        let writer = Script::new(vec![ScriptedCall::new(
+            CallKind(0),
+            "set",
+            Arc::new(move || Box::new(OpSequence::new(vec![Op::Write(flag, 1)]))),
+        )]);
+        let reader = Script::new(vec![ScriptedCall::new(
+            CallKind(1),
+            "get",
+            Arc::new(move || Box::new(OpSequence::new(vec![Op::Read(flag)]))),
+        )]);
+        (
+            SimSpec {
+                layout,
+                sources: vec![Box::new(writer), Box::new(reader)],
+                model: CostModel::Dsm,
+            },
+            flag,
+        )
+    }
+
+    fn drain(sim: &mut Simulator, pid: ProcId) {
+        while sim.step(pid) != StepReport::NotRunnable {}
+    }
+
+    #[test]
+    fn basic_execution_and_accounting() {
+        let (spec, flag) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        drain(&mut sim, ProcId(0));
+        drain(&mut sim, ProcId(1));
+        assert_eq!(sim.memory().peek(flag), 1);
+        assert!(sim.all_done());
+        // Both accesses hit a global cell: 2 RMRs in DSM.
+        assert_eq!(sim.totals().rmrs, 2);
+        assert_eq!(sim.proc_stats(ProcId(0)).calls_completed, 1);
+        assert_eq!(sim.history().calls().len(), 2);
+    }
+
+    #[test]
+    fn reader_sees_writer() {
+        let (spec, _) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        drain(&mut sim, ProcId(0));
+        drain(&mut sim, ProcId(1));
+        assert!(sim.history().sees_pairs().contains(&(ProcId(1), ProcId(0))));
+    }
+
+    #[test]
+    fn replay_reproduces_execution() {
+        let (spec, _) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        // Interleave.
+        let _ = sim.step(ProcId(0));
+        let _ = sim.step(ProcId(1));
+        let _ = sim.step(ProcId(0));
+        let _ = sim.step(ProcId(1));
+        let replayed = Simulator::replay(&spec, sim.schedule(), &BTreeSet::new());
+        assert_eq!(replayed.history().events(), sim.history().events());
+        assert_eq!(replayed.totals(), sim.totals());
+    }
+
+    #[test]
+    fn replay_with_erasure_removes_process() {
+        let (spec, flag) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        drain(&mut sim, ProcId(0));
+        drain(&mut sim, ProcId(1));
+        let erased = BTreeSet::from([ProcId(0)]);
+        let replayed = Simulator::replay(&spec, sim.schedule(), &erased);
+        assert_eq!(replayed.memory().peek(flag), 0, "writer erased");
+        assert!(!replayed.history().participants().contains(&ProcId(0)));
+        // The reader now reads 0 instead of 1 — erasure is only *legal* when
+        // nobody saw the erased process; here it changes the outcome, which
+        // is exactly why the adversary must check visibility first.
+        let calls = replayed.history().calls();
+        assert_eq!(calls[0].return_value, Some(0));
+    }
+
+    #[test]
+    fn peek_next_op_sees_through_call_boundaries() {
+        let (spec, flag) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        // p0's first effective action is the write.
+        assert_eq!(sim.peek_next_op(ProcId(0)), Peek::Access(Op::Write(flag, 1)));
+        // Peeking does not advance anything.
+        assert_eq!(sim.totals().steps, 0);
+        drain(&mut sim, ProcId(0));
+        assert_eq!(sim.peek_next_op(ProcId(0)), Peek::NotRunnable);
+    }
+
+    #[test]
+    fn peek_detects_termination() {
+        let (spec, _) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        let _ = sim.step(ProcId(0)); // write (invoke + op)
+        let _ = sim.step(ProcId(0)); // return
+        assert_eq!(sim.peek_next_op(ProcId(0)), Peek::WillTerminate);
+    }
+
+    #[test]
+    fn op_would_be_rmr_in_dsm() {
+        let mut layout = MemLayout::new();
+        let mine = layout.alloc_local(ProcId(0), 0);
+        let theirs = layout.alloc_local(ProcId(1), 0);
+        let spec = SimSpec {
+            layout,
+            sources: vec![Box::new(crate::source::Idle), Box::new(crate::source::Idle)],
+            model: CostModel::Dsm,
+        };
+        let sim = Simulator::new(&spec);
+        assert!(!sim.op_would_be_rmr(ProcId(0), &Op::Read(mine)));
+        assert!(sim.op_would_be_rmr(ProcId(0), &Op::Read(theirs)));
+    }
+
+    #[test]
+    fn inject_call_revives_terminated_process() {
+        let (spec, flag) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        drain(&mut sim, ProcId(0));
+        assert_eq!(sim.status(ProcId(0)), Status::Terminated);
+        sim.inject_call(
+            ProcId(0),
+            Call::new(CallKind(9), "extra", Box::new(OpSequence::new(vec![Op::Write(flag, 7)]))),
+        );
+        assert!(sim.is_runnable(ProcId(0)));
+        let _ = sim.step(ProcId(0));
+        assert_eq!(sim.memory().peek(flag), 7);
+        assert_eq!(sim.injected_calls(), 1);
+    }
+
+    #[test]
+    fn crash_mid_call_is_recorded() {
+        let (spec, _) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        let _ = sim.step(ProcId(0)); // in the middle of "set"
+        assert!(sim.has_pending_call(ProcId(0)));
+        sim.crash(ProcId(0));
+        assert_eq!(sim.status(ProcId(0)), Status::Crashed);
+        assert!(sim.history().finished().contains(&ProcId(0)));
+        assert_eq!(sim.step(ProcId(0)), StepReport::NotRunnable);
+    }
+
+    #[test]
+    fn run_solo_until_call_boundary_completes_call() {
+        let (spec, _) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        let _ = sim.step(ProcId(0)); // invoke + write
+        assert!(sim.has_pending_call(ProcId(0)));
+        let taken = sim.run_solo_until_call_boundary(ProcId(0), 100).unwrap();
+        assert_eq!(taken, 1, "one more step to return");
+        assert!(!sim.has_pending_call(ProcId(0)));
+    }
+
+    #[test]
+    fn repeat_until_source_busy_waits() {
+        let mut layout = MemLayout::new();
+        let flag = layout.alloc_global(0);
+        let poll = ScriptedCall::new(
+            CallKind(1),
+            "poll",
+            Arc::new(move || Box::new(OpSequence::new(vec![Op::Read(flag)]))),
+        );
+        let waiter = RepeatUntil::new(poll, 1);
+        let setter = Script::new(vec![ScriptedCall::new(
+            CallKind(0),
+            "set",
+            Arc::new(move || Box::new(OpSequence::new(vec![Op::Write(flag, 1)]))),
+        )]);
+        let spec = SimSpec {
+            layout,
+            sources: vec![Box::new(waiter), Box::new(setter)],
+            model: CostModel::Dsm,
+        };
+        let mut sim = Simulator::new(&spec);
+        // Waiter polls three times (sees 0 each time).
+        for _ in 0..6 {
+            let _ = sim.step(ProcId(0));
+        }
+        assert!(sim.is_runnable(ProcId(0)));
+        drain(&mut sim, ProcId(1));
+        drain(&mut sim, ProcId(0));
+        assert_eq!(sim.status(ProcId(0)), Status::Terminated);
+        assert_eq!(sim.proc_stats(ProcId(0)).calls_completed, 4);
+    }
+
+    #[test]
+    fn cloned_simulator_diverges_independently() {
+        let (spec, flag) = write_then_read_spec();
+        let mut sim = Simulator::new(&spec);
+        let mut snap = sim.clone();
+        drain(&mut sim, ProcId(0));
+        assert_eq!(sim.memory().peek(flag), 1);
+        assert_eq!(snap.memory().peek(flag), 0);
+        drain(&mut snap, ProcId(1));
+        assert_eq!(snap.history().calls()[0].return_value, Some(0));
+    }
+}

@@ -1,0 +1,260 @@
+//! Call sources: what sequence of procedure calls each process makes.
+//!
+//! The paper specifies a process "by defining the possible sequences of
+//! procedure calls a process may make before terminating" (§2). A
+//! [`CallSource`] is exactly that, in executable and deterministic form: the
+//! simulator asks it for the next call whenever the previous one returns.
+
+use crate::ids::Word;
+use crate::machine::{Call, CallKind, ProcedureCall};
+use std::fmt;
+use std::sync::Arc;
+
+/// Factory producing a fresh state machine for one procedure call.
+///
+/// Factories capture the shared-memory layout and the calling process's ID;
+/// they must be deterministic so replays reconstruct identical calls.
+pub type CallFactory = Arc<dyn Fn() -> Box<dyn ProcedureCall> + Send + Sync>;
+
+/// Deterministic generator of a process's procedure-call sequence.
+pub trait CallSource: Send {
+    /// The next call to make, given the return value of the previous call
+    /// (`None` before the first call). Returning `None` terminates the
+    /// process.
+    fn next_call(&mut self, prev_return: Option<Word>) -> Option<Call>;
+
+    /// Clones the source's state (object-safe `Clone`).
+    fn clone_source(&self) -> Box<dyn CallSource>;
+}
+
+impl Clone for Box<dyn CallSource> {
+    fn clone(&self) -> Self {
+        self.clone_source()
+    }
+}
+
+impl fmt::Debug for Box<dyn CallSource> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Box<dyn CallSource>")
+    }
+}
+
+/// A source that never makes any call: the process does not participate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Idle;
+
+impl CallSource for Idle {
+    fn next_call(&mut self, _prev: Option<Word>) -> Option<Call> {
+        None
+    }
+    fn clone_source(&self) -> Box<dyn CallSource> {
+        Box::new(*self)
+    }
+}
+
+/// One scripted call: a labelled factory.
+#[derive(Clone)]
+pub struct ScriptedCall {
+    /// Domain tag of the call.
+    pub kind: CallKind,
+    /// Procedure name for traces.
+    pub name: &'static str,
+    /// Factory constructing the call's state machine.
+    pub factory: CallFactory,
+}
+
+impl ScriptedCall {
+    /// Creates a scripted call.
+    pub fn new(kind: CallKind, name: &'static str, factory: CallFactory) -> Self {
+        ScriptedCall { kind, name, factory }
+    }
+
+    fn instantiate(&self) -> Call {
+        Call::new(self.kind, self.name, (self.factory)())
+    }
+}
+
+impl fmt::Debug for ScriptedCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedCall").field("kind", &self.kind).field("name", &self.name).finish()
+    }
+}
+
+/// Makes a fixed list of calls in order, then terminates.
+#[derive(Clone, Debug, Default)]
+pub struct Script {
+    calls: Vec<ScriptedCall>,
+    next: usize,
+}
+
+impl Script {
+    /// Creates a script from the given calls.
+    #[must_use]
+    pub fn new(calls: Vec<ScriptedCall>) -> Self {
+        Script { calls, next: 0 }
+    }
+}
+
+impl CallSource for Script {
+    fn next_call(&mut self, _prev: Option<Word>) -> Option<Call> {
+        let c = self.calls.get(self.next)?;
+        self.next += 1;
+        Some(c.instantiate())
+    }
+    fn clone_source(&self) -> Box<dyn CallSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// Repeats one call until it returns `stop_value`, then (optionally, if
+/// `max_calls` is not hit first) terminates.
+///
+/// This is the canonical *waiter*: `Poll()` until it returns true. The
+/// variation exploited by the lower bound — "waiters can terminate after a
+/// finite number of calls to `Poll()` even if no such call returned true"
+/// (§4) — is expressed with a finite `max_calls`.
+#[derive(Clone, Debug)]
+pub struct RepeatUntil {
+    call: ScriptedCall,
+    stop_value: Word,
+    /// Give up (terminate) after this many calls even without `stop_value`.
+    /// `None` repeats forever (terminating-progress histories only).
+    max_calls: Option<u64>,
+    made: u64,
+}
+
+impl RepeatUntil {
+    /// Repeats `call` until it returns `stop_value` (no call cap).
+    #[must_use]
+    pub fn new(call: ScriptedCall, stop_value: Word) -> Self {
+        RepeatUntil { call, stop_value, max_calls: None, made: 0 }
+    }
+
+    /// Repeats `call` until it returns `stop_value` or `max_calls` calls have
+    /// completed, whichever comes first.
+    #[must_use]
+    pub fn with_max_calls(call: ScriptedCall, stop_value: Word, max_calls: u64) -> Self {
+        RepeatUntil { call, stop_value, max_calls: Some(max_calls), made: 0 }
+    }
+}
+
+impl CallSource for RepeatUntil {
+    fn next_call(&mut self, prev: Option<Word>) -> Option<Call> {
+        if prev == Some(self.stop_value) {
+            return None;
+        }
+        if let Some(max) = self.max_calls {
+            if self.made >= max {
+                return None;
+            }
+        }
+        self.made += 1;
+        Some(self.call.instantiate())
+    }
+    fn clone_source(&self) -> Box<dyn CallSource> {
+        Box::new(self.clone())
+    }
+}
+
+/// Chains two sources: runs `first` to exhaustion, then `second`.
+///
+/// The return value that terminated `first` is *not* forwarded to `second`
+/// (the second source starts fresh, as if the process began a new phase).
+#[derive(Clone, Debug)]
+pub struct Chain {
+    first: Box<dyn CallSource>,
+    second: Box<dyn CallSource>,
+    in_second: bool,
+}
+
+impl Chain {
+    /// Creates the chained source.
+    #[must_use]
+    pub fn new(first: Box<dyn CallSource>, second: Box<dyn CallSource>) -> Self {
+        Chain { first, second, in_second: false }
+    }
+}
+
+impl CallSource for Chain {
+    fn next_call(&mut self, prev: Option<Word>) -> Option<Call> {
+        if !self.in_second {
+            if let Some(c) = self.first.next_call(prev) {
+                return Some(c);
+            }
+            self.in_second = true;
+            return self.second.next_call(None);
+        }
+        self.second.next_call(prev)
+    }
+    fn clone_source(&self) -> Box<dyn CallSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ReturnConst;
+
+    fn const_call(kind: u32, v: Word) -> ScriptedCall {
+        ScriptedCall::new(CallKind(kind), "const", Arc::new(move || Box::new(ReturnConst(v))))
+    }
+
+    #[test]
+    fn idle_never_calls() {
+        let mut s = Idle;
+        assert!(s.next_call(None).is_none());
+        assert!(s.next_call(Some(1)).is_none());
+    }
+
+    #[test]
+    fn script_runs_in_order_then_stops() {
+        let mut s = Script::new(vec![const_call(1, 0), const_call(2, 0)]);
+        assert_eq!(s.next_call(None).unwrap().kind, CallKind(1));
+        assert_eq!(s.next_call(Some(0)).unwrap().kind, CallKind(2));
+        assert!(s.next_call(Some(0)).is_none());
+    }
+
+    #[test]
+    fn repeat_until_stops_on_value() {
+        let mut s = RepeatUntil::new(const_call(1, 0), 7);
+        assert!(s.next_call(None).is_some());
+        assert!(s.next_call(Some(0)).is_some());
+        assert!(s.next_call(Some(7)).is_none());
+    }
+
+    #[test]
+    fn repeat_until_respects_max_calls() {
+        let mut s = RepeatUntil::with_max_calls(const_call(1, 0), 7, 2);
+        assert!(s.next_call(None).is_some());
+        assert!(s.next_call(Some(0)).is_some());
+        assert!(s.next_call(Some(0)).is_none(), "cap of 2 calls reached");
+    }
+
+    #[test]
+    fn repeat_until_stop_value_beats_cap() {
+        let mut s = RepeatUntil::with_max_calls(const_call(1, 0), 7, 10);
+        assert!(s.next_call(None).is_some());
+        assert!(s.next_call(Some(7)).is_none());
+    }
+
+    #[test]
+    fn chain_switches_sources() {
+        let first = Script::new(vec![const_call(1, 0)]);
+        let second = Script::new(vec![const_call(2, 0), const_call(3, 0)]);
+        let mut s = Chain::new(Box::new(first), Box::new(second));
+        assert_eq!(s.next_call(None).unwrap().kind, CallKind(1));
+        assert_eq!(s.next_call(Some(0)).unwrap().kind, CallKind(2));
+        assert_eq!(s.next_call(Some(0)).unwrap().kind, CallKind(3));
+        assert!(s.next_call(Some(0)).is_none());
+    }
+
+    #[test]
+    fn cloned_source_resumes_independently() {
+        let mut s = Script::new(vec![const_call(1, 0), const_call(2, 0)]);
+        let _ = s.next_call(None);
+        let mut c = s.clone_source();
+        assert_eq!(c.next_call(Some(0)).unwrap().kind, CallKind(2));
+        assert_eq!(s.next_call(Some(0)).unwrap().kind, CallKind(2));
+    }
+}

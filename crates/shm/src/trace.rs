@@ -1,0 +1,118 @@
+//! Human-readable rendering of histories.
+//!
+//! Algorithms can [label](crate::mem::MemLayout::set_label) the cells they
+//! allocate; [`render`] then prints a history with variable names instead
+//! of raw addresses — indispensable when staring at adversary schedules.
+
+use crate::event::Event;
+use crate::history_label::Labels;
+use crate::op::Op;
+use std::fmt::Write as _;
+
+/// Renders one operation with labelled addresses.
+#[must_use]
+pub fn render_op(op: &Op, labels: &Labels) -> String {
+    let a = |addr: crate::ids::Addr| labels.name(addr);
+    match *op {
+        Op::Read(x) => format!("read {}", a(x)),
+        Op::Write(x, w) => format!("{} := {}", a(x), render_word(w)),
+        Op::Cas(x, e, n) => format!("cas {} ({} -> {})", a(x), render_word(e), render_word(n)),
+        Op::Ll(x) => format!("ll {}", a(x)),
+        Op::Sc(x, w) => format!("sc {} := {}", a(x), render_word(w)),
+        Op::Faa(x, d) => format!("faa {} += {}", a(x), d),
+        Op::Fas(x, w) => format!("fas {} := {}", a(x), render_word(w)),
+        Op::Tas(x) => format!("tas {}", a(x)),
+    }
+}
+
+fn render_word(w: crate::ids::Word) -> String {
+    if w == crate::ids::NIL {
+        "NIL".to_owned()
+    } else {
+        w.to_string()
+    }
+}
+
+/// Renders a slice of events, one per line. `only` restricts to one
+/// process when set. RMRs are starred.
+#[must_use]
+pub fn render(events: &[Event], labels: &Labels, only: Option<crate::ids::ProcId>) -> String {
+    let mut out = String::new();
+    for e in events {
+        if only.is_some_and(|p| e.pid() != p) {
+            continue;
+        }
+        match e {
+            Event::Invoke { pid, name, .. } => {
+                let _ = writeln!(out, "{pid} invoke {name}()");
+            }
+            Event::Return { pid, value, .. } => {
+                let _ = writeln!(out, "{pid} return {}", render_word(*value));
+            }
+            Event::Access { pid, op, result, cost, .. } => {
+                let star = if cost.rmr { "*" } else { " " };
+                let _ = writeln!(out, "{pid}{star} {} -> {}", render_op(op, labels), render_word(*result));
+            }
+            Event::Terminate { pid } => {
+                let _ = writeln!(out, "{pid} terminate");
+            }
+            Event::Crash { pid } => {
+                let _ = writeln!(out, "{pid} CRASH");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Addr, ProcId};
+    use crate::mem::MemLayout;
+
+    #[test]
+    fn renders_labels_and_rmr_stars() {
+        let mut layout = MemLayout::new();
+        let b = layout.alloc_global(0);
+        layout.set_label(b, "B");
+        let labels = layout.labels();
+        assert_eq!(labels.name(b), "B");
+        assert_eq!(labels.name(Addr(99)), "@99");
+        let events = vec![
+            Event::Invoke { pid: ProcId(0), kind: crate::machine::CallKind(1), name: "Poll" },
+            Event::Access {
+                pid: ProcId(0),
+                op: Op::Read(b),
+                result: 0,
+                wrote: false,
+                cost: crate::model::AccessCost { rmr: true, messages: 1, invalidations: 0 },
+                sees: None,
+                touches: None,
+            },
+            Event::Return { pid: ProcId(0), kind: crate::machine::CallKind(1), value: 0 },
+        ];
+        let text = render(&events, &labels, None);
+        assert!(text.contains("p0 invoke Poll()"));
+        assert!(text.contains("p0* read B -> 0"));
+        assert!(text.contains("p0 return 0"));
+    }
+
+    #[test]
+    fn filter_by_process() {
+        let events = vec![
+            Event::Terminate { pid: ProcId(0) },
+            Event::Terminate { pid: ProcId(1) },
+        ];
+        let labels = Labels::default();
+        let text = render(&events, &labels, Some(ProcId(1)));
+        assert!(!text.contains("p0"));
+        assert!(text.contains("p1 terminate"));
+    }
+
+    #[test]
+    fn nil_renders_symbolically() {
+        let labels = Labels::default();
+        let s = render_op(&Op::Write(Addr(0), crate::ids::NIL), &labels);
+        assert_eq!(s, "@0 := NIL");
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the memory and cost models against simple reference
+//! implementations.
+
+use proptest::prelude::*;
+use shm_sim::{
+    Addr, Applied, CcConfig, CostModel, CostState, Interconnect, MemLayout, Memory, Op, ProcId, Protocol, Word,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+const CELLS: u32 = 4;
+const PROCS: u32 = 4;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addr = (0..CELLS).prop_map(Addr);
+    let word = 0u64..5;
+    prop_oneof![
+        addr.clone().prop_map(Op::Read),
+        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Write(a, w)),
+        (addr.clone(), word.clone(), word.clone()).prop_map(|(a, e, n)| Op::Cas(a, e, n)),
+        addr.clone().prop_map(Op::Ll),
+        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Sc(a, w)),
+        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Faa(a, w)),
+        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Fas(a, w)),
+        addr.prop_map(Op::Tas),
+    ]
+}
+
+/// Straightforward reference semantics: value map + per-process LL links.
+#[derive(Default)]
+struct RefModel {
+    values: BTreeMap<u32, Word>,
+    links: BTreeMap<u32, BTreeSet<u32>>, // addr -> procs holding a reservation
+}
+
+impl RefModel {
+    fn apply(&mut self, pid: u32, op: Op) -> Applied {
+        let a = op.addr().0;
+        let old = *self.values.entry(a).or_insert(0);
+        let write = |vals: &mut BTreeMap<u32, Word>, links: &mut BTreeMap<u32, BTreeSet<u32>>, v: Word| {
+            vals.insert(a, v);
+            links.remove(&a);
+        };
+        match op {
+            Op::Read(_) => Applied { result: old, nontrivial: false, failed_comparison: false },
+            Op::Ll(_) => {
+                self.links.entry(a).or_default().insert(pid);
+                Applied { result: old, nontrivial: false, failed_comparison: false }
+            }
+            Op::Write(_, w) => {
+                write(&mut self.values, &mut self.links, w);
+                Applied { result: w, nontrivial: true, failed_comparison: false }
+            }
+            Op::Cas(_, e, n) => {
+                if old == e {
+                    write(&mut self.values, &mut self.links, n);
+                    Applied { result: old, nontrivial: true, failed_comparison: false }
+                } else {
+                    Applied { result: old, nontrivial: false, failed_comparison: true }
+                }
+            }
+            Op::Sc(_, w) => {
+                if self.links.get(&a).is_some_and(|s| s.contains(&pid)) {
+                    write(&mut self.values, &mut self.links, w);
+                    Applied { result: 1, nontrivial: true, failed_comparison: false }
+                } else {
+                    Applied { result: 0, nontrivial: false, failed_comparison: true }
+                }
+            }
+            Op::Faa(_, d) => {
+                write(&mut self.values, &mut self.links, old.wrapping_add(d));
+                Applied { result: old, nontrivial: true, failed_comparison: false }
+            }
+            Op::Fas(_, w) => {
+                write(&mut self.values, &mut self.links, w);
+                Applied { result: old, nontrivial: true, failed_comparison: false }
+            }
+            Op::Tas(_) => {
+                write(&mut self.values, &mut self.links, 1);
+                Applied { result: old, nontrivial: true, failed_comparison: false }
+            }
+        }
+    }
+}
+
+fn blank_memory() -> Memory {
+    let mut layout = MemLayout::new();
+    for _ in 0..CELLS {
+        layout.alloc_global(0);
+    }
+    Memory::from_layout(&layout)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The memory implements exactly the reference semantics for arbitrary
+    /// interleavings of all eight primitives.
+    #[test]
+    fn memory_matches_reference(ops in proptest::collection::vec((0..PROCS, arb_op()), 0..60)) {
+        let mut mem = blank_memory();
+        let mut reference = RefModel::default();
+        for (pid, op) in ops {
+            let got = mem.apply(ProcId(pid), op);
+            let want = reference.apply(pid, op);
+            prop_assert_eq!(got, want, "op {} by p{}", op, pid);
+        }
+        for a in 0..CELLS {
+            prop_assert_eq!(mem.peek(Addr(a)), *reference.values.get(&a).unwrap_or(&0));
+        }
+    }
+
+    /// §8's inequality as a machine invariant: under every CC configuration
+    /// the total invalidations never exceed total RMRs.
+    #[test]
+    fn invalidations_never_exceed_rmrs(
+        ops in proptest::collection::vec((0..PROCS, arb_op()), 0..80),
+        write_back in any::<bool>(),
+        lfcu in any::<bool>(),
+        ic in 0u8..3,
+    ) {
+        let cfg = CcConfig {
+            protocol: if write_back { Protocol::WriteBack } else { Protocol::WriteThrough },
+            lfcu,
+            interconnect: match ic { 0 => Interconnect::Bus, 1 => Interconnect::IdealDirectory, _ => Interconnect::StatelessBroadcast },
+        };
+        let mut mem = blank_memory();
+        let mut cost = CostState::new(CostModel::Cc(cfg), PROCS as usize, CELLS as usize);
+        let (mut rmrs, mut invalidations) = (0u64, 0u64);
+        for (pid, op) in ops {
+            let applied = mem.apply(ProcId(pid), op);
+            let c = cost.charge(ProcId(pid), op.addr(), mem.owner(op.addr()), &applied);
+            rmrs += u64::from(c.rmr);
+            invalidations += c.invalidations;
+            prop_assert!(invalidations <= rmrs, "after {} by p{}", op, pid);
+        }
+    }
+
+    /// A read that costs zero RMRs in CC must return the same value the
+    /// last fetch (or a local write chain) established — i.e. cached reads
+    /// are never stale: any nontrivial op by another process invalidates.
+    #[test]
+    fn cc_cached_reads_are_never_stale(
+        ops in proptest::collection::vec((0..PROCS, arb_op()), 0..80),
+    ) {
+        let mut mem = blank_memory();
+        let mut cost = CostState::new(CostModel::cc_default(), PROCS as usize, CELLS as usize);
+        // last_seen[(pid, addr)] = value this process last observed/wrote.
+        let mut last_seen: BTreeMap<(u32, u32), Word> = BTreeMap::new();
+        for (pid, op) in ops {
+            let a = op.addr();
+            let applied = mem.apply(ProcId(pid), op);
+            let c = cost.charge(ProcId(pid), a, mem.owner(a), &applied);
+            if matches!(op, Op::Read(_)) && !c.rmr {
+                if let Some(&v) = last_seen.get(&(pid, a.0)) {
+                    prop_assert_eq!(applied.result, v, "stale cached read of {} by p{}", a, pid);
+                }
+            }
+            last_seen.insert((pid, a.0), mem.peek(a));
+        }
+    }
+
+    /// In the DSM model every access costs exactly what ownership dictates,
+    /// independent of history.
+    #[test]
+    fn dsm_is_stateless(ops in proptest::collection::vec((0..PROCS, arb_op()), 0..60)) {
+        let mut layout = MemLayout::new();
+        let a0 = layout.alloc_local(ProcId(0), 0);
+        for _ in 1..CELLS {
+            layout.alloc_global(0);
+        }
+        let mut mem = Memory::from_layout(&layout);
+        let mut cost = CostState::new(CostModel::Dsm, PROCS as usize, CELLS as usize);
+        for (pid, op) in ops {
+            let applied = mem.apply(ProcId(pid), op);
+            let c = cost.charge(ProcId(pid), op.addr(), mem.owner(op.addr()), &applied);
+            let expect = !(op.addr() == a0 && pid == 0);
+            prop_assert_eq!(c.rmr, expect);
+            prop_assert_eq!(c.messages, u64::from(expect));
+            prop_assert_eq!(c.invalidations, 0);
+        }
+    }
+}

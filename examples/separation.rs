@@ -1,0 +1,67 @@
+//! The separation, end to end: run the §6 lower-bound adversary against
+//! four algorithms and watch who pays.
+//!
+//! * `broadcast` — correct, reads/writes only: the adversary hides all but
+//!   a handful of waiters and the signaler still pays N−1 RMRs; amortized
+//!   cost explodes.
+//! * `cc-flag` — the CC-optimal algorithm run in DSM: waiters never
+//!   stabilize; they pay the RMRs themselves.
+//! * `single-waiter` — misused with many waiters: the adversary exposes a
+//!   Specification 4.1 violation instead.
+//! * `queue-faa` — Fetch-And-Add registration (§7): erasure certification
+//!   fails (FAA leaks information), the adversary is defeated, amortized
+//!   cost stays O(1).
+//!
+//! Run with: `cargo run --release --example separation`
+
+use cc_dsm::adversary::{run_lower_bound, LowerBoundConfig};
+use cc_dsm::signaling::algorithms::{Broadcast, CcFlag, QueueSignaling, SingleWaiter};
+use cc_dsm::signaling::SignalingAlgorithm;
+
+fn main() {
+    let n = 128;
+    println!("§6 lower-bound adversary, N = {n} processes, DSM model\n");
+    println!(
+        "{:<15} {:>10} {:>8} {:>12} {:>9} {:>10} {:>11}  verdict",
+        "algorithm", "stabilized", "stable", "chase RMRs", "erased", "blocked", "amortized"
+    );
+
+    let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+        Box::new(Broadcast),
+        Box::new(CcFlag),
+        Box::new(SingleWaiter),
+        Box::new(QueueSignaling),
+    ];
+    for algo in &algos {
+        let report = run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n));
+        let (chase_rmrs, erased, blocked) = report
+            .chase
+            .as_ref()
+            .map_or((0, 0, 0), |c| (c.signaler_rmrs, c.erased.len(), c.blocked));
+        let verdict = if report.found_violation() {
+            "UNSAFE: hidden waiters poll false after Signal()"
+        } else if !report.part1.stabilized {
+            "waiters pay: never stabilize, RMRs grow every round"
+        } else if blocked > 0 {
+            "adversary defeated: FAA blocks erasure (O(1) amortized)"
+        } else {
+            "signaler pays: one RMR per hidden waiter"
+        };
+        println!(
+            "{:<15} {:>10} {:>8} {:>12} {:>9} {:>10} {:>11.2}  {}",
+            report.algorithm,
+            report.part1.stabilized,
+            report.part1.stable.len(),
+            chase_rmrs,
+            erased,
+            blocked,
+            report.worst_amortized(),
+            verdict
+        );
+    }
+
+    println!("\nEvery erasure was certified by survivor-projection replay (Lemma 6.7");
+    println!("checked, not assumed). The queue-faa row is §7's escape hatch: with a");
+    println!("non-comparison RMW primitive the CC/DSM gap closes — exactly matching");
+    println!("Corollary 6.14's boundary (reads/writes/CAS/LLSC only).");
+}

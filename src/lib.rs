@@ -1,0 +1,44 @@
+//! # cc-dsm: executable reproduction of Golab's CC/DSM RMR separation
+//!
+//! Facade crate re-exporting the whole workspace. See the repository
+//! `README.md` for the tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured tables.
+//!
+//! * [`shm`] — the machine model: deterministic shared-memory simulator
+//!   with exact RMR accounting under the CC and DSM cost models.
+//! * [`signaling`] — the paper's problem (Specification 4.1), its
+//!   algorithms, the safety checker, and progress-property measurements.
+//! * [`adversary`] — the §6 lower bound as runnable schedule surgery, plus
+//!   the Corollary 6.14 read/write transformation.
+//! * [`mutex`] — the §3 context: classic locks and group mutual exclusion.
+//! * [`primitives`] — registration lists, leader election, splitters.
+//!
+//! ## Example
+//!
+//! The separation in six lines — the same algorithm, priced in both models:
+//!
+//! ```
+//! use cc_dsm::shm::{CostModel, ProcId, RoundRobin};
+//! use cc_dsm::signaling::{run_scenario, Role, Scenario};
+//! use cc_dsm::signaling::algorithms::CcFlag;
+//!
+//! let run = |model| {
+//!     let scenario = Scenario {
+//!         algorithm: &CcFlag,
+//!         roles: vec![Role::Waiter { max_polls: Some(100) }],
+//!         model,
+//!     };
+//!     let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+//!     out.sim.proc_stats(ProcId(0)).rmrs
+//! };
+//! assert!(run(CostModel::cc_default()) <= 1); // cached busy-wait
+//! assert_eq!(run(CostModel::Dsm), 100);       // every poll pays
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rmr_adversary as adversary;
+pub use shm_mutex as mutex;
+pub use shm_primitives as primitives;
+pub use shm_sim as shm;
+pub use signaling;

@@ -1,0 +1,84 @@
+//! End-to-end reproduction of the paper's headline result, across crates:
+//! the CC upper bound (§5), the DSM lower bound (§6), the variant bounds
+//! (§7), and the primitive boundary (Corollary 6.14).
+
+use cc_dsm::adversary::{run_lower_bound, LowerBoundConfig};
+use cc_dsm::shm::{CostModel, ProcId, RoundRobin};
+use cc_dsm::signaling::algorithms::{Broadcast, CcFlag, QueueSignaling, SingleWaiter};
+use cc_dsm::signaling::{run_scenario, Role, Scenario};
+
+/// §5: the flag algorithm is O(1) RMRs per process in CC for any N.
+#[test]
+fn cc_upper_bound_holds_across_population_sizes() {
+    for n in [2usize, 8, 32, 128] {
+        let mut roles = vec![Role::waiter(); n];
+        roles.push(Role::signaler());
+        let scenario = Scenario { algorithm: &CcFlag, roles, model: CostModel::cc_default() };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 50_000_000);
+        assert!(out.completed);
+        assert_eq!(out.polling_spec, Ok(()));
+        for i in 0..=n {
+            assert!(out.sim.proc_stats(ProcId(i as u32)).rmrs <= 3, "n={n} p{i}");
+        }
+    }
+}
+
+/// §6: the adversary forces amortized cost growing with N on the correct
+/// read/write algorithm — the separation itself.
+#[test]
+fn dsm_lower_bound_amortized_cost_grows() {
+    let amortized: Vec<f64> = [16usize, 64, 256]
+        .iter()
+        .map(|&n| run_lower_bound(&Broadcast, LowerBoundConfig::for_n(n)).worst_amortized())
+        .collect();
+    assert!(amortized[1] > 3.0 * amortized[0], "{amortized:?}");
+    assert!(amortized[2] > 3.0 * amortized[1], "{amortized:?}");
+    // Against the same adversary, the CC model cost of the flag algorithm
+    // is constant — no RMR-preserving simulation of CC by DSM can exist.
+}
+
+/// Corollary 6.14's boundary: FAA (not a comparison primitive) escapes.
+#[test]
+fn faa_closes_the_gap() {
+    let amortized: Vec<f64> = [16usize, 64, 256]
+        .iter()
+        .map(|&n| run_lower_bound(&QueueSignaling, LowerBoundConfig::for_n(n)).worst_amortized())
+        .collect();
+    for window in amortized.windows(2) {
+        assert!(
+            (window[1] - window[0]).abs() < 1.0,
+            "queue-faa amortized cost must stay flat: {amortized:?}"
+        );
+    }
+    assert!(amortized.iter().all(|&a| a < 8.0), "{amortized:?}");
+}
+
+/// The adversary is an *honest* checker: it certifies every erasure and
+/// reports safety violations of broken algorithms instead of fabricating
+/// cheap histories.
+#[test]
+fn adversary_exposes_incorrect_algorithm() {
+    let report = run_lower_bound(&SingleWaiter, LowerBoundConfig::for_n(64));
+    assert!(report.found_violation(), "single-waiter cannot serve many waiters");
+}
+
+/// The same binary of the same algorithm, priced in both models, shows the
+/// asymmetry directly (Figure 1's two architectures).
+#[test]
+fn same_execution_two_prices() {
+    for (model, expect_cheap) in [(CostModel::cc_default(), true), (CostModel::Dsm, false)] {
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles: vec![Role::Waiter { max_polls: Some(200) }],
+            model,
+        };
+        let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
+        assert!(out.completed);
+        let rmrs = out.sim.proc_stats(ProcId(0)).rmrs;
+        if expect_cheap {
+            assert!(rmrs <= 1, "CC: {rmrs}");
+        } else {
+            assert_eq!(rmrs, 200, "DSM: every poll pays");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Failure injection: processes crash mid-call at arbitrary points. The
+//! signaling safety properties constrain only completed calls, so they must
+//! survive any crash pattern (§2 defines crashes; §4's properties are
+//! crash-oblivious).
+
+use cc_dsm::shm::{CostModel, ProcId, SeededRandom, Simulator, Status};
+use cc_dsm::signaling::algorithms::{Broadcast, CcFlag, FixedSignaler, QueueSignaling};
+use cc_dsm::signaling::{check_blocking, check_polling, Role, Scenario, SignalingAlgorithm};
+use proptest::prelude::*;
+
+fn crash_run(
+    algo: &dyn SignalingAlgorithm,
+    n_waiters: usize,
+    seed: u64,
+    crash_at: Vec<(u32, u64)>, // (pid, after this many global steps)
+) -> Simulator {
+    let mut roles = vec![Role::Waiter { max_polls: Some(10) }; n_waiters];
+    roles.push(Role::signaler());
+    let scenario = Scenario { algorithm: algo, roles, model: CostModel::Dsm };
+    let spec = scenario.build();
+    let mut sim = Simulator::new(&spec);
+    let mut sched = SeededRandom::new(seed);
+    let mut steps = 0u64;
+    loop {
+        for &(pid, at) in &crash_at {
+            if steps == at {
+                sim.crash(ProcId(pid));
+            }
+        }
+        let Some(pid) = cc_dsm::shm::Scheduler::next(&mut sched, &sim) else { break };
+        let _ = sim.step(pid);
+        steps += 1;
+        if steps > 2_000_000 {
+            break;
+        }
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any crash pattern leaves the completed-call history spec-compliant.
+    #[test]
+    fn spec_survives_crashes(
+        seed in 0u64..500,
+        crashes in proptest::collection::vec((0u32..5, 0u64..300), 0..4),
+        which in 0usize..4,
+    ) {
+        let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+            Box::new(CcFlag),
+            Box::new(Broadcast),
+            Box::new(QueueSignaling),
+            Box::new(FixedSignaler { signaler: ProcId(4) }),
+        ];
+        let sim = crash_run(algos[which].as_ref(), 4, seed, crashes);
+        prop_assert_eq!(check_polling(sim.history()), Ok(()));
+        prop_assert_eq!(check_blocking(sim.history()), Ok(()));
+    }
+}
+
+/// A crashed signaler can leave waiters waiting forever — that is allowed
+/// (terminating progress assumes no crashes) — but never unsafe.
+#[test]
+fn crashed_signaler_blocks_but_never_lies() {
+    let mut roles = vec![Role::waiter(); 3];
+    roles.push(Role::signaler());
+    let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+    let spec = scenario.build();
+    let mut sim = Simulator::new(&spec);
+    // Signaler starts Signal() (writes G) then crashes mid-call.
+    let _ = sim.step(ProcId(3)); // invoke + write G
+    sim.crash(ProcId(3));
+    assert_eq!(sim.status(ProcId(3)), Status::Crashed);
+    // Waiters keep polling; those that see G=1 on their first poll return
+    // true — legal, because Signal() has *begun*.
+    let mut sched = SeededRandom::new(9);
+    cc_dsm::shm::run_to_completion(&mut sim, &mut sched, 2_000_000);
+    assert_eq!(check_polling(sim.history()), Ok(()));
+    // Nobody false-positived before the signal began: the first poll event
+    // precedes no Signal invoke.
+    let calls = sim.history().calls();
+    let sig_invoke = calls.iter().find(|c| c.kind == cc_dsm::signaling::kinds::SIGNAL).unwrap();
+    for c in calls.iter().filter(|c| c.return_value == Some(1)) {
+        assert!(c.returned_at.unwrap() > sig_invoke.invoked_at);
+    }
+}
+
+/// Crashing a waiter mid-registration must not wedge the signaler.
+#[test]
+fn crashed_registrant_does_not_wedge_signal() {
+    let mut roles = vec![Role::waiter(); 2];
+    roles.push(Role::signaler());
+    let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+    let spec = scenario.build();
+    let mut sim = Simulator::new(&spec);
+    // Waiter 0 claims a ticket (FAA) then crashes before writing its slot.
+    let _ = sim.step(ProcId(0)); // invoke + reg read
+    let _ = sim.step(ProcId(0)); // branch: FAA applied; slot write pending
+    sim.crash(ProcId(0));
+    // The signaler must still complete (it skips the NIL slot).
+    let mut sched = SeededRandom::new(3);
+    cc_dsm::shm::run_to_completion(&mut sim, &mut sched, 2_000_000);
+    assert_eq!(sim.status(ProcId(2)), Status::Terminated, "signaler finished");
+    assert_eq!(check_polling(sim.history()), Ok(()));
+}
