@@ -57,11 +57,16 @@ pub fn fixed_waiters_signaler_cost(algo: &dyn SignalingAlgorithm, w: usize) -> F
         .map(|i| {
             let pid = ProcId(i as u32);
             let inst = Arc::clone(&instance);
-            let poll = ScriptedCall::new(kinds::POLL, "Poll", Arc::new(move || inst.poll_call(pid)));
+            let poll =
+                ScriptedCall::new(kinds::POLL, "Poll", Arc::new(move || inst.poll_call(pid)));
             Box::new(RepeatUntil::new(poll, 1)) as Box<dyn CallSource>
         })
         .collect();
-    let spec = SimSpec { layout, sources, model: CostModel::Dsm };
+    let spec = SimSpec {
+        layout,
+        sources,
+        model: CostModel::Dsm,
+    };
     let mut sim = Simulator::new(&spec);
 
     // Stabilize every waiter: run it solo until it has completed 3 polls
@@ -86,12 +91,17 @@ pub fn fixed_waiters_signaler_cost(algo: &dyn SignalingAlgorithm, w: usize) -> F
             }
         }
     }
-    let max_waiter_rmrs =
-        (0..w).map(|i| sim.proc_stats(ProcId(i as u32)).rmrs).max().unwrap_or(0);
+    let max_waiter_rmrs = (0..w)
+        .map(|i| sim.proc_stats(ProcId(i as u32)).rmrs)
+        .max()
+        .unwrap_or(0);
 
     // Solo Signal() by the signaler.
     let rmrs_before = sim.proc_stats(signaler).rmrs;
-    sim.inject_call(signaler, Call::new(kinds::SIGNAL, "Signal", instance.signal_call(signaler)));
+    sim.inject_call(
+        signaler,
+        Call::new(kinds::SIGNAL, "Signal", instance.signal_call(signaler)),
+    );
     let mut guard = 0u64;
     loop {
         guard += 1;
@@ -145,7 +155,10 @@ mod tests {
             let waiters: Vec<ProcId> = (0..w as u32).map(ProcId).collect();
             let algo = FixedWaiters::eager(waiters);
             let cost = fixed_waiters_signaler_cost(&algo, w);
-            assert_eq!(cost.signaler_rmrs, w as u64, "one remote flag write per waiter");
+            assert_eq!(
+                cost.signaler_rmrs, w as u64,
+                "one remote flag write per waiter"
+            );
             assert_eq!(cost.post_spec, Ok(()));
             assert_eq!(cost.max_waiter_rmrs, 0, "eager waiters poll locally");
         }
@@ -157,7 +170,11 @@ mod tests {
         let waiters: Vec<ProcId> = (0..w).map(ProcId).collect();
         let algo = FixedWaiters::awaiting(waiters, ProcId(w));
         let cost = fixed_waiters_signaler_cost(&algo, w as usize);
-        assert_eq!(cost.signaler_rmrs, u64::from(w), "participation spins are local");
+        assert_eq!(
+            cost.signaler_rmrs,
+            u64::from(w),
+            "participation spins are local"
+        );
         assert_eq!(cost.post_spec, Ok(()));
         assert!(cost.amortized <= 3.0);
     }

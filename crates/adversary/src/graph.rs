@@ -130,7 +130,10 @@ impl ConflictGraph {
             solve(g, verts, idx + 1, current, best);
         }
         let verts: Vec<ProcId> = self.adj.keys().copied().collect();
-        assert!(verts.len() <= 24, "exact solver is for small test graphs only");
+        assert!(
+            verts.len() <= 24,
+            "exact solver is for small test graphs only"
+        );
         let mut best = BTreeSet::new();
         solve(self, &verts, 0, &mut BTreeSet::new(), &mut best);
         best
@@ -204,14 +207,13 @@ mod tests {
 
     #[test]
     fn greedy_matches_exact_on_small_random_graphs() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = shm_sim::XorShift64::new(99);
         for _ in 0..30 {
-            let n = rng.gen_range(4..12);
+            let n = rng.range_usize(4, 12) as u32;
             let mut g = ConflictGraph::new((0..n).map(p));
             for i in 0..n {
                 for j in (i + 1)..n {
-                    if rng.gen_bool(0.3) {
+                    if rng.chance(3, 10) {
                         g.add_edge(p(i), p(j));
                     }
                 }

@@ -35,7 +35,8 @@
 use crate::graph::ConflictGraph;
 use crate::report::RoundReport;
 use shm_sim::{
-    CostModel, Op, ProcId, RepeatUntil, ScriptedCall, SimSpec, Simulator, StepReport, TransitionPeek,
+    CostModel, Op, ProcId, RepeatUntil, ScriptedCall, SimSpec, Simulator, StepReport,
+    TransitionPeek,
 };
 use signaling::{kinds, AlgorithmInstance, SignalingAlgorithm};
 use std::collections::{BTreeMap, BTreeSet};
@@ -59,11 +60,26 @@ pub struct Part1Config {
     /// algorithms — e.g. the Corollary 6.14 read/write transformation —
     /// park waiters like this.
     pub max_local_steps: u64,
+    /// Steps between simulator checkpoints for incremental replay (0
+    /// disables checkpointing; only meaningful with `incremental`).
+    pub checkpoint_interval: usize,
+    /// Use the incremental replay engine ([`Simulator::erase_certified`])
+    /// for erasures. When `false`, every erasure is certified by a
+    /// from-scratch replay plus full projection comparison — the reference
+    /// path the incremental one is tested against.
+    pub incremental: bool,
 }
 
 impl Default for Part1Config {
     fn default() -> Self {
-        Part1Config { n: 64, max_rounds: 8, probe_calls: 3, max_local_steps: 4_096 }
+        Part1Config {
+            n: 64,
+            max_rounds: 8,
+            probe_calls: 3,
+            max_local_steps: 4_096,
+            checkpoint_interval: 128,
+            incremental: true,
+        }
     }
 }
 
@@ -93,6 +109,11 @@ pub struct Part1Outcome {
     /// Whether the constructed history is regular (Definition 6.6, with the
     /// adversary's finished set).
     pub regular: bool,
+    /// Wall-clock milliseconds spent advancing processes (recording steps).
+    pub record_ms: f64,
+    /// Wall-clock milliseconds spent on round machinery other than
+    /// recording: conflict resolution, erasure replays, roll-forwards.
+    pub rounds_ms: f64,
 }
 
 /// Verdict of advancing one process through its local steps.
@@ -127,6 +148,8 @@ pub struct Part1Runner {
     pub parked: BTreeSet<ProcId>,
     cfg: Part1Config,
     blocked: usize,
+    /// Wall-clock nanoseconds spent advancing processes (history recording).
+    record_nanos: u128,
 }
 
 impl Part1Runner {
@@ -147,8 +170,18 @@ impl Part1Runner {
                 Box::new(RepeatUntil::new(poll, 1)) as Box<dyn shm_sim::CallSource>
             })
             .collect();
-        let spec = SimSpec { layout, sources, model: CostModel::Dsm };
-        let sim = Simulator::new(&spec);
+        let spec = SimSpec {
+            layout,
+            sources,
+            model: CostModel::Dsm,
+        };
+        let mut sim = Simulator::new(&spec);
+        if cfg.incremental {
+            // Scale the interval with n: the schedule grows ~n steps per
+            // round, so this keeps the checkpoint count O(rounds) while the
+            // event-walk certifier stays cheap over an interval-long span.
+            sim.enable_checkpoints(cfg.checkpoint_interval.max(cfg.n));
+        }
         Part1Runner {
             spec,
             instance,
@@ -159,7 +192,14 @@ impl Part1Runner {
             parked: BTreeSet::new(),
             cfg,
             blocked: 0,
+            record_nanos: 0,
         }
+    }
+
+    /// The configuration this runner was built with.
+    #[must_use]
+    pub fn config(&self) -> &Part1Config {
+        &self.cfg
     }
 
     /// Processes that are neither erased nor finished.
@@ -183,17 +223,35 @@ impl Part1Runner {
         }
         let mut new_erased = self.erased.clone();
         new_erased.extend(batch.iter().copied());
-        let replayed = Simulator::replay(&self.spec, self.sim.schedule(), &new_erased);
-        let ok = (0..self.cfg.n as u32).map(ProcId).all(|p| {
-            new_erased.contains(&p)
-                || replayed.history().projection(p) == self.sim.history().projection(p)
-        });
-        if ok {
-            self.erased = new_erased;
-            self.sim = replayed;
-            true
+        if self.cfg.incremental {
+            // Incremental path: replay only from the last checkpoint before
+            // the batch's first step, certifying survivor projections online
+            // (first divergent event refuses the erasure). The erasure is
+            // applied in place so the shared history prefix is never copied.
+            // (`erase_certified_in_place` takes the *full* erased set:
+            // previously erased processes have no recorded steps, so they
+            // never move the splice point.)
+            if self.sim.erase_certified_in_place(&self.spec, &new_erased) {
+                self.erased = new_erased;
+                true
+            } else {
+                false
+            }
         } else {
-            false
+            // Reference path: from-scratch replay + exact projection
+            // comparison (what the incremental path is certified against).
+            let replayed = Simulator::replay(&self.spec, self.sim.schedule(), &new_erased);
+            let ok = (0..self.cfg.n as u32).map(ProcId).all(|p| {
+                new_erased.contains(&p)
+                    || replayed.history().projection(p) == self.sim.history().projection(p)
+            });
+            if ok {
+                self.erased = new_erased;
+                self.sim = replayed;
+                true
+            } else {
+                false
+            }
         }
     }
 
@@ -267,11 +325,21 @@ impl Part1Runner {
     /// Runs one round. Returns its report; `pending == 0` means everything
     /// active is stable and the construction is complete.
     pub fn run_round(&mut self, index: usize) -> RoundReport {
-        let mut report = RoundReport { index, ..RoundReport::default() };
+        let mut report = RoundReport {
+            index,
+            ..RoundReport::default()
+        };
 
-        // Phase 1: advance unstable actives to their next RMR.
+        // Phase 1: advance unstable actives to their next RMR. Advancing in
+        // *descending* pid order is deliberate: signalers typically visit
+        // waiters in ascending pid order, so the waiters erased first during
+        // the wild goose chase are the ones whose first recorded step is
+        // latest — which keeps the incremental replay's suffix (everything
+        // after the erased process's first step) short. Any fair order is a
+        // legal adversary schedule; the reference path uses the same one.
+        let advance_start = std::time::Instant::now();
         let mut pending: BTreeMap<ProcId, Op> = BTreeMap::new();
-        for p in self.active() {
+        for p in self.active().into_iter().rev() {
             if self.stable.contains(&p) {
                 continue;
             }
@@ -293,6 +361,7 @@ impl Part1Runner {
                 }
             }
         }
+        self.record_nanos += advance_start.elapsed().as_nanos();
         report.pending = pending.len();
         if pending.is_empty() {
             return report;
@@ -353,8 +422,10 @@ impl Part1Runner {
         }
 
         // Phase 3: apply surviving reads.
-        let (reads, writes): (Vec<_>, Vec<_>) =
-            pending.iter().map(|(&p, &op)| (p, op)).partition(|(_, op)| !self.op_writes(op));
+        let (reads, writes): (Vec<_>, Vec<_>) = pending
+            .iter()
+            .map(|(&p, &op)| (p, op))
+            .partition(|(_, op)| !self.op_writes(op));
         for &(p, _) in &reads {
             let _ = self.apply_pending(p);
             report.applied_reads += 1;
@@ -370,15 +441,22 @@ impl Part1Runner {
         }
         let x = writes.len();
         let threshold = ((x as f64).sqrt().floor() as usize).max(2);
-        let biggest = by_addr.values().max_by_key(|v| v.len()).expect("non-empty").clone();
+        let biggest = by_addr
+            .values()
+            .max_by_key(|v| v.len())
+            .expect("non-empty")
+            .clone();
 
         if biggest.len() >= threshold {
             // Roll-forward case: erase all other pending writers, apply the
             // pile-up in ID order, roll the last writer forward.
             report.roll_forward_case = true;
             let group: BTreeSet<ProcId> = biggest.iter().copied().collect();
-            let others: BTreeSet<ProcId> =
-                writes.iter().map(|&(p, _)| p).filter(|p| !group.contains(p)).collect();
+            let others: BTreeSet<ProcId> = writes
+                .iter()
+                .map(|&(p, _)| p)
+                .filter(|p| !group.contains(p))
+                .collect();
             let (erased, blocked) = self.erase_individually(&others);
             report.blocked_erasures += blocked;
             self.blocked += blocked;
@@ -463,7 +541,10 @@ impl Part1Runner {
         let mut guard = 0u64;
         while self.sim.has_pending_call(r) && self.sim.is_runnable(r) {
             guard += 1;
-            assert!(guard < self.cfg.max_local_steps, "roll-forward of {r} did not terminate");
+            assert!(
+                guard < self.cfg.max_local_steps,
+                "roll-forward of {r} did not terminate"
+            );
             if let TransitionPeek::Access(op) = self.sim.peek_transition(r) {
                 let (sees, touches) = self.sim.op_observation(r, &op);
                 let mut retry = false;
@@ -492,6 +573,8 @@ impl Part1Runner {
 
     /// Runs rounds until stabilization or the round budget is exhausted.
     pub fn run(&mut self) -> Part1Outcome {
+        let total_start = std::time::Instant::now();
+        let record_base = self.record_nanos;
         let mut rounds = Vec::new();
         let mut stabilized = false;
         for i in 1..=self.cfg.max_rounds {
@@ -503,6 +586,8 @@ impl Part1Runner {
                 break;
             }
         }
+        let total_nanos = total_start.elapsed().as_nanos();
+        let record_nanos = self.record_nanos - record_base;
         let participants = (0..self.cfg.n as u32)
             .map(ProcId)
             .filter(|&p| self.sim.proc_stats(p).steps > 0)
@@ -516,7 +601,8 @@ impl Part1Runner {
             .history()
             .regularity_violations_given_fin(&fin_for_regularity)
             .is_empty();
-        self.parked.retain(|p| self.stable.contains(p) && !self.erased.contains(p));
+        self.parked
+            .retain(|p| self.stable.contains(p) && !self.erased.contains(p));
         Part1Outcome {
             rounds,
             stabilized,
@@ -528,6 +614,8 @@ impl Part1Runner {
             total_rmrs: self.sim.totals().rmrs,
             participants,
             regular,
+            record_ms: record_nanos as f64 / 1e6,
+            rounds_ms: total_nanos.saturating_sub(record_nanos) as f64 / 1e6,
         }
     }
 }
@@ -538,7 +626,10 @@ mod tests {
     use signaling::algorithms::{Broadcast, CcFlag, FixedSignaler, QueueSignaling, SingleWaiter};
 
     fn cfg(n: usize) -> Part1Config {
-        Part1Config { n, ..Part1Config::default() }
+        Part1Config {
+            n,
+            ..Part1Config::default()
+        }
     }
 
     #[test]
@@ -546,7 +637,11 @@ mod tests {
         let mut runner = Part1Runner::new(&Broadcast, cfg(32));
         let out = runner.run();
         assert!(out.stabilized);
-        assert_eq!(out.stable.len(), 32, "polling the local flag is stable from the start");
+        assert_eq!(
+            out.stable.len(),
+            32,
+            "polling the local flag is stable from the start"
+        );
         assert_eq!(out.total_rmrs, 0);
         assert!(out.regular);
     }
@@ -580,7 +675,12 @@ mod tests {
 
     #[test]
     fn fixed_signaler_stabilizes_by_erasing_the_flag_host() {
-        let mut runner = Part1Runner::new(&FixedSignaler { signaler: ProcId(0) }, cfg(32));
+        let mut runner = Part1Runner::new(
+            &FixedSignaler {
+                signaler: ProcId(0),
+            },
+            cfg(32),
+        );
         let out = runner.run();
         assert!(out.stabilized);
         // Every waiter's registration touches p0's module; the conflict

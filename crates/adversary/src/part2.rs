@@ -24,9 +24,11 @@
 //! CAS/LLSC algorithms once N is large enough.
 
 use crate::part1::{Part1Config, Part1Outcome, Part1Runner};
+use crate::report::PhaseTimings;
 use shm_sim::{Call, ProcId, Simulator, TransitionPeek};
 use signaling::{check_polling, kinds, SpecViolation};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Configuration for the full lower-bound run (Part 1 + Part 2).
 #[derive(Clone, Copy, Debug)]
@@ -48,7 +50,10 @@ impl LowerBoundConfig {
     #[must_use]
     pub fn for_n(n: usize) -> Self {
         LowerBoundConfig {
-            part1: Part1Config { n, ..Part1Config::default() },
+            part1: Part1Config {
+                n,
+                ..Part1Config::default()
+            },
             force_signaler: None,
             max_chase_steps: 10_000_000,
         }
@@ -110,6 +115,8 @@ pub struct LowerBoundReport {
     pub chase: Option<SignalRun>,
     /// No-erasure run (absent when Part 1 never stabilized).
     pub discovery: Option<SignalRun>,
+    /// Wall-clock breakdown of the run's phases.
+    pub timings: PhaseTimings,
 }
 
 impl LowerBoundReport {
@@ -137,7 +144,10 @@ impl LowerBoundReport {
     #[must_use]
     pub fn found_violation(&self) -> bool {
         self.chase.as_ref().is_some_and(|r| r.post_spec.is_err())
-            || self.discovery.as_ref().is_some_and(|r| r.post_spec.is_err())
+            || self
+                .discovery
+                .as_ref()
+                .is_some_and(|r| r.post_spec.is_err())
     }
 }
 
@@ -164,8 +174,7 @@ fn choose_signaler(runner: &Part1Runner, n: usize) -> Option<ProcId> {
     // are therefore never signalers — if *every* process is parked, the
     // algorithm's Poll() does not terminate in fair histories, putting it
     // outside the §4 problem class, and there is no chase to run.
-    let eligible =
-        |p: &ProcId| !runner.sim.has_pending_call(*p) && !written_modules.contains(p);
+    let eligible = |p: &ProcId| !runner.sim.has_pending_call(*p) && !written_modules.contains(p);
     candidates
         .iter()
         .copied()
@@ -206,11 +215,24 @@ fn run_signal_phase(
     erase_on_sight: bool,
     max_steps: u64,
 ) -> SignalRun {
+    let incremental = runner.config().incremental;
     let base: Vec<ProcId> = runner.sim.schedule().to_vec();
     let mut erased = runner.erased.clone();
     let mut blocked_set: BTreeSet<ProcId> = BTreeSet::new();
     let mut committed: u64 = 0;
-    let mut sim = rebuild(runner, &base, &erased, s, committed);
+    let mut sim = if incremental {
+        // Incremental path: continue the Part-1 simulator directly (with its
+        // checkpoints); the injection is recorded, so `erase_certified`
+        // replays it when it reconstructs the suffix.
+        let mut sim = runner.sim.clone();
+        sim.inject_call(
+            s,
+            Call::new(kinds::SIGNAL, "Signal", runner.instance.signal_call(s)),
+        );
+        sim
+    } else {
+        rebuild(runner, &base, &erased, s, committed)
+    };
     let pre_rmrs = sim.proc_stats(s).rmrs;
     let mut guard = 0u64;
     let mut signal_completed = false;
@@ -243,19 +265,34 @@ fn run_signal_phase(
                         // world (including s's committed signal prefix).
                         let mut new_erased = erased.clone();
                         new_erased.insert(q);
-                        let candidate = rebuild(runner, &base, &new_erased, s, committed);
-                        let consistent = (0..runner.spec.n() as u32).map(ProcId).all(|p| {
-                            new_erased.contains(&p)
-                                || candidate.history().projection(p) == sim.history().projection(p)
-                        });
-                        if consistent {
-                            erased = new_erased;
-                            sim = candidate;
-                            // Re-evaluate the same pending access in the new
-                            // world before stepping.
-                            continue;
+                        if incremental {
+                            // Shares the checkpointed prefix before q's first
+                            // step; survivors certified online against the
+                            // recorded log, applied in place (no history
+                            // copy).
+                            if sim.erase_certified_in_place(&runner.spec, &new_erased) {
+                                erased = new_erased;
+                                // Re-evaluate the same pending access in
+                                // the new world before stepping.
+                                continue;
+                            }
+                            blocked_set.insert(q);
+                        } else {
+                            let candidate = rebuild(runner, &base, &new_erased, s, committed);
+                            let consistent = (0..runner.spec.n() as u32).map(ProcId).all(|p| {
+                                new_erased.contains(&p)
+                                    || candidate.history().projection(p)
+                                        == sim.history().projection(p)
+                            });
+                            if consistent {
+                                erased = new_erased;
+                                sim = candidate;
+                                // Re-evaluate the same pending access in the
+                                // new world before stepping.
+                                continue;
+                            }
+                            blocked_set.insert(q);
                         }
-                        blocked_set.insert(q);
                     }
                 }
                 let _ = sim.step(s);
@@ -319,19 +356,36 @@ pub fn run_lower_bound(
     let mut runner = Part1Runner::new(algo, cfg.part1);
     let part1 = runner.run();
     let n = cfg.part1.n;
+    let mut timings = PhaseTimings {
+        record_ms: part1.record_ms,
+        rounds_ms: part1.rounds_ms,
+        ..PhaseTimings::default()
+    };
     let (chase, discovery) = if part1.stabilized && !part1.stable.is_empty() {
         let s = cfg.force_signaler.or_else(|| choose_signaler(&runner, n));
         match s {
-            Some(s) => (
-                Some(run_signal_phase(&runner, s, true, cfg.max_chase_steps)),
-                Some(run_signal_phase(&runner, s, false, cfg.max_chase_steps)),
-            ),
+            Some(s) => {
+                let t = Instant::now();
+                let chase = run_signal_phase(&runner, s, true, cfg.max_chase_steps);
+                timings.chase_ms = t.elapsed().as_secs_f64() * 1e3;
+                let t = Instant::now();
+                let discovery = run_signal_phase(&runner, s, false, cfg.max_chase_steps);
+                timings.discovery_ms = t.elapsed().as_secs_f64() * 1e3;
+                (Some(chase), Some(discovery))
+            }
             None => (None, None),
         }
     } else {
         (None, None)
     };
-    LowerBoundReport { algorithm: algo.name().to_owned(), n, part1, chase, discovery }
+    LowerBoundReport {
+        algorithm: algo.name().to_owned(),
+        n,
+        part1,
+        chase,
+        discovery,
+        timings,
+    }
 }
 
 #[cfg(test)]
@@ -350,7 +404,11 @@ mod tests {
         assert!(chase.erased.len() >= 30, "erased {}", chase.erased.len());
         assert_eq!(chase.post_spec, Ok(()));
         // Amortized cost explodes: ~31 RMRs over a handful of participants.
-        assert!(chase.amortized_rmrs() > 5.0, "amortized {}", chase.amortized_rmrs());
+        assert!(
+            chase.amortized_rmrs() > 5.0,
+            "amortized {}",
+            chase.amortized_rmrs()
+        );
     }
 
     #[test]
@@ -368,7 +426,11 @@ mod tests {
         assert!(!report.part1.stabilized);
         assert!(report.chase.is_none());
         // Amortized cost from Part 1 alone grows with the round budget.
-        assert!(report.worst_amortized() >= 4.0, "got {}", report.worst_amortized());
+        assert!(
+            report.worst_amortized() >= 4.0,
+            "got {}",
+            report.worst_amortized()
+        );
     }
 
     #[test]
@@ -394,7 +456,11 @@ mod tests {
         assert_eq!(disc.post_spec, Ok(()));
         // Amortized cost stays modest: the signaler pays O(registered), and
         // every registered waiter is a participant.
-        assert!(disc.amortized_rmrs() <= 8.0, "amortized {}", disc.amortized_rmrs());
+        assert!(
+            disc.amortized_rmrs() <= 8.0,
+            "amortized {}",
+            disc.amortized_rmrs()
+        );
     }
 
     #[test]
@@ -406,13 +472,22 @@ mod tests {
         let n = 32;
         let mut cfg = LowerBoundConfig::for_n(n);
         cfg.force_signaler = Some(ProcId(0));
-        let report = run_lower_bound(&FixedSignaler { signaler: ProcId(0) }, cfg);
+        let report = run_lower_bound(
+            &FixedSignaler {
+                signaler: ProcId(0),
+            },
+            cfg,
+        );
         assert!(report.part1.stabilized);
         let disc = report.discovery.expect("stabilized");
         assert_eq!(disc.post_spec, Ok(()));
         // Signaler cost: 1 (global S) + one write per surviving registered
         // waiter — O(participants), not O(N): amortized O(1).
-        assert!(disc.amortized_rmrs() <= 4.0, "amortized {}", disc.amortized_rmrs());
+        assert!(
+            disc.amortized_rmrs() <= 4.0,
+            "amortized {}",
+            disc.amortized_rmrs()
+        );
     }
 
     #[test]

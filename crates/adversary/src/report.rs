@@ -28,3 +28,25 @@ pub struct RoundReport {
     /// case / no-writes case (false).
     pub roll_forward_case: bool,
 }
+
+/// Wall-clock breakdown of a full lower-bound run, per phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Milliseconds spent advancing processes in Part 1 (recording steps).
+    pub record_ms: f64,
+    /// Milliseconds spent on Part-1 round machinery: conflict resolution,
+    /// erasure replays and certification, roll-forwards.
+    pub rounds_ms: f64,
+    /// Milliseconds spent on the Part-2 erase-on-sight chase.
+    pub chase_ms: f64,
+    /// Milliseconds spent on the Part-2 no-erasure discovery run.
+    pub discovery_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Total milliseconds across all phases.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.record_ms + self.rounds_ms + self.chase_ms + self.discovery_ms
+    }
+}

@@ -32,7 +32,7 @@
 //! the full \[11, 12\] construction.
 
 use shm_mutex::{MutexAlgorithm, MutexInstance, TournamentLock};
-use shm_sim::{Op, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{Op, ProcId, ProcedureCall, Step, Word};
 use signaling::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
 use std::sync::Arc;
 
@@ -76,15 +76,23 @@ struct TransformedInst {
 
 impl AlgorithmInstance for TransformedInst {
     fn signal_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(RwEmulation::new(self.inner.signal_call(pid), Arc::clone(&self.lock), pid))
+        Box::new(RwEmulation::new(
+            self.inner.signal_call(pid),
+            Arc::clone(&self.lock),
+            pid,
+        ))
     }
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(RwEmulation::new(self.inner.poll_call(pid), Arc::clone(&self.lock), pid))
+        Box::new(RwEmulation::new(
+            self.inner.poll_call(pid),
+            Arc::clone(&self.lock),
+            pid,
+        ))
     }
     fn wait_call(&self, pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
-        self.inner
-            .wait_call(pid)
-            .map(|w| Box::new(RwEmulation::new(w, Arc::clone(&self.lock), pid)) as Box<dyn ProcedureCall>)
+        self.inner.wait_call(pid).map(|w| {
+            Box::new(RwEmulation::new(w, Arc::clone(&self.lock), pid)) as Box<dyn ProcedureCall>
+        })
     }
 }
 
@@ -94,13 +102,19 @@ enum EmuState {
     /// The inner machine's plain op is in flight; its result goes back in.
     ForwardPlain,
     /// Running the lock's acquire call; then emulate `pending`.
-    Acquire { pending: Op, call: Box<dyn ProcedureCall> },
+    Acquire {
+        pending: Op,
+        call: Box<dyn ProcedureCall>,
+    },
     /// The read of the target cell is in flight.
     ReadOld { pending: Op },
     /// The emulation's write is in flight; then release and feed `result`.
     WriteNew { result: Word },
     /// Running the lock's release call; then feed `result` to the inner.
-    Release { result: Word, call: Box<dyn ProcedureCall> },
+    Release {
+        result: Word,
+        call: Box<dyn ProcedureCall>,
+    },
 }
 
 /// Step-machine wrapper rewriting RMW operations into lock-protected
@@ -116,7 +130,12 @@ impl RwEmulation {
     /// Wraps one procedure call.
     #[must_use]
     pub fn new(inner: Box<dyn ProcedureCall>, lock: Arc<dyn MutexInstance>, me: ProcId) -> Self {
-        RwEmulation { inner, lock, me, state: EmuState::DriveInner }
+        RwEmulation {
+            inner,
+            lock,
+            me,
+            state: EmuState::DriveInner,
+        }
     }
 
     /// Advances the inner machine with `input` and dispatches on what it
@@ -242,14 +261,16 @@ impl Clone for EmuState {
         match self {
             EmuState::DriveInner => EmuState::DriveInner,
             EmuState::ForwardPlain => EmuState::ForwardPlain,
-            EmuState::Acquire { pending, call } => {
-                EmuState::Acquire { pending: *pending, call: call.clone_call() }
-            }
+            EmuState::Acquire { pending, call } => EmuState::Acquire {
+                pending: *pending,
+                call: call.clone_call(),
+            },
             EmuState::ReadOld { pending } => EmuState::ReadOld { pending: *pending },
             EmuState::WriteNew { result } => EmuState::WriteNew { result: *result },
-            EmuState::Release { result, call } => {
-                EmuState::Release { result: *result, call: call.clone_call() }
-            }
+            EmuState::Release { result, call } => EmuState::Release {
+                result: *result,
+                call: call.clone_call(),
+            },
         }
     }
 }
@@ -271,8 +292,11 @@ mod tests {
     fn transformed_cas_list_satisfies_spec() {
         let algo = ReadWriteTransformed::new(Box::new(CasList));
         for seed in 0..25 {
-            let scenario =
-                Scenario { algorithm: &algo, roles: roles(5), model: CostModel::Dsm };
+            let scenario = Scenario {
+                algorithm: &algo,
+                roles: roles(5),
+                model: CostModel::Dsm,
+            };
             let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 5_000_000);
             assert!(out.completed, "seed {seed}");
             assert_eq!(out.polling_spec, Ok(()), "seed {seed}");
@@ -283,8 +307,11 @@ mod tests {
     fn transformed_queue_satisfies_spec() {
         let algo = ReadWriteTransformed::new(Box::new(QueueSignaling));
         for seed in 0..25 {
-            let scenario =
-                Scenario { algorithm: &algo, roles: roles(5), model: CostModel::Dsm };
+            let scenario = Scenario {
+                algorithm: &algo,
+                roles: roles(5),
+                model: CostModel::Dsm,
+            };
             let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 5_000_000);
             assert!(out.completed, "seed {seed}");
             assert_eq!(out.polling_spec, Ok(()), "seed {seed}");
@@ -295,7 +322,11 @@ mod tests {
     fn transformed_execution_uses_reads_and_writes_only() {
         let algo = ReadWriteTransformed::new(Box::new(CasList));
         assert_eq!(algo.primitive_class(), PrimitiveClass::ReadWrite);
-        let scenario = Scenario { algorithm: &algo, roles: roles(4), model: CostModel::Dsm };
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: roles(4),
+            model: CostModel::Dsm,
+        };
         let out = run_scenario(&scenario, &mut SeededRandom::new(3), 5_000_000);
         assert!(out.completed);
         for e in out.sim.history().events() {
@@ -345,7 +376,11 @@ mod tests {
             let mut r = vec![Role::Bystander; n - 2];
             r.push(Role::Waiter { max_polls: Some(1) });
             r.push(Role::Bystander);
-            let scenario = Scenario { algorithm: algo, roles: r, model: CostModel::Dsm };
+            let scenario = Scenario {
+                algorithm: algo,
+                roles: r,
+                model: CostModel::Dsm,
+            };
             let out = run_scenario(&scenario, &mut shm_sim::RoundRobin::new(), 5_000_000);
             assert!(out.completed);
             out.sim.proc_stats(ProcId(n as u32 - 2)).rmrs
@@ -355,7 +390,10 @@ mod tests {
         let t64 = ReadWriteTransformed::new(Box::new(CasList));
         let emu16 = native_cost(&t16, 16);
         let emu64 = native_cost(&t64, 64);
-        assert!(emu16 > plain, "emulation must cost more ({emu16} vs {plain})");
+        assert!(
+            emu16 > plain,
+            "emulation must cost more ({emu16} vs {plain})"
+        );
         assert!(emu64 > emu16, "deeper tree, more RMRs");
         assert!(emu64 < emu16 + 20, "growth is logarithmic, not linear");
     }

@@ -1,10 +1,14 @@
-//! Property tests for the lower-bound machinery: bookkeeping invariants,
-//! certification soundness, and determinism across the algorithm zoo.
+//! Property-style tests for the lower-bound machinery: bookkeeping
+//! invariants, certification soundness, determinism across the algorithm
+//! zoo, and equivalence of the incremental replay engine with the reference
+//! from-scratch path. Driven by seeded deterministic loops (the workspace is
+//! dependency-free, so no proptest).
 
-use proptest::prelude::*;
 use rmr_adversary::{run_lower_bound, LowerBoundConfig, Part1Config, Part1Runner};
-use shm_sim::ProcId;
-use signaling::algorithms::{Broadcast, CasList, CcFlag, FixedSignaler, QueueSignaling, SingleWaiter};
+use shm_sim::{ProcId, XorShift64};
+use signaling::algorithms::{
+    Broadcast, CasList, CcFlag, FixedSignaler, QueueSignaling, SingleWaiter,
+};
 use signaling::SignalingAlgorithm;
 use std::collections::BTreeSet;
 
@@ -14,62 +18,88 @@ fn algo(which: usize) -> Box<dyn SignalingAlgorithm> {
         1 => Box::new(CcFlag),
         2 => Box::new(SingleWaiter),
         3 => Box::new(QueueSignaling),
-        4 => Box::new(FixedSignaler { signaler: ProcId(0) }),
+        4 => Box::new(FixedSignaler {
+            signaler: ProcId(0),
+        }),
         _ => Box::new(CasList),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Part-1 bookkeeping invariants hold for every algorithm and size:
-    /// erased/finished/stable are disjoint where they must be, erased
-    /// processes leave no trace, and parked ⊆ stable.
-    #[test]
-    fn part1_bookkeeping_invariants(which in 0usize..6, n in 8usize..40, rounds in 2usize..12) {
+/// Part-1 bookkeeping invariants hold for every algorithm and size:
+/// erased/finished/stable are disjoint where they must be, erased
+/// processes leave no trace, and parked ⊆ stable.
+#[test]
+fn part1_bookkeeping_invariants() {
+    let mut rng = XorShift64::new(0x0B00);
+    for _case in 0..24 {
+        let which = rng.range_usize(0, 6);
+        let n = rng.range_usize(8, 40);
+        let rounds = rng.range_usize(2, 12);
         let a = algo(which);
-        let cfg = Part1Config { n, max_rounds: rounds, ..Part1Config::default() };
+        let cfg = Part1Config {
+            n,
+            max_rounds: rounds,
+            ..Part1Config::default()
+        };
         let mut runner = Part1Runner::new(a.as_ref(), cfg);
         let out = runner.run();
-        prop_assert!(out.erased.is_disjoint(&out.finished), "{}", a.name());
-        prop_assert!(out.erased.is_disjoint(&out.stable), "{}", a.name());
-        prop_assert!(out.stable.is_disjoint(&out.finished), "{}", a.name());
-        prop_assert!(out.parked.is_subset(&out.stable), "{}", a.name());
+        assert!(out.erased.is_disjoint(&out.finished), "{}", a.name());
+        assert!(out.erased.is_disjoint(&out.stable), "{}", a.name());
+        assert!(out.stable.is_disjoint(&out.finished), "{}", a.name());
+        assert!(out.parked.is_subset(&out.stable), "{}", a.name());
         let participants = runner.sim.history().participants();
         for q in &out.erased {
-            prop_assert!(!participants.contains(q), "{}: erased {q} participates", a.name());
+            assert!(
+                !participants.contains(q),
+                "{}: erased {q} participates",
+                a.name()
+            );
         }
-        prop_assert_eq!(out.total_rmrs, runner.sim.totals().rmrs);
+        assert_eq!(out.total_rmrs, runner.sim.totals().rmrs);
         // stabilized ⇒ no active process has a pending RMR: every active is
         // stable or finished.
         if out.stabilized {
             for i in 0..n as u32 {
                 let p = ProcId(i);
-                let accounted = out.erased.contains(&p)
-                    || out.finished.contains(&p)
-                    || out.stable.contains(&p);
-                prop_assert!(accounted, "{}: {p} unaccounted", a.name());
+                let accounted =
+                    out.erased.contains(&p) || out.finished.contains(&p) || out.stable.contains(&p);
+                assert!(accounted, "{}: {p} unaccounted", a.name());
             }
         }
     }
+}
 
-    /// Certified erasures really are transparent: after `run()`, replaying
-    /// the final schedule with the erased set removed must equal the final
-    /// history (it *is* the final history, by construction — this asserts
-    /// the runner's state is exactly the filtered replay).
-    #[test]
-    fn final_state_is_a_filtered_replay(which in 0usize..6, n in 8usize..24) {
+/// Certified erasures really are transparent: after `run()`, replaying
+/// the final schedule with the erased set removed must equal the final
+/// history (it *is* the final history, by construction — this asserts
+/// the runner's state is exactly the filtered replay).
+#[test]
+fn final_state_is_a_filtered_replay() {
+    let mut rng = XorShift64::new(0xF11);
+    for _case in 0..24 {
+        let which = rng.range_usize(0, 6);
+        let n = rng.range_usize(8, 24);
         let a = algo(which);
-        let cfg = Part1Config { n, max_rounds: 6, ..Part1Config::default() };
+        let cfg = Part1Config {
+            n,
+            max_rounds: 6,
+            ..Part1Config::default()
+        };
         let mut runner = Part1Runner::new(a.as_ref(), cfg);
         let _ = runner.run();
-        let replayed = shm_sim::Simulator::replay(&runner.spec, runner.sim.schedule(), &BTreeSet::new());
-        prop_assert_eq!(replayed.history().events(), runner.sim.history().events());
+        let replayed =
+            shm_sim::Simulator::replay(&runner.spec, runner.sim.schedule(), &BTreeSet::new());
+        assert_eq!(replayed.history().events(), runner.sim.history().events());
     }
+}
 
-    /// The full lower-bound pipeline is deterministic for every algorithm.
-    #[test]
-    fn pipeline_is_deterministic(which in 0usize..6, n in 8usize..32) {
+/// The full lower-bound pipeline is deterministic for every algorithm.
+#[test]
+fn pipeline_is_deterministic() {
+    let mut rng = XorShift64::new(0xDE7);
+    for _case in 0..12 {
+        let which = rng.range_usize(0, 6);
+        let n = rng.range_usize(8, 32);
         let run = || {
             let a = algo(which);
             let r = run_lower_bound(a.as_ref(), LowerBoundConfig::for_n(n));
@@ -78,21 +108,84 @@ proptest! {
                 r.part1.stable.len(),
                 r.part1.erased.len(),
                 r.worst_amortized().to_bits(),
-                r.chase.as_ref().map(|c| (c.signaler_rmrs, c.erased.len(), c.blocked)),
+                r.chase
+                    .as_ref()
+                    .map(|c| (c.signaler_rmrs, c.erased.len(), c.blocked)),
             )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Amortized cost is monotone-ish in the data the adversary reports:
-    /// worst_amortized is at least the Part-1 amortized cost.
-    #[test]
-    fn worst_amortized_dominates_part1(which in 0usize..6, n in 8usize..32) {
+/// Amortized cost is monotone-ish in the data the adversary reports:
+/// worst_amortized is at least the Part-1 amortized cost.
+#[test]
+fn worst_amortized_dominates_part1() {
+    let mut rng = XorShift64::new(0x0A3);
+    for _case in 0..24 {
+        let which = rng.range_usize(0, 6);
+        let n = rng.range_usize(8, 32);
         let a = algo(which);
         let r = run_lower_bound(a.as_ref(), LowerBoundConfig::for_n(n));
         if r.part1.participants > 0 {
             let p1 = r.part1.total_rmrs as f64 / r.part1.participants as f64;
-            prop_assert!(r.worst_amortized() >= p1 - 1e-9);
+            assert!(r.worst_amortized() >= p1 - 1e-9);
+        }
+    }
+}
+
+/// The incremental replay engine and the reference from-scratch path are
+/// observationally identical: every outcome of the full pipeline — Part-1
+/// populations, RMR counts, chase/discovery results — matches exactly with
+/// `incremental` on and off, for every algorithm and several checkpoint
+/// intervals.
+#[test]
+fn incremental_engine_matches_reference_pipeline() {
+    let summarize = |a: &dyn SignalingAlgorithm, n: usize, incremental: bool, interval: usize| {
+        let mut cfg = LowerBoundConfig::for_n(n);
+        cfg.part1.incremental = incremental;
+        cfg.part1.checkpoint_interval = interval;
+        let r = run_lower_bound(a, cfg);
+        let run_key = |s: &rmr_adversary::SignalRun| {
+            (
+                s.signaler,
+                s.signaler_rmrs,
+                s.erased.clone(),
+                s.blocked,
+                s.survivors,
+                s.signal_completed,
+                s.post_polls_skipped,
+                s.post_spec.clone(),
+                s.total_rmrs,
+                s.participants,
+            )
+        };
+        (
+            r.part1.stabilized,
+            r.part1.stable.clone(),
+            r.part1.finished.clone(),
+            r.part1.erased.clone(),
+            r.part1.parked.clone(),
+            r.part1.blocked_erasures,
+            r.part1.total_rmrs,
+            r.part1.participants,
+            r.part1.regular,
+            r.chase.as_ref().map(run_key),
+            r.discovery.as_ref().map(run_key),
+        )
+    };
+    for which in 0..6 {
+        let a = algo(which);
+        let n = 20;
+        let reference = summarize(a.as_ref(), n, false, 0);
+        for interval in [16usize, 128] {
+            let inc = summarize(a.as_ref(), n, true, interval);
+            assert_eq!(
+                inc,
+                reference,
+                "{} n={n} interval={interval}: incremental differs from reference",
+                a.name()
+            );
         }
     }
 }

@@ -11,7 +11,11 @@ fn cfg(n: usize) -> LowerBoundConfig {
     // The CAS scan (and, transformed, the tournament climb) takes more
     // rounds to stabilize than the flag algorithms: give the construction
     // head room.
-    c.part1 = Part1Config { n, max_rounds: 64, ..Part1Config::default() };
+    c.part1 = Part1Config {
+        n,
+        max_rounds: 64,
+        ..Part1Config::default()
+    };
     c
 }
 
@@ -49,7 +53,11 @@ fn transformed_cas_list_amortized_cost_grows_with_n() {
         t24.worst_amortized(),
         t48.worst_amortized()
     );
-    assert!(t24.worst_amortized() > 8.0, "already far above O(1): {}", t24.worst_amortized());
+    assert!(
+        t24.worst_amortized() > 8.0,
+        "already far above O(1): {}",
+        t24.worst_amortized()
+    );
     // No violations: both versions are safe; they are merely expensive.
     assert!(!t24.found_violation() && !t48.found_violation());
 }

@@ -4,7 +4,7 @@
 //! must classify it stable-but-parked, and Part 2 must skip its post-poll.
 
 use rmr_adversary::{run_lower_bound, LowerBoundConfig, Part1Config, Part1Runner};
-use shm_sim::{AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word};
 use signaling::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
 use std::sync::Arc;
 
@@ -26,16 +26,26 @@ impl SignalingAlgorithm for ParkingPoll {
         PrimitiveClass::ReadWrite
     }
     fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
-        Arc::new(Inst { v: layout.alloc_per_process_array(n, 0), n })
+        Arc::new(Inst {
+            v: layout.alloc_per_process_array(n, 0),
+            n,
+        })
     }
 }
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(SignalAll { v: self.v, n: self.n, idx: 0 })
+        Box::new(SignalAll {
+            v: self.v,
+            n: self.n,
+            idx: 0,
+        })
     }
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(SpinOwn { flag: self.v.at(pid.index()), issued: false })
+        Box::new(SpinOwn {
+            flag: self.v.at(pid.index()),
+            issued: false,
+        })
     }
 }
 
@@ -81,7 +91,11 @@ impl ProcedureCall for SignalAll {
 #[test]
 fn parked_waiters_are_detected_and_skipped() {
     let n = 12;
-    let cfg = Part1Config { n, max_local_steps: 64, ..Part1Config::default() };
+    let cfg = Part1Config {
+        n,
+        max_local_steps: 64,
+        ..Part1Config::default()
+    };
     let mut runner = Part1Runner::new(&ParkingPoll, cfg);
     let out = runner.run();
     assert!(out.stabilized, "local spinners stabilize immediately");
@@ -100,10 +114,17 @@ fn fully_parked_population_yields_no_eligible_signaler() {
     // injecting into a busy process.
     let n = 12;
     let mut cfg = LowerBoundConfig::for_n(n);
-    cfg.part1 = Part1Config { n, max_local_steps: 64, ..Part1Config::default() };
+    cfg.part1 = Part1Config {
+        n,
+        max_local_steps: 64,
+        ..Part1Config::default()
+    };
     let report = run_lower_bound(&ParkingPoll, cfg);
     assert!(report.part1.stabilized);
     assert_eq!(report.part1.parked.len(), n);
-    assert!(report.chase.is_none(), "no between-calls process can signal");
+    assert!(
+        report.chase.is_none(),
+        "no between-calls process can signal"
+    );
     assert!(report.discovery.is_none());
 }

@@ -1,28 +1,73 @@
 //! Cost of the executable lower bound (E2/E4 engine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, report};
 use rmr_adversary::{run_lower_bound, LowerBoundConfig};
 use signaling::algorithms::{Broadcast, QueueSignaling, SingleWaiter};
 use signaling::SignalingAlgorithm;
 
-fn bench_adversary(c: &mut Criterion) {
-    let algos: Vec<Box<dyn SignalingAlgorithm>> =
-        vec![Box::new(Broadcast), Box::new(SingleWaiter), Box::new(QueueSignaling)];
-    let mut group = c.benchmark_group("lower_bound");
-    group.sample_size(10);
+fn main() {
+    let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+        Box::new(Broadcast),
+        Box::new(SingleWaiter),
+        Box::new(QueueSignaling),
+    ];
+    println!("lower_bound: full Part1+Part2 pipeline (incremental replay engine)");
     for algo in &algos {
         for n in [32usize, 64] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), n),
-                &n,
-                |b, &n| {
-                    b.iter(|| run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n)));
-                },
-            );
+            let r = bench(&format!("lower_bound/{}/{n}", algo.name()), 10, || {
+                run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n))
+            });
+            report(&r);
         }
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_adversary);
-criterion_main!(benches);
+    // Incremental engine vs the full-replay reference path at the largest
+    // experiment size, asserting the adversary's observable outputs agree.
+    println!("\nincremental vs full-replay reference at n=256 (identical RMR outputs asserted)");
+    for algo in &algos {
+        let n = 256usize;
+        let inc = bench(&format!("incremental/{}/{n}", algo.name()), 3, || {
+            run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n))
+        });
+        report(&inc);
+        let mut cfg = LowerBoundConfig::for_n(n);
+        cfg.part1.incremental = false;
+        let reference = bench(&format!("reference/{}/{n}", algo.name()), 3, || {
+            run_lower_bound(algo.as_ref(), cfg)
+        });
+        report(&reference);
+        let a = run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n));
+        let b = run_lower_bound(algo.as_ref(), cfg);
+        assert_eq!(
+            a.part1.stable,
+            b.part1.stable,
+            "{}: stable set",
+            algo.name()
+        );
+        for (x, y) in [(&a.chase, &b.chase), (&a.discovery, &b.discovery)] {
+            assert_eq!(
+                x.as_ref().map(|r| (
+                    r.signaler_rmrs,
+                    r.erased.clone(),
+                    r.blocked,
+                    r.survivors,
+                    r.signal_completed
+                )),
+                y.as_ref().map(|r| (
+                    r.signaler_rmrs,
+                    r.erased.clone(),
+                    r.blocked,
+                    r.survivors,
+                    r.signal_completed
+                )),
+                "{}: chase/discovery outputs",
+                algo.name()
+            );
+        }
+        println!(
+            "  {:<22} speedup {:.1}x",
+            algo.name(),
+            reference.mean_ms / inc.mean_ms
+        );
+    }
+}

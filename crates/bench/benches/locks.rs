@@ -1,10 +1,10 @@
 //! Lock workload cost (E6 engine).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, report};
 use shm_mutex::{run_lock_workload, LockWorkloadConfig, MutexAlgorithm};
 use shm_sim::CostModel;
 
-fn bench_locks(c: &mut Criterion) {
+fn main() {
     let locks: Vec<Box<dyn MutexAlgorithm>> = vec![
         Box::new(shm_mutex::TasLock),
         Box::new(shm_mutex::TtasLock),
@@ -12,27 +12,27 @@ fn bench_locks(c: &mut Criterion) {
         Box::new(shm_mutex::McsLock),
         Box::new(shm_mutex::TournamentLock),
     ];
-    let mut group = c.benchmark_group("lock_workload_8x4");
+    println!("lock_workload_8x4: n=8, cycles=4, seed=42");
     for lock in &locks {
         for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
-            group.bench_with_input(
-                BenchmarkId::new(lock.name(), label),
-                &model,
-                |b, &model| {
-                    b.iter(|| {
-                        let r = run_lock_workload(
-                            lock.as_ref(),
-                            &LockWorkloadConfig { n: 8, cycles: 4, seed: 42, model },
-                        );
-                        assert!(r.completed);
-                        r.totals.rmrs
-                    });
+            let r = bench(
+                &format!("lock_workload_8x4/{}/{label}", lock.name()),
+                20,
+                || {
+                    let r = run_lock_workload(
+                        lock.as_ref(),
+                        &LockWorkloadConfig {
+                            n: 8,
+                            cycles: 4,
+                            seed: 42,
+                            model,
+                        },
+                    );
+                    assert!(r.completed);
+                    r.totals.rmrs
                 },
             );
+            report(&r);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_locks);
-criterion_main!(benches);

@@ -1,39 +1,40 @@
 //! End-to-end scenario cost per signaling algorithm (E1/E3 workload).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, report};
 use shm_sim::{CostModel, ProcId, RoundRobin};
 use signaling::algorithms::{Broadcast, CcFlag, FixedSignaler, QueueSignaling};
 use signaling::{run_scenario, Role, Scenario, SignalingAlgorithm};
 
-fn bench_scenarios(c: &mut Criterion) {
+fn main() {
     let n = 64u32;
     let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
         Box::new(CcFlag),
         Box::new(Broadcast),
-        Box::new(FixedSignaler { signaler: ProcId(n) }),
+        Box::new(FixedSignaler {
+            signaler: ProcId(n),
+        }),
         Box::new(QueueSignaling),
     ];
-    let mut group = c.benchmark_group("signaling_scenario_64w");
+    println!("signaling_scenario_64w: 64 waiters + 1 signaler, round-robin");
     for algo in &algos {
         for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), label),
-                &model,
-                |b, &model| {
-                    b.iter(|| {
-                        let mut roles = vec![Role::waiter(); n as usize];
-                        roles.push(Role::signaler());
-                        let scenario = Scenario { algorithm: algo.as_ref(), roles, model };
-                        let out = run_scenario(&scenario, &mut RoundRobin::new(), 10_000_000);
-                        assert!(out.completed);
-                        out.sim.totals().rmrs
-                    });
+            let r = bench(
+                &format!("signaling_scenario_64w/{}/{label}", algo.name()),
+                20,
+                || {
+                    let mut roles = vec![Role::waiter(); n as usize];
+                    roles.push(Role::signaler());
+                    let scenario = Scenario {
+                        algorithm: algo.as_ref(),
+                        roles,
+                        model,
+                    };
+                    let out = run_scenario(&scenario, &mut RoundRobin::new(), 10_000_000);
+                    assert!(out.completed);
+                    out.sim.totals().rmrs
                 },
             );
+            report(&r);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scenarios);
-criterion_main!(benches);

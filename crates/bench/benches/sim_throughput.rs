@@ -1,6 +1,7 @@
-//! Raw simulator throughput: steps per second for a busy-wait workload.
+//! Raw simulator throughput: steps per second for a busy-wait workload,
+//! plus clone and replay cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, report};
 use shm_sim::*;
 use std::sync::Arc;
 
@@ -19,42 +20,37 @@ fn spin_spec(n: usize, model: CostModel) -> SimSpec {
             Box::new(RepeatUntil::new(poll, 1)) as Box<dyn CallSource>
         })
         .collect();
-    SimSpec { layout, sources, model }
+    SimSpec {
+        layout,
+        sources,
+        model,
+    }
 }
 
-fn bench_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_steps");
+fn main() {
+    println!("sim_steps: 10k steps of a busy-wait workload");
     for (label, model) in [("dsm", CostModel::Dsm), ("cc", CostModel::cc_default())] {
         for n in [16usize, 256] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    let spec = spin_spec(n, model);
-                    b.iter(|| {
-                        let mut sim = Simulator::new(&spec);
-                        let mut sched = RoundRobin::new();
-                        shm_sim::run(&mut sim, &mut sched, 10_000)
-                    });
-                },
-            );
+            let spec = spin_spec(n, model);
+            let r = bench(&format!("sim_steps/{label}/{n}"), 20, || {
+                let mut sim = Simulator::new(&spec);
+                let mut sched = RoundRobin::new();
+                shm_sim::run(&mut sim, &mut sched, 10_000)
+            });
+            report(&r);
         }
     }
-    group.finish();
-}
 
-fn bench_clone_and_replay(c: &mut Criterion) {
     let spec = spin_spec(64, CostModel::Dsm);
     let mut sim = Simulator::new(&spec);
     let mut sched = RoundRobin::new();
     shm_sim::run(&mut sim, &mut sched, 20_000);
-    c.bench_function("sim_clone_64procs_20ksteps", |b| b.iter(|| sim.clone()));
+    let r = bench("sim_clone_64procs_20ksteps", 50, || sim.clone());
+    report(&r);
     let schedule = sim.schedule().to_vec();
     let erased = std::collections::BTreeSet::new();
-    c.bench_function("sim_replay_64procs_20ksteps", |b| {
-        b.iter(|| Simulator::replay(&spec, &schedule, &erased))
+    let r = bench("sim_replay_64procs_20ksteps", 20, || {
+        Simulator::replay(&spec, &schedule, &erased)
     });
+    report(&r);
 }
-
-criterion_group!(benches, bench_steps, bench_clone_and_replay);
-criterion_main!(benches);

@@ -2,13 +2,19 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e1_cc_upper`
 
-use bench::table::{header, row};
 use bench::e1_cc_upper;
+use bench::table::{header, row};
 
 fn main() {
     println!("E1: the single-Boolean algorithm (§5), waiters poll 25x before the signal\n");
     let widths = [18, 10, 8, 18, 12];
-    header(&[("model", 18), ("waiters", 10), ("polls", 8), ("max RMR/process", 18), ("total RMRs", 12)]);
+    header(&[
+        ("model", 18),
+        ("waiters", 10),
+        ("polls", 8),
+        ("max RMR/process", 18),
+        ("total RMRs", 12),
+    ]);
     for r in e1_cc_upper(&[4, 16, 64, 256], 25) {
         row(
             &[

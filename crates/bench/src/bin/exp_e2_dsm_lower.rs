@@ -1,13 +1,53 @@
 //! E2 — Theorem 6.2: the executable lower-bound adversary in the DSM model.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e2_dsm_lower`
+//!
+//! Pass `--json` to also write the rows (including per-phase wall-clock
+//! timings of the incremental replay engine) to `BENCH_adversary.json`.
 
 use bench::table::{f2, header, row};
-use bench::e2_dsm_lower;
+use bench::{e2_dsm_lower, E2Row};
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn to_json(rows: &[E2Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
+                "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
+                "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
+                "\"record_ms\": {:.3}, \"rounds_ms\": {:.3}, \"chase_ms\": {:.3}, ",
+                "\"discovery_ms\": {:.3}, \"total_ms\": {:.3}}}{}"
+            ),
+            json_escape(&r.algorithm),
+            r.n,
+            r.stabilized,
+            r.stable,
+            r.chase_signaler_rmrs,
+            r.chase_erased,
+            r.blocked,
+            r.amortized,
+            r.violation,
+            r.timings.record_ms,
+            r.timings.rounds_ms,
+            r.timings.chase_ms,
+            r.timings.discovery_ms,
+            r.timings.total_ms(),
+            if i + 1 < rows.len() { ",\n" } else { "\n" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     println!("E2: the §6 adversary (erase / roll forward / wild goose chase), DSM model\n");
-    let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10];
+    let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10, 10, 10, 10];
     header(&[
         ("algorithm", 15),
         ("N", 6),
@@ -18,8 +58,12 @@ fn main() {
         ("blocked", 8),
         ("amortized", 10),
         ("violation", 10),
+        ("record_ms", 10),
+        ("rounds_ms", 10),
+        ("chase_ms", 10),
     ]);
-    for r in e2_dsm_lower(&[32, 64, 128, 256]) {
+    let rows = e2_dsm_lower(&[32, 64, 128, 256]);
+    for r in &rows {
         row(
             &[
                 r.algorithm.clone(),
@@ -31,9 +75,17 @@ fn main() {
                 r.blocked.to_string(),
                 f2(r.amortized),
                 r.violation.to_string(),
+                f2(r.timings.record_ms),
+                f2(r.timings.rounds_ms),
+                f2(r.timings.chase_ms),
             ],
             &widths,
         );
+    }
+    if json {
+        let path = "BENCH_adversary.json";
+        std::fs::write(path, to_json(&rows)).expect("write BENCH_adversary.json");
+        println!("\nwrote {path}");
     }
     println!("\npaper: for any c there is a history with k participants and > c*k RMRs");
     println!("(reads/writes/CAS/LLSC). shape check: broadcast's amortized column grows");

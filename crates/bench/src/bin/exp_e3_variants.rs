@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e3_variants`
 
-use bench::table::{f2, header, row};
 use bench::e3_variants;
+use bench::table::{f2, header, row};
 
 fn main() {
     println!("E3: §7 signaling variants, 32 waiters (1 for single-waiter), 25 polls each\n");

@@ -3,13 +3,18 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e4_primitives`
 
-use bench::table::{f2, header, row};
 use bench::e4_primitives;
+use bench::table::{f2, header, row};
 
 fn main() {
     println!("E4: adversarial amortized RMRs vs N — broadcast (reads/writes) vs queue (FAA)\n");
     let widths = [6, 22, 18, 15];
-    header(&[("N", 6), ("broadcast amortized", 22), ("queue amortized", 18), ("queue blocked", 15)]);
+    header(&[
+        ("N", 6),
+        ("broadcast amortized", 22),
+        ("queue amortized", 18),
+        ("queue blocked", 15),
+    ]);
     for r in e4_primitives(&[16, 32, 64, 128, 256, 512]) {
         row(
             &[

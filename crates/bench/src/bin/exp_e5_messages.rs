@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e5_messages`
 
-use bench::table::{f2, header, row};
 use bench::e5_messages;
+use bench::table::{f2, header, row};
 
 fn main() {
     println!("E5: message accounting (CC write-through), 16 processes\n");

@@ -2,8 +2,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e6_mutex`
 
-use bench::table::{f2, header, row};
 use bench::e6_mutex;
+use bench::table::{f2, header, row};
 
 fn main() {
     println!("E6: RMRs per lock passage, contended workload, seed 42\n");
@@ -11,7 +11,12 @@ fn main() {
     header(&[("lock", 12), ("model", 5), ("N", 6), ("RMRs/passage", 16)]);
     for r in e6_mutex(&[2, 4, 8, 16, 32], 4) {
         row(
-            &[r.lock.clone(), r.model.into(), r.n.to_string(), f2(r.rmrs_per_passage)],
+            &[
+                r.lock.clone(),
+                r.model.into(),
+                r.n.to_string(),
+                f2(r.rmrs_per_passage),
+            ],
             &widths,
         );
     }

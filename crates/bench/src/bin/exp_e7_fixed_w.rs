@@ -2,16 +2,26 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e7_fixed_w`
 
-use bench::table::{f2, header, row};
 use bench::e7_fixed_w;
+use bench::table::{f2, header, row};
 
 fn main() {
     println!("E7: solo Signal() cost with all W fixed waiters stable and registered\n");
     let widths = [24, 6, 14, 10];
-    header(&[("algorithm", 24), ("W", 6), ("signalerRMRs", 14), ("amortized", 10)]);
+    header(&[
+        ("algorithm", 24),
+        ("W", 6),
+        ("signalerRMRs", 14),
+        ("amortized", 10),
+    ]);
     for r in e7_fixed_w(&[4, 8, 16, 32, 64, 128]) {
         row(
-            &[r.algorithm.clone(), r.w.to_string(), r.signaler_rmrs.to_string(), f2(r.amortized)],
+            &[
+                r.algorithm.clone(),
+                r.w.to_string(),
+                r.signaler_rmrs.to_string(),
+                f2(r.amortized),
+            ],
             &widths,
         );
     }

@@ -3,12 +3,12 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e8_transformation`
 
-use bench::table::{f2, header, row};
 use bench::e8_transformation;
+use bench::table::{f2, header, row};
 
 fn main() {
     println!("E8: Corollary 6.14 — the primitive classes under the same adversary\n");
-    let widths = [14, 6, 11, 8, 11, 9, 13];
+    let widths = [14, 6, 11, 8, 11, 9, 13, 10, 10, 10];
     header(&[
         ("variant", 14),
         ("N", 6),
@@ -17,6 +17,9 @@ fn main() {
         ("amortized", 11),
         ("blocked", 9),
         ("signalStuck", 13),
+        ("record_ms", 10),
+        ("rounds_ms", 10),
+        ("chase_ms", 10),
     ]);
     for r in e8_transformation(&[16, 32, 64, 128]) {
         row(
@@ -28,6 +31,9 @@ fn main() {
                 f2(r.amortized),
                 r.blocked.to_string(),
                 r.signal_stuck.to_string(),
+                f2(r.timings.record_ms),
+                f2(r.timings.rounds_ms),
+                f2(r.timings.chase_ms),
             ],
             &widths,
         );

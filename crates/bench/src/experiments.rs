@@ -1,9 +1,11 @@
 //! The experiment implementations. See the crate docs for the claim map.
 
-use rmr_adversary::{fixed_waiters_signaler_cost, run_lower_bound, LowerBoundConfig};
+use rmr_adversary::{fixed_waiters_signaler_cost, run_lower_bound, LowerBoundConfig, PhaseTimings};
 use shm_mutex::{run_lock_workload, LockWorkloadConfig, MutexAlgorithm};
 use shm_sim::{CcConfig, CostModel, Interconnect, ProcId, Protocol, Scripted, SimSpec, Simulator};
-use signaling::algorithms::{Broadcast, CcFlag, FixedSignaler, FixedWaiters, QueueSignaling, SingleWaiter};
+use signaling::algorithms::{
+    Broadcast, CcFlag, FixedSignaler, FixedWaiters, QueueSignaling, SingleWaiter,
+};
 use signaling::{check_polling, Role, Scenario, SignalingAlgorithm};
 
 /// Builds the scripted "everyone polls `polls`× before the signal" schedule
@@ -27,15 +29,29 @@ fn poll_heavy_schedule(n_waiters: u32, polls: u32) -> Vec<ProcId> {
     order
 }
 
-fn run_poll_heavy(algo: &dyn SignalingAlgorithm, n_waiters: u32, polls: u32, model: CostModel) -> Simulator {
+fn run_poll_heavy(
+    algo: &dyn SignalingAlgorithm,
+    n_waiters: u32,
+    polls: u32,
+    model: CostModel,
+) -> Simulator {
     let mut roles = vec![Role::waiter(); n_waiters as usize];
     roles.push(Role::signaler());
-    let scenario = Scenario { algorithm: algo, roles, model };
+    let scenario = Scenario {
+        algorithm: algo,
+        roles,
+        model,
+    };
     let spec: SimSpec = scenario.build();
     let mut sim = Simulator::new(&spec);
     let mut sched = Scripted::new(poll_heavy_schedule(n_waiters, polls));
     shm_sim::run(&mut sim, &mut sched, 100_000_000);
-    assert_eq!(check_polling(sim.history()), Ok(()), "{}: spec violated", algo.name());
+    assert_eq!(
+        check_polling(sim.history()),
+        Ok(()),
+        "{}: spec violated",
+        algo.name()
+    );
     sim
 }
 
@@ -65,16 +81,28 @@ pub fn e1_cc_upper(sizes: &[u32], polls: u32) -> Vec<E1Row> {
         ("cc-write-through", CostModel::Cc(CcConfig::default())),
         (
             "cc-write-back",
-            CostModel::Cc(CcConfig { protocol: Protocol::WriteBack, ..Default::default() }),
+            CostModel::Cc(CcConfig {
+                protocol: Protocol::WriteBack,
+                ..Default::default()
+            }),
         ),
-        ("cc-lfcu", CostModel::Cc(CcConfig { lfcu: true, ..Default::default() })),
+        (
+            "cc-lfcu",
+            CostModel::Cc(CcConfig {
+                lfcu: true,
+                ..Default::default()
+            }),
+        ),
         ("dsm", CostModel::Dsm),
     ];
     let mut rows = Vec::new();
     for &n in sizes {
         for (label, model) in models {
             let sim = run_poll_heavy(&CcFlag, n, polls, model);
-            let max = (0..=n).map(|i| sim.proc_stats(ProcId(i)).rmrs).max().unwrap_or(0);
+            let max = (0..=n)
+                .map(|i| sim.proc_stats(ProcId(i)).rmrs)
+                .max()
+                .unwrap_or(0);
             rows.push(E1Row {
                 model: label,
                 n_waiters: n,
@@ -110,6 +138,8 @@ pub struct E2Row {
     pub amortized: f64,
     /// Whether a Specification 4.1 violation was exposed.
     pub violation: bool,
+    /// Per-phase wall-clock (record / rounds / chase / discovery).
+    pub timings: PhaseTimings,
 }
 
 /// E2 — Theorem 6.2: runs the full adversary against the read/write
@@ -141,6 +171,7 @@ pub fn e2_dsm_lower(sizes: &[usize]) -> Vec<E2Row> {
                 blocked,
                 amortized: report.worst_amortized(),
                 violation: report.found_violation(),
+                timings: report.timings,
             });
         }
     }
@@ -175,21 +206,34 @@ pub fn e3_variants(n_waiters: u32, polls: u32) -> Vec<E3Row> {
     let algos: Vec<(Box<dyn SignalingAlgorithm>, &'static str)> = vec![
         (Box::new(CcFlag), "O(1) CC / unbounded DSM"),
         (Box::new(SingleWaiter), "O(1) both (1 waiter)"),
-        (Box::new(FixedWaiters::eager(fixed.clone())), "O(W) signaler, O(1) waiters"),
+        (
+            Box::new(FixedWaiters::eager(fixed.clone())),
+            "O(W) signaler, O(1) waiters",
+        ),
         (
             Box::new(FixedWaiters::awaiting(fixed, signaler)),
             "O(1) amortized (terminating)",
         ),
-        (Box::new(FixedSignaler { signaler }), "O(1) waiters, O(k) signaler"),
+        (
+            Box::new(FixedSignaler { signaler }),
+            "O(1) waiters, O(k) signaler",
+        ),
         (Box::new(QueueSignaling), "O(1) amortized (FAA)"),
     ];
     let mut rows = Vec::new();
     for (algo, paper_bound) in &algos {
         // SingleWaiter is only specified for one waiter.
-        let waiters = if algo.name() == "single-waiter" { 1 } else { n_waiters };
+        let waiters = if algo.name() == "single-waiter" {
+            1
+        } else {
+            n_waiters
+        };
         for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
             let sim = run_poll_heavy(algo.as_ref(), waiters, polls, model);
-            let max_waiter = (0..waiters).map(|i| sim.proc_stats(ProcId(i)).rmrs).max().unwrap_or(0);
+            let max_waiter = (0..waiters)
+                .map(|i| sim.proc_stats(ProcId(i)).rmrs)
+                .max()
+                .unwrap_or(0);
             let participants = (0..=waiters)
                 .filter(|&i| sim.proc_stats(ProcId(i)).steps > 0)
                 .count()
@@ -275,7 +319,10 @@ pub fn e5_messages(n: u32) -> Vec<E5Row> {
     ];
     let mut rows = Vec::new();
     for (ic_label, ic) in interconnects {
-        let model = CostModel::Cc(CcConfig { interconnect: ic, ..Default::default() });
+        let model = CostModel::Cc(CcConfig {
+            interconnect: ic,
+            ..Default::default()
+        });
         // Workload 1: signaling, poll-heavy.
         let sim = run_poll_heavy(&CcFlag, n, 20, model);
         let t = sim.totals();
@@ -290,7 +337,12 @@ pub fn e5_messages(n: u32) -> Vec<E5Row> {
         // Workload 2: contended TTAS lock (write-heavy, invalidation storms).
         let r = run_lock_workload(
             &shm_mutex::TtasLock,
-            &LockWorkloadConfig { n: n as usize, cycles: 4, seed: 5, model },
+            &LockWorkloadConfig {
+                n: n as usize,
+                cycles: 4,
+                seed: 5,
+                model,
+            },
         );
         let t = r.totals;
         rows.push(E5Row {
@@ -339,7 +391,12 @@ pub fn e6_mutex(sizes: &[usize], cycles: u64) -> Vec<E6Row> {
             for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
                 let r = run_lock_workload(
                     lock.as_ref(),
-                    &LockWorkloadConfig { n, cycles, seed: 42, model },
+                    &LockWorkloadConfig {
+                        n,
+                        cycles,
+                        seed: 42,
+                        model,
+                    },
                 );
                 assert!(r.completed, "{} n={n} {label}", lock.name());
                 assert_eq!(r.violations, Vec::new(), "{} n={n} {label}", lock.name());
@@ -463,6 +520,8 @@ pub struct E8Row {
     pub blocked: usize,
     /// Whether the solo signaler failed to complete (busy-waiting).
     pub signal_stuck: bool,
+    /// Per-phase wall-clock (record / rounds / chase / discovery).
+    pub timings: PhaseTimings,
 }
 
 /// E8 — Corollary 6.14: comparison primitives do not escape the bound.
@@ -476,10 +535,17 @@ pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
     let mut rows = Vec::new();
     for &n in sizes {
         let mut cfg = LowerBoundConfig::for_n(n);
-        cfg.part1 = Part1Config { n, max_rounds: 64, ..Part1Config::default() };
+        cfg.part1 = Part1Config {
+            n,
+            max_rounds: 64,
+            ..Part1Config::default()
+        };
         let variants: Vec<(String, Box<dyn SignalingAlgorithm>)> = vec![
             ("cas-list".into(), Box::new(CasList)),
-            ("cas-list+rw".into(), Box::new(ReadWriteTransformed::new(Box::new(CasList)))),
+            (
+                "cas-list+rw".into(),
+                Box::new(ReadWriteTransformed::new(Box::new(CasList))),
+            ),
             ("queue-faa".into(), Box::new(QueueSignaling)),
         ];
         for (variant, algo) in variants {
@@ -494,6 +560,7 @@ pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
                 amortized: r.worst_amortized(),
                 blocked: r.part1.blocked_erasures + r.chase.as_ref().map_or(0, |c| c.blocked),
                 signal_stuck,
+                timings: r.timings,
             });
         }
     }

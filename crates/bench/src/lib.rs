@@ -24,5 +24,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use experiments::*;

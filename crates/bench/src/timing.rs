@@ -1,0 +1,57 @@
+//! Minimal wall-clock bench harness.
+//!
+//! The workspace is dependency-free (no criterion), so the `benches/`
+//! binaries are plain `harness = false` mains built on this module: warm up
+//! once, run a fixed iteration count, report mean/min/max. Deterministic
+//! workloads make this adequate for the regressions the benches guard —
+//! order-of-magnitude engine changes, not microarchitectural noise.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Case label, e.g. `lower_bound/broadcast/64`.
+    pub label: String,
+    /// Measured iterations (excluding the warmup run).
+    pub iters: u32,
+    /// Mean wall-clock milliseconds per iteration.
+    pub mean_ms: f64,
+    /// Fastest iteration.
+    pub min_ms: f64,
+    /// Slowest iteration.
+    pub max_ms: f64,
+}
+
+/// Runs `f` once to warm up, then `iters` measured times.
+pub fn bench<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) -> BenchResult {
+    assert!(iters > 0, "bench needs at least one iteration");
+    let _warmup = f();
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let out = f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&out);
+        min = min.min(ms);
+        max = max.max(ms);
+        total += ms;
+    }
+    BenchResult {
+        label: label.to_owned(),
+        iters,
+        mean_ms: total / f64::from(iters),
+        min_ms: min,
+        max_ms: max,
+    }
+}
+
+/// Prints one result line in a stable, grep-friendly format.
+pub fn report(r: &BenchResult) {
+    println!(
+        "{:<44} {:>10.3} ms/iter  (min {:>9.3}, max {:>9.3}, n={})",
+        r.label, r.mean_ms, r.min_ms, r.max_ms, r.iters
+    );
+}

@@ -7,7 +7,9 @@ use bench::*;
 fn e2_shapes() {
     let rows = e2_dsm_lower(&[16, 48]);
     let find = |n: usize, name: &str| {
-        rows.iter().find(|r| r.n == n && r.algorithm == name).unwrap()
+        rows.iter()
+            .find(|r| r.n == n && r.algorithm == name)
+            .unwrap()
     };
     // broadcast: amortized grows ~linearly with N.
     assert!(find(48, "broadcast").amortized > 2.0 * find(16, "broadcast").amortized);
@@ -56,7 +58,10 @@ fn e6_shapes() {
     assert!(get("mcs", "cc", 16) < 2.0 * get("mcs", "cc", 4).max(5.0));
     // Tournament: CC and DSM agree (within 2x), grows slower than linear.
     let (t_cc, t_dsm) = (get("tournament", "cc", 16), get("tournament", "dsm", 16));
-    assert!(t_cc < 2.0 * t_dsm && t_dsm < 2.0 * t_cc, "{t_cc} vs {t_dsm}");
+    assert!(
+        t_cc < 2.0 * t_dsm && t_dsm < 2.0 * t_cc,
+        "{t_cc} vs {t_dsm}"
+    );
     assert!(get("tournament", "dsm", 16) < 4.0 * get("tournament", "dsm", 4));
     // Anderson: local-spin in CC only.
     assert!(get("anderson", "dsm", 16) > 3.0 * get("anderson", "cc", 16));

@@ -1,6 +1,6 @@
 //! The interface every signaling algorithm implements.
 
-use shm_sim::{MemLayout, ProcedureCall, ProcId};
+use shm_sim::{MemLayout, ProcId, ProcedureCall};
 use std::sync::Arc;
 
 /// The synchronization-primitive class an algorithm draws from, following

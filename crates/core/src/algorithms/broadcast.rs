@@ -15,7 +15,7 @@
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
 use crate::algorithms::common::SpinUntil;
-use shm_sim::{AddrRange, MemLayout, Op, OpSequence, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{AddrRange, MemLayout, Op, OpSequence, ProcId, ProcedureCall, Step, Word};
 use std::sync::Arc;
 
 /// The broadcast algorithm (write every local flag).
@@ -38,13 +38,20 @@ impl SignalingAlgorithm for Broadcast {
     }
 
     fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
-        Arc::new(Inst { v: layout.alloc_per_process_array(n, 0), n })
+        Arc::new(Inst {
+            v: layout.alloc_per_process_array(n, 0),
+            n,
+        })
     }
 }
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Signal { inst: self.clone(), me: pid, idx: 0 })
+        Box::new(Signal {
+            inst: self.clone(),
+            me: pid,
+            idx: 0,
+        })
     }
 
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
@@ -100,7 +107,11 @@ mod tests {
             for seed in 0..40 {
                 let mut roles = vec![Role::waiter(); 6];
                 roles.push(Role::signaler());
-                let scenario = Scenario { algorithm: &Broadcast, roles, model };
+                let scenario = Scenario {
+                    algorithm: &Broadcast,
+                    roles,
+                    model,
+                };
                 let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
                 assert!(out.completed, "{model:?} seed {seed}");
                 assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
@@ -112,14 +123,26 @@ mod tests {
     fn waiters_poll_for_free_in_dsm() {
         let mut roles = vec![Role::waiter(); 3];
         roles.push(Role::signaler());
-        let scenario = Scenario { algorithm: &Broadcast, roles, model: CostModel::Dsm };
+        let scenario = Scenario {
+            algorithm: &Broadcast,
+            roles,
+            model: CostModel::Dsm,
+        };
         let spec = scenario.build();
         let mut sim = shm_sim::Simulator::new(&spec);
         for _ in 0..150 {
             let _ = sim.step(ProcId(0));
         }
-        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 0, "polls read the local flag");
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(
+            sim.proc_stats(ProcId(0)).rmrs,
+            0,
+            "polls read the local flag"
+        );
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 
@@ -128,7 +151,11 @@ mod tests {
         let n = 16;
         let mut roles = vec![Role::Bystander; n - 1];
         roles.push(Role::signaler());
-        let scenario = Scenario { algorithm: &Broadcast, roles, model: CostModel::Dsm };
+        let scenario = Scenario {
+            algorithm: &Broadcast,
+            roles,
+            model: CostModel::Dsm,
+        };
         let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
         assert!(out.completed);
         // Nobody participates but the signaler still broadcasts: the
@@ -148,8 +175,16 @@ mod tests {
         for _ in 0..100 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
-        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 0, "waiting is entirely local");
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
+        assert_eq!(
+            sim.proc_stats(ProcId(0)).rmrs,
+            0,
+            "waiting is entirely local"
+        );
         assert_eq!(crate::spec::check_blocking(sim.history()), Ok(()));
     }
 }

@@ -20,7 +20,7 @@
 //! the paper's point in miniature.
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
-use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word, NIL};
 use std::sync::Arc;
 
 /// The CAS-scan registration algorithm.
@@ -56,11 +56,20 @@ impl SignalingAlgorithm for CasList {
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Signal { inst: self.clone(), state: SigState::WriteG, idx: 0 })
+        Box::new(Signal {
+            inst: self.clone(),
+            state: SigState::WriteG,
+            idx: 0,
+        })
     }
 
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg, idx: 0 })
+        Box::new(Poll {
+            inst: self.clone(),
+            me: pid,
+            state: PollState::ReadReg,
+            idx: 0,
+        })
     }
 }
 
@@ -152,7 +161,11 @@ impl ProcedureCall for Poll {
                 } else {
                     self.idx += 1;
                     assert!(self.idx < self.inst.slots.len(), "registration overflow");
-                    Step::Op(Op::Cas(self.inst.slots.at(self.idx), NIL, self.me.to_word()))
+                    Step::Op(Op::Cas(
+                        self.inst.slots.at(self.idx),
+                        NIL,
+                        self.me.to_word(),
+                    ))
                 }
             }
             PollState::MarkReg => {
@@ -213,8 +226,16 @@ mod tests {
         }
         // Waiter 7 scanned slots 0..7: 8 CAS attempts + G read.
         assert_eq!(sim.proc_stats(ProcId(7)).rmrs, 9);
-        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 2, "first registrant: 1 CAS + G read");
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert_eq!(
+            sim.proc_stats(ProcId(0)).rmrs,
+            2,
+            "first registrant: 1 CAS + G read"
+        );
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 
@@ -248,7 +269,11 @@ mod tests {
         }
         // G write + one read per slot (the array has n = 5 slots), no V writes.
         assert_eq!(sim.proc_stats(ProcId(4)).rmrs, 6);
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 }

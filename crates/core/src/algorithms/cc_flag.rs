@@ -9,7 +9,7 @@
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
 use crate::algorithms::common::SpinUntil;
-use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcedureCall, ProcId};
+use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcId, ProcedureCall};
 use std::sync::Arc;
 
 /// The single-Boolean algorithm of §5.
@@ -83,7 +83,11 @@ mod tests {
         let n = 32;
         let mut roles = vec![Role::waiter(); n - 1];
         roles.push(Role::signaler());
-        let scenario = Scenario { algorithm: &CcFlag, roles, model: CostModel::cc_default() };
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles,
+            model: CostModel::cc_default(),
+        };
         // Round-robin makes each waiter poll once before the signaler runs;
         // then everyone re-polls and finishes.
         let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
@@ -100,7 +104,12 @@ mod tests {
         // regardless of scheduling (wait-freedom).
         let scenario = Scenario {
             algorithm: &CcFlag,
-            roles: vec![Role::Waiter { max_polls: Some(100) }, Role::signaler()],
+            roles: vec![
+                Role::Waiter {
+                    max_polls: Some(100),
+                },
+                Role::signaler(),
+            ],
             model: CostModel::cc_default(),
         };
         let out = run_scenario(&scenario, &mut SeededRandom::new(1), 1_000_000);
@@ -118,7 +127,9 @@ mod tests {
         let polls = 64;
         let scenario = Scenario {
             algorithm: &CcFlag,
-            roles: vec![Role::Waiter { max_polls: Some(polls) }],
+            roles: vec![Role::Waiter {
+                max_polls: Some(polls),
+            }],
             model: CostModel::Dsm,
         };
         let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);

@@ -20,7 +20,11 @@ impl SpinUntil {
     /// Creates the spin call.
     #[must_use]
     pub fn new(addr: Addr, target: Word) -> Self {
-        SpinUntil { addr, target, issued: false }
+        SpinUntil {
+            addr,
+            target,
+            issued: false,
+        }
     }
 }
 

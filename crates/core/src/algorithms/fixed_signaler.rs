@@ -20,7 +20,7 @@
 //! *local* flag `V[i]` — local spinning is what blocking semantics buys.
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
-use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word};
 use std::sync::Arc;
 
 /// The fixed-signaler algorithm of §7.
@@ -66,15 +66,27 @@ impl SignalingAlgorithm for FixedSignaler {
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Signal { inst: self.clone(), state: SigState::WriteS, idx: 0 })
+        Box::new(Signal {
+            inst: self.clone(),
+            state: SigState::WriteS,
+            idx: 0,
+        })
     }
 
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg })
+        Box::new(Poll {
+            inst: self.clone(),
+            me: pid,
+            state: PollState::ReadReg,
+        })
     }
 
     fn wait_call(&self, pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
-        Some(Box::new(Wait { inst: self.clone(), me: pid, state: WaitState::ReadReg }))
+        Some(Box::new(Wait {
+            inst: self.clone(),
+            me: pid,
+            state: WaitState::ReadReg,
+        }))
     }
 }
 
@@ -246,7 +258,15 @@ mod tests {
 
     fn roles(n_waiters: usize, signaler: usize) -> Vec<Role> {
         (0..=signaler)
-            .map(|i| if i == signaler { Role::signaler() } else if i < n_waiters { Role::waiter() } else { Role::Bystander })
+            .map(|i| {
+                if i == signaler {
+                    Role::signaler()
+                } else if i < n_waiters {
+                    Role::waiter()
+                } else {
+                    Role::Bystander
+                }
+            })
             .collect()
     }
 
@@ -254,8 +274,14 @@ mod tests {
     fn spec_holds_under_random_schedules_in_both_models() {
         for model in [CostModel::Dsm, CostModel::cc_default()] {
             for seed in 0..40 {
-                let algo = FixedSignaler { signaler: ProcId(5) };
-                let scenario = Scenario { algorithm: &algo, roles: roles(5, 5), model };
+                let algo = FixedSignaler {
+                    signaler: ProcId(5),
+                };
+                let scenario = Scenario {
+                    algorithm: &algo,
+                    roles: roles(5, 5),
+                    model,
+                };
                 let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
                 assert!(out.completed, "{model:?} seed {seed}");
                 assert_eq!(out.polling_spec, Ok(()), "{model:?} seed {seed}");
@@ -265,26 +291,46 @@ mod tests {
 
     #[test]
     fn waiter_costs_constant_rmrs_in_dsm() {
-        let algo = FixedSignaler { signaler: ProcId(3) };
-        let scenario = Scenario { algorithm: &algo, roles: roles(3, 3), model: CostModel::Dsm };
+        let algo = FixedSignaler {
+            signaler: ProcId(3),
+        };
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: roles(3, 3),
+            model: CostModel::Dsm,
+        };
         let spec = scenario.build();
         let mut sim = Simulator::new(&spec);
         // Waiter 0 polls many times before the signal.
         for _ in 0..300 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
         // First poll: R-write (remote) + S-read (remote) = 2 RMRs; later
         // polls are local.
-        assert!(sim.proc_stats(ProcId(0)).rmrs <= 2, "waiter: {}", sim.proc_stats(ProcId(0)).rmrs);
+        assert!(
+            sim.proc_stats(ProcId(0)).rmrs <= 2,
+            "waiter: {}",
+            sim.proc_stats(ProcId(0)).rmrs
+        );
     }
 
     #[test]
     fn signaler_rmrs_are_one_plus_registered_in_dsm() {
         let k = 6;
-        let algo = FixedSignaler { signaler: ProcId(k as u32) };
-        let scenario = Scenario { algorithm: &algo, roles: roles(k, k), model: CostModel::Dsm };
+        let algo = FixedSignaler {
+            signaler: ProcId(k as u32),
+        };
+        let scenario = Scenario {
+            algorithm: &algo,
+            roles: roles(k, k),
+            model: CostModel::Dsm,
+        };
         let spec = scenario.build();
         let mut sim = Simulator::new(&spec);
         // All waiters register first (each completes one poll).
@@ -302,7 +348,11 @@ mod tests {
             1 + k as u64,
             "S write + one V write per registered waiter; R scan is local"
         );
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 
@@ -310,7 +360,9 @@ mod tests {
     fn registration_race_is_safe() {
         // Interleave a waiter's first poll inside the signaler's Signal() at
         // every possible point; the spec must hold each time.
-        let algo = FixedSignaler { signaler: ProcId(1) };
+        let algo = FixedSignaler {
+            signaler: ProcId(1),
+        };
         for pause_after in 0..8 {
             let scenario = Scenario {
                 algorithm: &algo,
@@ -328,7 +380,11 @@ mod tests {
             for _ in 0..6 {
                 let _ = sim.step(ProcId(0));
             }
-            assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+            assert!(shm_sim::run_to_completion(
+                &mut sim,
+                &mut RoundRobin::new(),
+                1_000_000
+            ));
             assert_eq!(
                 crate::spec::check_polling(sim.history()),
                 Ok(()),
@@ -339,7 +395,9 @@ mod tests {
 
     #[test]
     fn native_wait_spins_locally_in_dsm() {
-        let algo = FixedSignaler { signaler: ProcId(1) };
+        let algo = FixedSignaler {
+            signaler: ProcId(1),
+        };
         let scenario = Scenario {
             algorithm: &algo,
             roles: vec![Role::BlockingWaiter, Role::signaler()],
@@ -351,7 +409,11 @@ mod tests {
         for _ in 0..200 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_blocking(sim.history()), Ok(()));
         assert!(
             sim.proc_stats(ProcId(0)).rmrs <= 2,

@@ -20,7 +20,7 @@
 //! crate (`fixed_w`).
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
-use shm_sim::{AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word};
 use std::sync::Arc;
 
 /// Signaler strategy for [`FixedWaiters`].
@@ -50,13 +50,19 @@ impl FixedWaiters {
     /// Eager variant with the given fixed waiter set.
     #[must_use]
     pub fn eager(waiters: Vec<ProcId>) -> Self {
-        FixedWaiters { waiters, mode: FixedWaitersMode::Eager }
+        FixedWaiters {
+            waiters,
+            mode: FixedWaitersMode::Eager,
+        }
     }
 
     /// Awaiting (terminating, O(1)-amortized) variant.
     #[must_use]
     pub fn awaiting(waiters: Vec<ProcId>, signaler: ProcId) -> Self {
-        FixedWaiters { waiters, mode: FixedWaitersMode::Awaiting { signaler } }
+        FixedWaiters {
+            waiters,
+            mode: FixedWaitersMode::Awaiting { signaler },
+        }
     }
 }
 
@@ -116,11 +122,19 @@ impl SignalingAlgorithm for FixedWaiters {
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Signal { inst: self.clone(), idx: 0, phase: SigPhase::Next })
+        Box::new(Signal {
+            inst: self.clone(),
+            idx: 0,
+            phase: SigPhase::Next,
+        })
     }
 
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg })
+        Box::new(Poll {
+            inst: self.clone(),
+            me: pid,
+            state: PollState::ReadReg,
+        })
     }
 }
 
@@ -304,7 +318,11 @@ mod tests {
         };
         let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);
         assert!(out.completed);
-        assert_eq!(out.sim.proc_stats(ProcId(w as u32)).rmrs, w as u64, "one write per fixed waiter");
+        assert_eq!(
+            out.sim.proc_stats(ProcId(w as u32)).rmrs,
+            w as u64,
+            "one write per fixed waiter"
+        );
     }
 
     #[test]
@@ -322,8 +340,16 @@ mod tests {
         for _ in 0..200 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
-        assert_eq!(sim.proc_stats(ProcId(0)).rmrs, 0, "V[0] and REG[0] are local");
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
+        assert_eq!(
+            sim.proc_stats(ProcId(0)).rmrs,
+            0,
+            "V[0] and REG[0] are local"
+        );
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 
@@ -342,10 +368,16 @@ mod tests {
         assert!(out.completed);
         assert_eq!(out.polling_spec, Ok(()));
         let sig = out.sim.proc_stats(ProcId(w as u32));
-        assert_eq!(sig.rmrs, w as u64, "exactly one remote write per participant; spins were local");
+        assert_eq!(
+            sig.rmrs, w as u64,
+            "exactly one remote write per participant; spins were local"
+        );
         // Amortized over W+1 participants: O(1).
         let total = out.sim.totals().rmrs;
-        assert!(total <= 3 * (w as u64 + 1), "total {total} should be O(participants)");
+        assert!(
+            total <= 3 * (w as u64 + 1),
+            "total {total} should be O(participants)"
+        );
     }
 
     #[test]
@@ -364,9 +396,16 @@ mod tests {
             let _ = sim.step(ProcId(2));
         }
         assert!(sim.is_runnable(ProcId(2)));
-        assert!(sim.has_pending_call(ProcId(2)), "Signal() is still awaiting participation");
+        assert!(
+            sim.has_pending_call(ProcId(2)),
+            "Signal() is still awaiting participation"
+        );
         // Waiters show up; now everything drains.
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 }

@@ -26,8 +26,8 @@
 //! `Wait()` is provided natively: register, check `G`, spin on local `V[i]`.
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
-use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
 use shm_primitives::RegistrationList;
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word};
 use std::sync::Arc;
 
 /// The FAA-queue algorithm of §7.
@@ -69,15 +69,29 @@ impl SignalingAlgorithm for QueueSignaling {
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Signal { inst: self.clone(), state: SigState::WriteG, count: 0, idx: 0 })
+        Box::new(Signal {
+            inst: self.clone(),
+            state: SigState::WriteG,
+            count: 0,
+            idx: 0,
+        })
     }
 
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg, ticket: None })
+        Box::new(Poll {
+            inst: self.clone(),
+            me: pid,
+            state: PollState::ReadReg,
+            ticket: None,
+        })
     }
 
     fn wait_call(&self, pid: ProcId) -> Option<Box<dyn ProcedureCall>> {
-        Some(Box::new(Wait { inst: self.clone(), me: pid, state: WaitState::ReadReg }))
+        Some(Box::new(Wait {
+            inst: self.clone(),
+            me: pid,
+            state: WaitState::ReadReg,
+        }))
     }
 }
 
@@ -180,10 +194,16 @@ impl ProcedureCall for Poll {
             }
             PollState::Faa => {
                 let t = last.expect("FAA result");
-                assert!((t as usize) < self.inst.list.capacity(), "registration overflow");
+                assert!(
+                    (t as usize) < self.inst.list.capacity(),
+                    "registration overflow"
+                );
                 self.ticket = Some(t);
                 self.state = PollState::WriteSlot;
-                Step::Op(Op::Write(self.inst.list.slots.at(t as usize), self.me.to_word()))
+                Step::Op(Op::Write(
+                    self.inst.list.slots.at(t as usize),
+                    self.me.to_word(),
+                ))
             }
             PollState::WriteSlot => {
                 self.state = PollState::MarkReg;
@@ -238,9 +258,15 @@ impl ProcedureCall for Wait {
             }
             WaitState::Faa => {
                 let t = last.expect("FAA result");
-                assert!((t as usize) < self.inst.list.capacity(), "registration overflow");
+                assert!(
+                    (t as usize) < self.inst.list.capacity(),
+                    "registration overflow"
+                );
                 self.state = WaitState::WriteSlot;
-                Step::Op(Op::Write(self.inst.list.slots.at(t as usize), self.me.to_word()))
+                Step::Op(Op::Write(
+                    self.inst.list.slots.at(t as usize),
+                    self.me.to_word(),
+                ))
             }
             WaitState::WriteSlot => {
                 self.state = WaitState::MarkReg;
@@ -313,10 +339,18 @@ mod tests {
         for _ in 0..400 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
         // First poll: FAA + slot write + G read = 3 RMRs; later polls local.
-        assert!(sim.proc_stats(ProcId(0)).rmrs <= 3, "waiter: {}", sim.proc_stats(ProcId(0)).rmrs);
+        assert!(
+            sim.proc_stats(ProcId(0)).rmrs <= 3,
+            "waiter: {}",
+            sim.proc_stats(ProcId(0)).rmrs
+        );
     }
 
     #[test]
@@ -359,7 +393,11 @@ mod tests {
             let _ = sim.step(ProcId(1));
         }
         // Waiter resumes; must learn the signal via G on this same poll.
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
         let first_poll = sim
             .history()
@@ -378,7 +416,11 @@ mod tests {
             roles.push(Role::signaler());
             roles.push(Role::Signaler { polls_first: 1 });
             roles.push(Role::Signaler { polls_first: 2 });
-            let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+            let scenario = Scenario {
+                algorithm: &QueueSignaling,
+                roles,
+                model: CostModel::Dsm,
+            };
             let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
             assert!(out.completed, "seed {seed}");
             assert_eq!(out.polling_spec, Ok(()), "seed {seed}");
@@ -397,7 +439,11 @@ mod tests {
         for _ in 0..300 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_blocking(sim.history()), Ok(()));
         assert!(
             sim.proc_stats(ProcId(0)).rmrs <= 4,
@@ -428,7 +474,11 @@ mod tests {
         let sig_rmrs = sim.proc_stats(ProcId(w as u32)).rmrs;
         // G write + tail read + 4 slot reads + 4 V writes = 10.
         assert_eq!(sig_rmrs, 10);
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 }

@@ -15,7 +15,7 @@
 //! models; many waiters with unknown IDs are needed for that (§6).
 
 use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
-use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word, NIL};
 use std::sync::Arc;
 
 /// The single-waiter algorithm of §7.
@@ -56,11 +56,18 @@ impl SignalingAlgorithm for SingleWaiter {
 
 impl AlgorithmInstance for Inst {
     fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Signal { inst: self.clone(), state: SigState::WriteS })
+        Box::new(Signal {
+            inst: self.clone(),
+            state: SigState::WriteS,
+        })
     }
 
     fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Poll { inst: self.clone(), me: pid, state: PollState::ReadReg })
+        Box::new(Poll {
+            inst: self.clone(),
+            me: pid,
+            state: PollState::ReadReg,
+        })
     }
 }
 
@@ -205,12 +212,24 @@ mod tests {
         for _ in 0..250 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
         // Waiter: first poll costs 2 RMRs (W, S); later polls are local.
-        assert!(sim.proc_stats(ProcId(0)).rmrs <= 2, "waiter: {}", sim.proc_stats(ProcId(0)).rmrs);
+        assert!(
+            sim.proc_stats(ProcId(0)).rmrs <= 2,
+            "waiter: {}",
+            sim.proc_stats(ProcId(0)).rmrs
+        );
         // Signaler: at most 3 RMRs (S, W, V[w]).
-        assert!(sim.proc_stats(ProcId(3)).rmrs <= 3, "signaler: {}", sim.proc_stats(ProcId(3)).rmrs);
+        assert!(
+            sim.proc_stats(ProcId(3)).rmrs <= 3,
+            "signaler: {}",
+            sim.proc_stats(ProcId(3)).rmrs
+        );
     }
 
     #[test]
@@ -226,7 +245,11 @@ mod tests {
         while sim.is_runnable(ProcId(0)) {
             let _ = sim.step(ProcId(0));
         }
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            10_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 
@@ -245,7 +268,11 @@ mod tests {
         }
         assert_eq!(sim.proc_stats(ProcId(1)).accesses, 2);
         // Waiter's first poll then reads S = 1: true on the very first poll.
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            10_000
+        ));
         let polls: Vec<_> = sim
             .history()
             .calls()

@@ -48,6 +48,6 @@ pub mod scenario;
 pub mod spec;
 
 pub use algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
-pub use scenario::{run_scenario, Role, RunOutcome, Scenario};
 pub use progress::{call_steps, max_accesses_per_call, worst_poll, worst_signal, CallSteps};
+pub use scenario::{run_scenario, Role, RunOutcome, Scenario};
 pub use spec::{check_blocking, check_polling, SpecViolation};

@@ -36,17 +36,15 @@ pub fn call_steps(history: &History, kind: Option<CallKind>) -> Vec<(ProcId, Cal
     let mut open: BTreeMap<ProcId, usize> = BTreeMap::new();
     for e in history.events() {
         match *e {
-            Event::Invoke { pid, kind: k, .. }
-                if kind.is_none_or(|want| want == k) => {
-                    open.insert(pid, out.len());
-                    out.push((pid, CallSteps::default()));
+            Event::Invoke { pid, kind: k, .. } if kind.is_none_or(|want| want == k) => {
+                open.insert(pid, out.len());
+                out.push((pid, CallSteps::default()));
+            }
+            Event::Return { pid, kind: k, .. } if kind.is_none_or(|want| want == k) => {
+                if let Some(idx) = open.remove(&pid) {
+                    out[idx].1.completed = true;
                 }
-            Event::Return { pid, kind: k, .. }
-                if kind.is_none_or(|want| want == k) => {
-                    if let Some(idx) = open.remove(&pid) {
-                        out[idx].1.completed = true;
-                    }
-                }
+            }
             Event::Access { pid, .. } => {
                 if let Some(&idx) = open.get(&pid) {
                     out[idx].1.accesses += 1;
@@ -62,7 +60,11 @@ pub fn call_steps(history: &History, kind: Option<CallKind>) -> Vec<(ProcId, Cal
 /// a witness bound for wait-freedom claims, or a refutation of one.
 #[must_use]
 pub fn max_accesses_per_call(history: &History, kind: Option<CallKind>) -> u64 {
-    call_steps(history, kind).iter().map(|(_, s)| s.accesses).max().unwrap_or(0)
+    call_steps(history, kind)
+        .iter()
+        .map(|(_, s)| s.accesses)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Convenience: the worst `Poll()` cost in the history.
@@ -91,9 +93,13 @@ mod tests {
         for seed in 0..20 {
             let mut roles = vec![Role::waiter(); 4];
             roles.push(Role::signaler());
-            let scenario =
-                Scenario { algorithm: &CcFlag, roles, model: CostModel::Dsm };
-            let out = crate::scenario::run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
+            let scenario = Scenario {
+                algorithm: &CcFlag,
+                roles,
+                model: CostModel::Dsm,
+            };
+            let out =
+                crate::scenario::run_scenario(&scenario, &mut SeededRandom::new(seed), 1_000_000);
             assert!(out.completed);
             assert_eq!(worst_poll(out.sim.history()), 1);
             assert_eq!(worst_signal(out.sim.history()), 1);
@@ -104,10 +110,17 @@ mod tests {
     fn queue_polls_are_wait_free_signal_is_bounded_by_population() {
         let mut roles = vec![Role::waiter(); 8];
         roles.push(Role::signaler());
-        let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+        let scenario = Scenario {
+            algorithm: &QueueSignaling,
+            roles,
+            model: CostModel::Dsm,
+        };
         let out = crate::scenario::run_scenario(&scenario, &mut SeededRandom::new(7), 1_000_000);
         assert!(out.completed);
-        assert!(worst_poll(out.sim.history()) <= 5, "reg read + FAA + slot + reg write + G read");
+        assert!(
+            worst_poll(out.sim.history()) <= 5,
+            "reg read + FAA + slot + reg write + G read"
+        );
         // Signal scans at most the whole population: 2 + 2*8.
         assert!(worst_signal(out.sim.history()) <= 18);
     }
@@ -132,7 +145,11 @@ mod tests {
         let pending_signal = max_accesses_per_call(sim.history(), Some(crate::kinds::SIGNAL));
         assert!(pending_signal > 400, "got {pending_signal}");
         // It is terminating, though: with the waiters scheduled it finishes.
-        assert!(shm_sim::run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000_000));
+        assert!(shm_sim::run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            1_000_000
+        ));
         assert_eq!(crate::spec::check_polling(sim.history()), Ok(()));
     }
 
@@ -148,6 +165,12 @@ mod tests {
         let _ = sim.step(ProcId(0)); // invoke + read: call pending
         let steps = call_steps(sim.history(), Some(crate::kinds::POLL));
         assert_eq!(steps.len(), 1);
-        assert_eq!(steps[0].1, CallSteps { accesses: 1, completed: false });
+        assert_eq!(
+            steps[0].1,
+            CallSteps {
+                accesses: 1,
+                completed: false
+            }
+        );
     }
 }

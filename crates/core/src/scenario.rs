@@ -10,7 +10,8 @@ use crate::algorithm::SignalingAlgorithm;
 use crate::kinds;
 use crate::spec::{check_blocking, check_polling, SpecViolation};
 use shm_sim::{
-    CallSource, Chain, CostModel, Idle, MemLayout, RepeatUntil, Scheduler, Script, ScriptedCall, SimSpec, Simulator,
+    CallSource, Chain, CostModel, Idle, MemLayout, RepeatUntil, Scheduler, Script, ScriptedCall,
+    SimSpec, Simulator,
 };
 use std::sync::Arc;
 
@@ -86,7 +87,11 @@ impl Scenario<'_> {
                 };
                 let signal = {
                     let inst = Arc::clone(&inst);
-                    ScriptedCall::new(kinds::SIGNAL, "Signal", Arc::new(move || inst.signal_call(pid)))
+                    ScriptedCall::new(
+                        kinds::SIGNAL,
+                        "Signal",
+                        Arc::new(move || inst.signal_call(pid)),
+                    )
                 };
                 match *role {
                     Role::Waiter { max_polls } => match max_polls {
@@ -120,7 +125,11 @@ impl Scenario<'_> {
                 }
             })
             .collect();
-        SimSpec { layout, sources, model: self.model }
+        SimSpec {
+            layout,
+            sources,
+            model: self.model,
+        }
     }
 }
 
@@ -139,13 +148,22 @@ pub struct RunOutcome {
 
 /// Builds and runs a scenario under `sched` for at most `max_steps` steps,
 /// then checks both safety specifications on the resulting history.
-pub fn run_scenario(scenario: &Scenario<'_>, sched: &mut dyn Scheduler, max_steps: u64) -> RunOutcome {
+pub fn run_scenario(
+    scenario: &Scenario<'_>,
+    sched: &mut dyn Scheduler,
+    max_steps: u64,
+) -> RunOutcome {
     let spec = scenario.build();
     let mut sim = Simulator::new(&spec);
     let completed = shm_sim::run_to_completion(&mut sim, sched, max_steps);
     let polling_spec = check_polling(sim.history());
     let blocking_spec = check_blocking(sim.history());
-    RunOutcome { sim, completed, polling_spec, blocking_spec }
+    RunOutcome {
+        sim,
+        completed,
+        polling_spec,
+        blocking_spec,
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +196,11 @@ mod tests {
         assert!(out.completed);
         assert_eq!(out.polling_spec, Ok(()));
         assert_eq!(out.sim.proc_stats(ProcId(0)).calls_completed, 5);
-        assert_eq!(out.sim.proc_stats(ProcId(1)).steps, 1, "bystander only terminates");
+        assert_eq!(
+            out.sim.proc_stats(ProcId(1)).steps,
+            1,
+            "bystander only terminates"
+        );
     }
 
     #[test]

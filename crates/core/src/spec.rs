@@ -73,7 +73,9 @@ pub fn check_polling(history: &History) -> Result<(), SpecViolation> {
     let calls = history.calls();
     let (first_signal_begin, first_signal_complete) = signal_calls(&calls);
     for c in calls.iter().filter(|c| c.kind == kinds::POLL) {
-        let Some(returned_at) = c.returned_at else { continue };
+        let Some(returned_at) = c.returned_at else {
+            continue;
+        };
         match c.return_value {
             Some(1) => {
                 // Some Signal must have begun before this poll returned.
@@ -97,7 +99,12 @@ pub fn check_polling(history: &History) -> Result<(), SpecViolation> {
                     }
                 }
             }
-            Some(v) => return Err(SpecViolation::MalformedReturn { pid: c.pid, value: v }),
+            Some(v) => {
+                return Err(SpecViolation::MalformedReturn {
+                    pid: c.pid,
+                    value: v,
+                })
+            }
             None => {}
         }
     }
@@ -114,7 +121,9 @@ pub fn check_blocking(history: &History) -> Result<(), SpecViolation> {
     let calls = history.calls();
     let (first_signal_begin, _) = signal_calls(&calls);
     for c in calls.iter().filter(|c| c.kind == kinds::WAIT) {
-        let Some(returned_at) = c.returned_at else { continue };
+        let Some(returned_at) = c.returned_at else {
+            continue;
+        };
         let begun = first_signal_begin.is_some_and(|b| b < returned_at);
         if !begun {
             return Err(SpecViolation::WaitWithoutSignalBegun {
@@ -148,7 +157,11 @@ mod tests {
                     kind,
                     "scripted",
                     Arc::new(move || {
-                        Box::new(ReturnAfterRead { scratch, value: w, read_done: false })
+                        Box::new(ReturnAfterRead {
+                            scratch,
+                            value: w,
+                            read_done: false,
+                        })
                     }),
                 ));
             }
@@ -156,7 +169,11 @@ mod tests {
                 .into_iter()
                 .map(|calls| Box::new(Script::new(calls)) as Box<dyn CallSource>)
                 .collect();
-            let spec = SimSpec { layout, sources, model: CostModel::Dsm };
+            let spec = SimSpec {
+                layout,
+                sources,
+                model: CostModel::Dsm,
+            };
             let mut sim = Simulator::new(&spec);
             // Execute the scripted calls in the order given: each entry is
             // run to completion before the next starts (sequential history).
@@ -258,7 +275,11 @@ mod tests {
                 kinds::POLL,
                 "poll",
                 Arc::new(move || {
-                    Box::new(ReturnAfterRead { scratch, value: 1, read_done: false })
+                    Box::new(ReturnAfterRead {
+                        scratch,
+                        value: 1,
+                        read_done: false,
+                    })
                 }),
             )]);
             let spec = SimSpec {

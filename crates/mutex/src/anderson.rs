@@ -14,7 +14,7 @@
 //! algorithmic register in the process's own module, free to access).
 
 use crate::lock::{MutexAlgorithm, MutexInstance};
-use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word};
 use std::sync::Arc;
 
 /// Anderson's array lock.
@@ -42,16 +42,30 @@ impl MutexAlgorithm for AndersonLock {
             .map(|i| layout.alloc_global(u64::from(i == 0)))
             .collect();
         let my_slot = layout.alloc_per_process_array(n, 0);
-        Arc::new(Inst { ticket, flags, my_slot })
+        Arc::new(Inst {
+            ticket,
+            flags,
+            my_slot,
+        })
     }
 }
 
 impl MutexInstance for Inst {
     fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Acquire { inst: self.clone(), me: pid, state: AcqState::TakeTicket, slot: 0 })
+        Box::new(Acquire {
+            inst: self.clone(),
+            me: pid,
+            state: AcqState::TakeTicket,
+            slot: 0,
+        })
     }
     fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Release { inst: self.clone(), me: pid, state: RelState::ReadSlot, slot: 0 })
+        Box::new(Release {
+            inst: self.clone(),
+            me: pid,
+            state: RelState::ReadSlot,
+            slot: 0,
+        })
     }
 }
 
@@ -83,7 +97,10 @@ impl ProcedureCall for Acquire {
                 let ticket = last.expect("FAI result");
                 self.slot = (ticket % self.inst.flags.len() as Word) as usize;
                 self.state = AcqState::Spin;
-                Step::Op(Op::Write(self.inst.my_slot.at(self.me.index()), self.slot as Word))
+                Step::Op(Op::Write(
+                    self.inst.my_slot.at(self.me.index()),
+                    self.slot as Word,
+                ))
             }
             AcqState::Spin => {
                 self.state = AcqState::SpinDecide;
@@ -154,7 +171,12 @@ mod tests {
         for seed in 0..20 {
             let r = run_lock_workload(
                 &AndersonLock,
-                &LockWorkloadConfig { n: 5, cycles: 3, seed, model: CostModel::Dsm },
+                &LockWorkloadConfig {
+                    n: 5,
+                    cycles: 3,
+                    seed,
+                    model: CostModel::Dsm,
+                },
             );
             assert_eq!(r.violations, Vec::new(), "seed {seed}");
             assert!(r.completed, "seed {seed}");
@@ -166,7 +188,12 @@ mod tests {
         // More passages than slots: tickets wrap around the n-slot array.
         let r = run_lock_workload(
             &AndersonLock,
-            &LockWorkloadConfig { n: 3, cycles: 10, seed: 1, model: CostModel::Dsm },
+            &LockWorkloadConfig {
+                n: 3,
+                cycles: 10,
+                seed: 1,
+                model: CostModel::Dsm,
+            },
         );
         assert_eq!(r.violations, Vec::new());
         assert!(r.completed);
@@ -177,7 +204,12 @@ mod tests {
     fn anderson_is_constant_rmr_in_cc_under_contention() {
         let r = run_lock_workload(
             &AndersonLock,
-            &LockWorkloadConfig { n: 8, cycles: 4, seed: 7, model: CostModel::cc_default() },
+            &LockWorkloadConfig {
+                n: 8,
+                cycles: 4,
+                seed: 7,
+                model: CostModel::cc_default(),
+            },
         );
         assert!(r.completed);
         assert!(
@@ -191,11 +223,21 @@ mod tests {
     fn anderson_spins_remotely_in_dsm() {
         let cc = run_lock_workload(
             &AndersonLock,
-            &LockWorkloadConfig { n: 8, cycles: 4, seed: 7, model: CostModel::cc_default() },
+            &LockWorkloadConfig {
+                n: 8,
+                cycles: 4,
+                seed: 7,
+                model: CostModel::cc_default(),
+            },
         );
         let dsm = run_lock_workload(
             &AndersonLock,
-            &LockWorkloadConfig { n: 8, cycles: 4, seed: 7, model: CostModel::Dsm },
+            &LockWorkloadConfig {
+                n: 8,
+                cycles: 4,
+                seed: 7,
+                model: CostModel::Dsm,
+            },
         );
         assert!(
             dsm.rmrs_per_passage() > 2.0 * cc.rmrs_per_passage(),

@@ -21,8 +21,8 @@
 
 use crate::lock::{MutexAlgorithm, MutexInstance};
 use shm_sim::{
-    run_to_completion, Addr, CallSource, CostModel, History, MemLayout, Op, OpSequence, ProcedureCall, ProcId,
-    Script, ScriptedCall, SeededRandom, SimSpec, Simulator, Step, Word, NIL,
+    run_to_completion, Addr, CallSource, CostModel, History, MemLayout, Op, OpSequence, ProcId,
+    ProcedureCall, Script, ScriptedCall, SeededRandom, SimSpec, Simulator, Step, Word, NIL,
 };
 use std::sync::Arc;
 
@@ -72,7 +72,11 @@ impl<M: MutexAlgorithm> GmeAlgorithm for MutexBackedGme<M> {
         let count = layout.alloc_global(0);
         layout.set_label(session, "SESSION");
         layout.set_label(count, "COUNT");
-        Arc::new(Inst { lock, session, count })
+        Arc::new(Inst {
+            lock,
+            session,
+            count,
+        })
     }
 }
 
@@ -112,9 +116,16 @@ enum GmeState {
     AfterClaim,
     IncCount,
     DecCount,
-    AfterDec { cleared_needed: bool },
-    StartRelease { retry: bool },
-    Releasing { call: Box<dyn ProcedureCall>, retry: bool },
+    AfterDec {
+        cleared_needed: bool,
+    },
+    StartRelease {
+        retry: bool,
+    },
+    Releasing {
+        call: Box<dyn ProcedureCall>,
+        retry: bool,
+    },
 }
 
 impl Clone for GmeState {
@@ -126,13 +137,14 @@ impl Clone for GmeState {
             GmeState::AfterClaim => GmeState::AfterClaim,
             GmeState::IncCount => GmeState::IncCount,
             GmeState::DecCount => GmeState::DecCount,
-            GmeState::AfterDec { cleared_needed } => {
-                GmeState::AfterDec { cleared_needed: *cleared_needed }
-            }
+            GmeState::AfterDec { cleared_needed } => GmeState::AfterDec {
+                cleared_needed: *cleared_needed,
+            },
             GmeState::StartRelease { retry } => GmeState::StartRelease { retry: *retry },
-            GmeState::Releasing { call, retry } => {
-                GmeState::Releasing { call: call.clone_call(), retry: *retry }
-            }
+            GmeState::Releasing { call, retry } => GmeState::Releasing {
+                call: call.clone_call(),
+                retry: *retry,
+            },
         }
     }
 }
@@ -271,7 +283,9 @@ impl ProcedureCall for Exit {
                 GmeState::DecCount => {
                     let c = last.expect("count value");
                     assert!(c > 0, "exit without matching enter");
-                    self.state = GmeState::AfterDec { cleared_needed: c == 1 };
+                    self.state = GmeState::AfterDec {
+                        cleared_needed: c == 1,
+                    };
                     return Step::Op(Op::Write(self.count_cell, c - 1));
                 }
                 GmeState::AfterDec { cleared_needed } => {
@@ -330,7 +344,14 @@ pub fn check_gme(history: &History) -> Vec<GmeViolation> {
         .calls()
         .iter()
         .filter(|c| c.kind == kinds::CRITICAL && c.is_complete())
-        .map(|c| (c.pid, c.return_value.expect("session"), c.invoked_at, c.returned_at.expect("complete")))
+        .map(|c| {
+            (
+                c.pid,
+                c.return_value.expect("session"),
+                c.invoked_at,
+                c.returned_at.expect("complete"),
+            )
+        })
         .collect();
     spans.sort_by_key(|&(_, _, start, _)| start);
     let mut violations = Vec::new();
@@ -341,7 +362,10 @@ pub fn check_gme(history: &History) -> Vec<GmeViolation> {
                 break;
             }
             if pb != pa && sb != sa {
-                violations.push(GmeViolation { a: (pa, sa, start_b, ea), b: (pb, sb, start_b) });
+                violations.push(GmeViolation {
+                    a: (pa, sa, start_b, ea),
+                    b: (pb, sb, start_b),
+                });
             }
         }
     }
@@ -415,12 +439,20 @@ pub fn run_gme_workload(algo: &dyn GmeAlgorithm, cfg: &GmeWorkloadConfig) -> Gme
             Box::new(Script::new(calls)) as Box<dyn CallSource>
         })
         .collect();
-    let spec = SimSpec { layout, sources, model: cfg.model };
+    let spec = SimSpec {
+        layout,
+        sources,
+        model: cfg.model,
+    };
     let mut sim = Simulator::new(&spec);
     let budget = 4_000_000 + n as u64 * cfg.cycles * 100_000;
     let completed = run_to_completion(&mut sim, &mut SeededRandom::new(cfg.seed), budget);
     let violations = check_gme(sim.history());
-    GmeWorkloadResult { completed, violations, sim }
+    GmeWorkloadResult {
+        completed,
+        violations,
+        sim,
+    }
 }
 
 /// A critical-section body that returns its session ID.
@@ -448,7 +480,9 @@ mod tests {
     use crate::{McsLock, TournamentLock};
 
     fn gme_over_tournament() -> MutexBackedGme<TournamentLock> {
-        MutexBackedGme { lock: TournamentLock }
+        MutexBackedGme {
+            lock: TournamentLock,
+        }
     }
 
     #[test]
@@ -532,7 +566,10 @@ mod tests {
         for _ in 0..5_000 {
             let _ = sim.step(ProcId(1));
         }
-        assert!(sim.has_pending_call(ProcId(1)), "conflicting entry admitted concurrently");
+        assert!(
+            sim.has_pending_call(ProcId(1)),
+            "conflicting entry admitted concurrently"
+        );
         // p0 exits; p1 gets in.
         sim.inject_call(
             ProcId(0),
@@ -545,7 +582,10 @@ mod tests {
         while sim.has_pending_call(ProcId(1)) {
             let _ = sim.step(ProcId(1));
             guard += 1;
-            assert!(guard < 100_000, "entry must succeed after the conflicting exit");
+            assert!(
+                guard < 100_000,
+                "entry must succeed after the conflicting exit"
+            );
         }
     }
 

@@ -3,8 +3,8 @@
 
 use crate::lock::{kinds, MutexAlgorithm};
 use shm_sim::{
-    run_to_completion, CallSource, CostModel, MemLayout, Op, OpSequence, ProcId, Script, ScriptedCall, SeededRandom,
-    SimSpec, Simulator, Totals,
+    run_to_completion, CallSource, CostModel, MemLayout, Op, OpSequence, ProcId, Script,
+    ScriptedCall, SeededRandom, SimSpec, Simulator, Totals,
 };
 use std::sync::Arc;
 
@@ -78,7 +78,10 @@ pub fn check_mutual_exclusion(history: &shm_sim::History) -> Vec<MutexViolation>
     for &(pid, start, end) in &spans {
         if let Some((fp, fs, fe)) = furthest {
             if start < fe && pid != fp {
-                violations.push(MutexViolation { a: (fp, fs, fe), b: (pid, start, end) });
+                violations.push(MutexViolation {
+                    a: (fp, fs, fe),
+                    b: (pid, start, end),
+                });
             }
         }
         if furthest.is_none_or(|(_, _, fe)| end > fe) {
@@ -91,7 +94,10 @@ pub fn check_mutual_exclusion(history: &shm_sim::History) -> Vec<MutexViolation>
 /// Builds and runs the workload: `n` processes each perform `cycles`
 /// passages of acquire → critical section → release under a seeded random
 /// scheduler.
-pub fn run_lock_workload(algo: &dyn MutexAlgorithm, cfg: &LockWorkloadConfig) -> LockWorkloadResult {
+pub fn run_lock_workload(
+    algo: &dyn MutexAlgorithm,
+    cfg: &LockWorkloadConfig,
+) -> LockWorkloadResult {
     let mut layout = MemLayout::new();
     let inst = algo.instantiate(&mut layout, cfg.n);
     let scratch = layout.alloc_global(0);
@@ -126,7 +132,11 @@ pub fn run_lock_workload(algo: &dyn MutexAlgorithm, cfg: &LockWorkloadConfig) ->
             Box::new(Script::new(calls)) as Box<dyn CallSource>
         })
         .collect();
-    let spec = SimSpec { layout, sources, model: cfg.model };
+    let spec = SimSpec {
+        layout,
+        sources,
+        model: cfg.model,
+    };
     let mut sim = Simulator::new(&spec);
     let budget = 4_000_000 + cfg.n as u64 * cfg.cycles * 50_000;
     let completed = run_to_completion(&mut sim, &mut SeededRandom::new(cfg.seed), budget);
@@ -137,7 +147,13 @@ pub fn run_lock_workload(algo: &dyn MutexAlgorithm, cfg: &LockWorkloadConfig) ->
         .iter()
         .filter(|c| c.kind == kinds::CRITICAL && c.is_complete())
         .count() as u64;
-    LockWorkloadResult { completed, violations, totals: sim.totals(), passages, sim }
+    LockWorkloadResult {
+        completed,
+        violations,
+        totals: sim.totals(),
+        passages,
+        sim,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +165,12 @@ mod tests {
     fn workload_counts_passages() {
         let r = run_lock_workload(
             &TasLock,
-            &LockWorkloadConfig { n: 3, cycles: 4, seed: 0, model: CostModel::Dsm },
+            &LockWorkloadConfig {
+                n: 3,
+                cycles: 4,
+                seed: 0,
+                model: CostModel::Dsm,
+            },
         );
         assert!(r.completed);
         assert_eq!(r.passages, 12);
@@ -165,7 +186,11 @@ mod tests {
             fn name(&self) -> &'static str {
                 "nolock"
             }
-            fn instantiate(&self, _l: &mut MemLayout, _n: usize) -> Arc<dyn crate::lock::MutexInstance> {
+            fn instantiate(
+                &self,
+                _l: &mut MemLayout,
+                _n: usize,
+            ) -> Arc<dyn crate::lock::MutexInstance> {
                 Arc::new(NoLockInst)
             }
         }
@@ -181,21 +206,34 @@ mod tests {
         for seed in 0..20 {
             let r = run_lock_workload(
                 &NoLock,
-                &LockWorkloadConfig { n: 4, cycles: 3, seed, model: CostModel::Dsm },
+                &LockWorkloadConfig {
+                    n: 4,
+                    cycles: 3,
+                    seed,
+                    model: CostModel::Dsm,
+                },
             );
             if !r.violations.is_empty() {
                 found = true;
                 break;
             }
         }
-        assert!(found, "the broken lock must produce overlapping critical sections");
+        assert!(
+            found,
+            "the broken lock must produce overlapping critical sections"
+        );
     }
 
     #[test]
     fn checker_ignores_same_process_adjacent_sections() {
         let r = run_lock_workload(
             &TasLock,
-            &LockWorkloadConfig { n: 1, cycles: 5, seed: 0, model: CostModel::Dsm },
+            &LockWorkloadConfig {
+                n: 1,
+                cycles: 5,
+                seed: 0,
+                model: CostModel::Dsm,
+            },
         );
         assert_eq!(r.violations, Vec::new());
     }

@@ -30,8 +30,14 @@ pub mod tas;
 pub mod tournament;
 
 pub use anderson::AndersonLock;
-pub use gme::{check_gme, run_gme_workload, GmeAlgorithm, GmeInstance, GmeViolation, GmeWorkloadConfig, GmeWorkloadResult, MutexBackedGme};
-pub use harness::{check_mutual_exclusion, run_lock_workload, LockWorkloadConfig, LockWorkloadResult, MutexViolation};
+pub use gme::{
+    check_gme, run_gme_workload, GmeAlgorithm, GmeInstance, GmeViolation, GmeWorkloadConfig,
+    GmeWorkloadResult, MutexBackedGme,
+};
+pub use harness::{
+    check_mutual_exclusion, run_lock_workload, LockWorkloadConfig, LockWorkloadResult,
+    MutexViolation,
+};
 pub use lock::{kinds, MutexAlgorithm, MutexInstance};
 pub use mcs::McsLock;
 pub use tas::{TasLock, TtasLock};

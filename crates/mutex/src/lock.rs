@@ -1,6 +1,6 @@
 //! The mutual-exclusion interface.
 
-use shm_sim::{MemLayout, ProcedureCall, ProcId};
+use shm_sim::{MemLayout, ProcId, ProcedureCall};
 use std::sync::Arc;
 
 /// Call-kind constants for lock procedures.

@@ -21,7 +21,7 @@
 //! ```
 
 use crate::lock::{MutexAlgorithm, MutexInstance};
-use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use shm_sim::{Addr, AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word, NIL};
 use std::sync::Arc;
 
 /// The MCS queue lock.
@@ -52,10 +52,19 @@ impl MutexAlgorithm for McsLock {
 
 impl MutexInstance for Inst {
     fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Acquire { inst: self.clone(), me: pid, state: AcqState::InitNext, pred: 0 })
+        Box::new(Acquire {
+            inst: self.clone(),
+            me: pid,
+            state: AcqState::InitNext,
+            pred: 0,
+        })
     }
     fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Release { inst: self.clone(), me: pid, state: RelState::ReadNext })
+        Box::new(Release {
+            inst: self.clone(),
+            me: pid,
+            state: RelState::ReadNext,
+        })
     }
 }
 
@@ -100,7 +109,10 @@ impl ProcedureCall for Acquire {
                 } else {
                     self.state = AcqState::LinkPred;
                     let pred = ProcId::from_word(self.pred).expect("valid pred");
-                    Step::Op(Op::Write(self.inst.next.at(pred.index()), self.me.to_word()))
+                    Step::Op(Op::Write(
+                        self.inst.next.at(pred.index()),
+                        self.me.to_word(),
+                    ))
                 }
             }
             AcqState::LinkPred => {
@@ -199,7 +211,12 @@ mod tests {
             for seed in 0..25 {
                 let r = run_lock_workload(
                     &McsLock,
-                    &LockWorkloadConfig { n: 6, cycles: 3, seed, model },
+                    &LockWorkloadConfig {
+                        n: 6,
+                        cycles: 3,
+                        seed,
+                        model,
+                    },
                 );
                 assert_eq!(r.violations, Vec::new(), "{model:?} seed {seed}");
                 assert!(r.completed, "{model:?} seed {seed}");
@@ -212,7 +229,12 @@ mod tests {
         for model in [CostModel::Dsm, CostModel::cc_default()] {
             let r = run_lock_workload(
                 &McsLock,
-                &LockWorkloadConfig { n: 8, cycles: 5, seed: 3, model },
+                &LockWorkloadConfig {
+                    n: 8,
+                    cycles: 5,
+                    seed: 3,
+                    model,
+                },
             );
             assert!(r.completed);
             assert!(
@@ -241,7 +263,11 @@ mod tests {
         let acquire = |sim: &mut shm_sim::Simulator, p: u32| {
             sim.inject_call(
                 ProcId(p),
-                shm_sim::Call::new(crate::lock::kinds::ACQUIRE, "acquire", inst.acquire_call(ProcId(p))),
+                shm_sim::Call::new(
+                    crate::lock::kinds::ACQUIRE,
+                    "acquire",
+                    inst.acquire_call(ProcId(p)),
+                ),
             );
         };
         acquire(&mut sim, 0);
@@ -256,12 +282,19 @@ mod tests {
         // p0 releases: must spin on next[p0] until p1 links.
         sim.inject_call(
             ProcId(0),
-            shm_sim::Call::new(crate::lock::kinds::RELEASE, "release", inst.release_call(ProcId(0))),
+            shm_sim::Call::new(
+                crate::lock::kinds::RELEASE,
+                "release",
+                inst.release_call(ProcId(0)),
+            ),
         );
         for _ in 0..20 {
             let _ = sim.step(ProcId(0));
         }
-        assert!(sim.has_pending_call(ProcId(0)), "release is awaiting the successor link");
+        assert!(
+            sim.has_pending_call(ProcId(0)),
+            "release is awaiting the successor link"
+        );
         // Let p1 link itself (one step), after which p0's release can hand
         // off, unblocking p1's spin.
         let _ = sim.step(ProcId(1));

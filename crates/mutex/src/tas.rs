@@ -13,7 +13,7 @@
 //! contention.
 
 use crate::lock::{MutexAlgorithm, MutexInstance};
-use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcedureCall, ProcId, Step, Word};
+use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcId, ProcedureCall, Step, Word};
 use std::sync::Arc;
 
 /// The plain TAS spin lock.
@@ -35,7 +35,10 @@ impl MutexAlgorithm for TasLock {
         "tas"
     }
     fn instantiate(&self, layout: &mut MemLayout, _n: usize) -> Arc<dyn MutexInstance> {
-        Arc::new(Inst { lock: layout.alloc_global(0), test_first: false })
+        Arc::new(Inst {
+            lock: layout.alloc_global(0),
+            test_first: false,
+        })
     }
 }
 
@@ -44,7 +47,10 @@ impl MutexAlgorithm for TtasLock {
         "ttas"
     }
     fn instantiate(&self, layout: &mut MemLayout, _n: usize) -> Arc<dyn MutexInstance> {
-        Arc::new(Inst { lock: layout.alloc_global(0), test_first: true })
+        Arc::new(Inst {
+            lock: layout.alloc_global(0),
+            test_first: true,
+        })
     }
 }
 
@@ -53,7 +59,11 @@ impl MutexInstance for Inst {
         Box::new(Acquire {
             lock: self.lock,
             test_first: self.test_first,
-            state: if self.test_first { AcqState::TestRead } else { AcqState::Tas },
+            state: if self.test_first {
+                AcqState::TestRead
+            } else {
+                AcqState::Tas
+            },
         })
     }
     fn release_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
@@ -125,7 +135,12 @@ mod tests {
         for seed in 0..20 {
             let r = run_lock_workload(
                 &TasLock,
-                &LockWorkloadConfig { n: 4, cycles: 3, seed, model: CostModel::Dsm },
+                &LockWorkloadConfig {
+                    n: 4,
+                    cycles: 3,
+                    seed,
+                    model: CostModel::Dsm,
+                },
             );
             assert_eq!(r.violations, Vec::new(), "seed {seed}");
             assert!(r.completed);
@@ -137,7 +152,12 @@ mod tests {
         for seed in 0..20 {
             let r = run_lock_workload(
                 &TtasLock,
-                &LockWorkloadConfig { n: 4, cycles: 3, seed, model: CostModel::cc_default() },
+                &LockWorkloadConfig {
+                    n: 4,
+                    cycles: 3,
+                    seed,
+                    model: CostModel::cc_default(),
+                },
             );
             assert_eq!(r.violations, Vec::new(), "seed {seed}");
             assert!(r.completed);
@@ -148,7 +168,12 @@ mod tests {
     fn uncontended_acquire_is_cheap() {
         let r = run_lock_workload(
             &TasLock,
-            &LockWorkloadConfig { n: 1, cycles: 5, seed: 0, model: CostModel::Dsm },
+            &LockWorkloadConfig {
+                n: 1,
+                cycles: 5,
+                seed: 0,
+                model: CostModel::Dsm,
+            },
         );
         // TAS + CS + release per cycle: bounded constant.
         assert!(r.rmrs_per_passage() <= 5.0);
@@ -172,7 +197,11 @@ mod tests {
             // p0 acquires directly.
             sim.inject_call(
                 ProcId(0),
-                shm_sim::Call::new(crate::lock::kinds::ACQUIRE, "acquire", inst.acquire_call(ProcId(0))),
+                shm_sim::Call::new(
+                    crate::lock::kinds::ACQUIRE,
+                    "acquire",
+                    inst.acquire_call(ProcId(0)),
+                ),
             );
             while sim.has_pending_call(ProcId(0)) {
                 let _ = sim.step(ProcId(0));
@@ -180,7 +209,11 @@ mod tests {
             // p1 spins.
             sim.inject_call(
                 ProcId(1),
-                shm_sim::Call::new(crate::lock::kinds::ACQUIRE, "acquire", inst.acquire_call(ProcId(1))),
+                shm_sim::Call::new(
+                    crate::lock::kinds::ACQUIRE,
+                    "acquire",
+                    inst.acquire_call(ProcId(1)),
+                ),
             );
             for _ in 0..100 {
                 let _ = sim.step(ProcId(1));

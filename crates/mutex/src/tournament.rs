@@ -27,7 +27,7 @@
 //! the array — both sides of a node agree on ℓ, so targeting is unambiguous).
 
 use crate::lock::{MutexAlgorithm, MutexInstance};
-use shm_sim::{AddrRange, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use shm_sim::{AddrRange, MemLayout, Op, ProcId, ProcedureCall, Step, Word, NIL};
 use std::sync::Arc;
 
 /// The Yang–Anderson arbitration-tree lock.
@@ -74,7 +74,9 @@ impl MutexAlgorithm for TournamentLock {
             c0: layout.alloc_global_array(nodes, NIL),
             c1: layout.alloc_global_array(nodes, NIL),
             t: layout.alloc_global_array(nodes, NIL),
-            p_flag: (0..levels).map(|_| layout.alloc_per_process_array(n, 0)).collect(),
+            p_flag: (0..levels)
+                .map(|_| layout.alloc_per_process_array(n, 0))
+                .collect(),
             leaves,
         })
     }
@@ -83,12 +85,25 @@ impl MutexAlgorithm for TournamentLock {
 impl MutexInstance for Inst {
     fn acquire_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
         let path = self.path(pid);
-        Box::new(Acquire { inst: self.clone(), me: pid, path, level: 0, line: Line::WriteC, rival: NIL })
+        Box::new(Acquire {
+            inst: self.clone(),
+            me: pid,
+            path,
+            level: 0,
+            line: Line::WriteC,
+            rival: NIL,
+        })
     }
     fn release_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
         let mut path = self.path(pid);
         path.reverse(); // exit root-to-leaf
-        Box::new(Release { inst: self.clone(), me: pid, path, level: 0, line: ExitLine::ClearC })
+        Box::new(Release {
+            inst: self.clone(),
+            me: pid,
+            path,
+            level: 0,
+            line: ExitLine::ClearC,
+        })
     }
 }
 
@@ -269,7 +284,11 @@ impl Release {
     fn emit_clear(&mut self) -> Step {
         let (node, side) = self.path[self.level];
         self.line = ExitLine::ReadT;
-        let c = if side == 0 { self.inst.c0.at(node) } else { self.inst.c1.at(node) };
+        let c = if side == 0 {
+            self.inst.c0.at(node)
+        } else {
+            self.inst.c1.at(node)
+        };
         Step::Op(Op::Write(c, NIL))
     }
 }
@@ -291,7 +310,10 @@ impl ProcedureCall for Release {
                 if t != self.me.to_word() && t != NIL {
                     self.line = ExitLine::AfterWake;
                     let rival = ProcId::from_word(t).expect("valid rival");
-                    Step::Op(Op::Write(self.inst.p_flag[self.path.len() - 1 - self.level].at(rival.index()), 2))
+                    Step::Op(Op::Write(
+                        self.inst.p_flag[self.path.len() - 1 - self.level].at(rival.index()),
+                        2,
+                    ))
                 } else {
                     self.next_level()
                 }
@@ -316,7 +338,12 @@ mod tests {
             for seed in 0..40 {
                 let r = run_lock_workload(
                     &TournamentLock,
-                    &LockWorkloadConfig { n: 6, cycles: 3, seed, model },
+                    &LockWorkloadConfig {
+                        n: 6,
+                        cycles: 3,
+                        seed,
+                        model,
+                    },
                 );
                 assert_eq!(r.violations, Vec::new(), "{model:?} seed {seed}");
                 assert!(r.completed, "{model:?} seed {seed}");
@@ -329,7 +356,12 @@ mod tests {
         for seed in 0..150 {
             let r = run_lock_workload(
                 &TournamentLock,
-                &LockWorkloadConfig { n: 2, cycles: 4, seed, model: CostModel::Dsm },
+                &LockWorkloadConfig {
+                    n: 2,
+                    cycles: 4,
+                    seed,
+                    model: CostModel::Dsm,
+                },
             );
             assert_eq!(r.violations, Vec::new(), "seed {seed}");
             assert!(r.completed, "seed {seed}");
@@ -341,7 +373,12 @@ mod tests {
         let per_passage = |n: usize| {
             let r = run_lock_workload(
                 &TournamentLock,
-                &LockWorkloadConfig { n, cycles: 4, seed: 11, model: CostModel::Dsm },
+                &LockWorkloadConfig {
+                    n,
+                    cycles: 4,
+                    seed: 11,
+                    model: CostModel::Dsm,
+                },
             );
             assert!(r.completed);
             assert_eq!(r.violations, Vec::new());
@@ -349,7 +386,10 @@ mod tests {
         };
         let small = per_passage(4); // 2 levels
         let large = per_passage(64); // 6 levels
-        assert!(large < small * 5.0, "log growth, not linear: {small} -> {large}");
+        assert!(
+            large < small * 5.0,
+            "log growth, not linear: {small} -> {large}"
+        );
         assert!(large > small, "more levels cost more");
     }
 
@@ -357,7 +397,12 @@ mod tests {
     fn solo_passage_climbs_quietly() {
         let r = run_lock_workload(
             &TournamentLock,
-            &LockWorkloadConfig { n: 1, cycles: 3, seed: 0, model: CostModel::Dsm },
+            &LockWorkloadConfig {
+                n: 1,
+                cycles: 3,
+                seed: 0,
+                model: CostModel::Dsm,
+            },
         );
         assert!(r.completed);
         assert_eq!(r.violations, Vec::new());

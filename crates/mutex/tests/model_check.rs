@@ -4,14 +4,23 @@
 //! bug in the tournament lock during development.
 
 use shm_mutex::{
-    run_lock_workload, AndersonLock, LockWorkloadConfig, McsLock, MutexAlgorithm, TasLock, TournamentLock, TtasLock,
+    run_lock_workload, AndersonLock, LockWorkloadConfig, McsLock, MutexAlgorithm, TasLock,
+    TournamentLock, TtasLock,
 };
 use shm_sim::CostModel;
 
 fn scan(algo: &dyn MutexAlgorithm, n: usize, cycles: u64, seeds: u64) {
     for model in [CostModel::Dsm, CostModel::cc_default()] {
         for seed in 0..seeds {
-            let r = run_lock_workload(algo, &LockWorkloadConfig { n, cycles, seed, model });
+            let r = run_lock_workload(
+                algo,
+                &LockWorkloadConfig {
+                    n,
+                    cycles,
+                    seed,
+                    model,
+                },
+            );
             assert_eq!(
                 r.violations,
                 Vec::new(),
@@ -23,7 +32,12 @@ fn scan(algo: &dyn MutexAlgorithm, n: usize, cycles: u64, seeds: u64) {
                 "{} n={n} cycles={cycles} {model:?} seed {seed}: stalled (deadlock/lost wakeup)",
                 algo.name()
             );
-            assert_eq!(r.passages, n as u64 * cycles, "{} lost passages", algo.name());
+            assert_eq!(
+                r.passages,
+                n as u64 * cycles,
+                "{} lost passages",
+                algo.name()
+            );
         }
     }
 }

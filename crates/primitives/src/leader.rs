@@ -25,7 +25,7 @@
 //! splitter in [`crate::splitter`] is the read/write contrast object we
 //! property-test instead.)
 
-use shm_sim::{Addr, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use shm_sim::{Addr, MemLayout, Op, ProcId, ProcedureCall, Step, Word, NIL};
 
 /// Leader election decided by a single CAS on a shared cell.
 ///
@@ -43,13 +43,19 @@ impl CasLeaderElection {
     /// Allocates the election cell.
     #[must_use]
     pub fn allocate(layout: &mut MemLayout) -> Self {
-        CasLeaderElection { cell: layout.alloc_global(NIL) }
+        CasLeaderElection {
+            cell: layout.alloc_global(NIL),
+        }
     }
 
     /// The election call for process `pid`; returns the leader's ID word.
     #[must_use]
     pub fn elect_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(CasElect { cell: self.cell, me: pid.to_word(), issued: false })
+        Box::new(CasElect {
+            cell: self.cell,
+            me: pid.to_word(),
+            issued: false,
+        })
     }
 }
 
@@ -97,13 +103,20 @@ impl FasLeaderElection {
     /// Allocates the election cells.
     #[must_use]
     pub fn allocate(layout: &mut MemLayout) -> Self {
-        FasLeaderElection { race: layout.alloc_global(NIL), announce: layout.alloc_global(NIL) }
+        FasLeaderElection {
+            race: layout.alloc_global(NIL),
+            announce: layout.alloc_global(NIL),
+        }
     }
 
     /// The election call for process `pid`; returns the leader's ID word.
     #[must_use]
     pub fn elect_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(FasElect { cells: *self, me: pid.to_word(), state: FasState::Swap })
+        Box::new(FasElect {
+            cells: *self,
+            me: pid.to_word(),
+            state: FasState::Swap,
+        })
     }
 }
 
@@ -159,7 +172,8 @@ impl ProcedureCall for FasElect {
 mod tests {
     use super::*;
     use shm_sim::{
-        run_to_completion, CallKind, CostModel, RoundRobin, Script, ScriptedCall, SeededRandom, SimSpec, Simulator,
+        run_to_completion, CallKind, CostModel, RoundRobin, Script, ScriptedCall, SeededRandom,
+        SimSpec, Simulator,
     };
     use std::sync::Arc;
 
@@ -179,24 +193,43 @@ mod tests {
                     Which::Cas => Arc::new(move || cas.elect_call(pid)),
                     Which::Fas => Arc::new(move || fas.elect_call(pid)),
                 };
-                Box::new(Script::new(vec![ScriptedCall::new(CallKind(0), "elect", factory)]))
-                    as Box<dyn shm_sim::CallSource>
+                Box::new(Script::new(vec![ScriptedCall::new(
+                    CallKind(0),
+                    "elect",
+                    factory,
+                )])) as Box<dyn shm_sim::CallSource>
             })
             .collect();
-        SimSpec { layout, sources, model }
+        SimSpec {
+            layout,
+            sources,
+            model,
+        }
     }
 
     fn run_and_collect_leaders(spec: &SimSpec, seed: u64) -> Vec<Word> {
         let mut sim = Simulator::new(spec);
-        assert!(run_to_completion(&mut sim, &mut SeededRandom::new(seed), 1_000_000));
-        sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect()
+        assert!(run_to_completion(
+            &mut sim,
+            &mut SeededRandom::new(seed),
+            1_000_000
+        ));
+        sim.history()
+            .calls()
+            .iter()
+            .map(|c| c.return_value.unwrap())
+            .collect()
     }
 
     #[test]
     fn cas_everyone_agrees_on_one_leader() {
         for seed in 0..20 {
-            let leaders = run_and_collect_leaders(&election_spec(9, &Which::Cas, CostModel::Dsm), seed);
-            assert!(leaders.windows(2).all(|w| w[0] == w[1]), "disagreement: {leaders:?}");
+            let leaders =
+                run_and_collect_leaders(&election_spec(9, &Which::Cas, CostModel::Dsm), seed);
+            assert!(
+                leaders.windows(2).all(|w| w[0] == w[1]),
+                "disagreement: {leaders:?}"
+            );
             assert!(ProcId::from_word(leaders[0]).is_some());
         }
     }
@@ -204,8 +237,12 @@ mod tests {
     #[test]
     fn fas_everyone_agrees_on_one_leader() {
         for seed in 0..50 {
-            let leaders = run_and_collect_leaders(&election_spec(9, &Which::Fas, CostModel::Dsm), seed);
-            assert!(leaders.windows(2).all(|w| w[0] == w[1]), "seed {seed} disagreement: {leaders:?}");
+            let leaders =
+                run_and_collect_leaders(&election_spec(9, &Which::Fas, CostModel::Dsm), seed);
+            assert!(
+                leaders.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed} disagreement: {leaders:?}"
+            );
         }
     }
 
@@ -245,7 +282,10 @@ mod tests {
             assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000));
             sim.proc_stats(ProcId(1)).rmrs
         };
-        assert!(run(CostModel::cc_default()) <= 3, "CC: spin served from cache");
+        assert!(
+            run(CostModel::cc_default()) <= 3,
+            "CC: spin served from cache"
+        );
         assert!(run(CostModel::Dsm) >= 50, "DSM: every spin read is an RMR");
     }
 
@@ -258,8 +298,15 @@ mod tests {
         let _ = sim.step(ProcId(0));
         let _ = sim.step(ProcId(1));
         assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000));
-        let leaders: Vec<Word> =
-            sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect();
-        assert!(leaders.iter().all(|&l| l == 2), "p2 swapped first: {leaders:?}");
+        let leaders: Vec<Word> = sim
+            .history()
+            .calls()
+            .iter()
+            .map(|c| c.return_value.unwrap())
+            .collect();
+        assert!(
+            leaders.iter().all(|&l| l == 2),
+            "p2 swapped first: {leaders:?}"
+        );
     }
 }

@@ -58,7 +58,12 @@ impl RegistrationList {
     /// i.e. more than `capacity` enqueues were attempted.
     #[must_use]
     pub fn enqueue_call(&self, value: Word) -> Box<dyn ProcedureCall> {
-        Box::new(Enqueue { list: *self, value, ticket: None, state: EnqueueState::Start })
+        Box::new(Enqueue {
+            list: *self,
+            value,
+            ticket: None,
+            state: EnqueueState::Start,
+        })
     }
 
     /// Reads the current registration count from a simulator's memory
@@ -125,8 +130,8 @@ impl ProcedureCall for Enqueue {
 mod tests {
     use super::*;
     use shm_sim::{
-        run_to_completion, CallKind, CostModel, ProcId, RoundRobin, Script, ScriptedCall, SeededRandom, SimSpec,
-        Simulator,
+        run_to_completion, CallKind, CostModel, ProcId, RoundRobin, Script, ScriptedCall,
+        SeededRandom, SimSpec, Simulator,
     };
     use std::sync::Arc;
 
@@ -143,16 +148,31 @@ mod tests {
                 Box::new(Script::new(vec![call])) as Box<dyn shm_sim::CallSource>
             })
             .collect();
-        (SimSpec { layout, sources, model }, list)
+        (
+            SimSpec {
+                layout,
+                sources,
+                model,
+            },
+            list,
+        )
     }
 
     #[test]
     fn all_enqueuers_get_distinct_tickets() {
         let (spec, list) = enqueue_spec(8, CostModel::Dsm);
         let mut sim = Simulator::new(&spec);
-        assert!(run_to_completion(&mut sim, &mut SeededRandom::new(42), 100_000));
-        let mut tickets: Vec<Word> =
-            sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect();
+        assert!(run_to_completion(
+            &mut sim,
+            &mut SeededRandom::new(42),
+            100_000
+        ));
+        let mut tickets: Vec<Word> = sim
+            .history()
+            .calls()
+            .iter()
+            .map(|c| c.return_value.unwrap())
+            .collect();
         tickets.sort_unstable();
         assert_eq!(tickets, (0..8).collect::<Vec<Word>>());
         assert_eq!(list.snapshot_count(sim.memory()), 8);
@@ -199,13 +219,15 @@ mod tests {
         let mut layout = MemLayout::new();
         let list = RegistrationList::allocate(&mut layout, 1);
         let mk = |v: Word| {
-            ScriptedCall::new(CallKind(0), "enqueue", Arc::new(move || list.enqueue_call(v)))
+            ScriptedCall::new(
+                CallKind(0),
+                "enqueue",
+                Arc::new(move || list.enqueue_call(v)),
+            )
         };
         let spec = SimSpec {
             layout,
-            sources: vec![
-                Box::new(Script::new(vec![mk(0), mk(1)])) as Box<dyn shm_sim::CallSource>,
-            ],
+            sources: vec![Box::new(Script::new(vec![mk(0), mk(1)])) as Box<dyn shm_sim::CallSource>],
             model: CostModel::Dsm,
         };
         let mut sim = Simulator::new(&spec);

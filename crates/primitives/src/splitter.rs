@@ -23,7 +23,7 @@
 //! if X = p then return Stop else return Down
 //! ```
 
-use shm_sim::{Addr, MemLayout, Op, ProcedureCall, ProcId, Step, Word, NIL};
+use shm_sim::{Addr, MemLayout, Op, ProcId, ProcedureCall, Step, Word, NIL};
 
 /// Result encoding for splitter calls.
 pub mod outcome {
@@ -49,7 +49,10 @@ impl Splitter {
     /// Allocates the splitter's registers (global cells).
     #[must_use]
     pub fn allocate(layout: &mut MemLayout) -> Self {
-        Splitter { x: layout.alloc_global(NIL), y: layout.alloc_global(0) }
+        Splitter {
+            x: layout.alloc_global(NIL),
+            y: layout.alloc_global(0),
+        }
     }
 
     /// The splitter call for process `pid`; returns one of
@@ -58,7 +61,11 @@ impl Splitter {
     /// Wait-free: at most 4 memory accesses.
     #[must_use]
     pub fn enter_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
-        Box::new(Enter { s: *self, me: pid.to_word(), state: EnterState::WriteX })
+        Box::new(Enter {
+            s: *self,
+            me: pid.to_word(),
+            state: EnterState::WriteX,
+        })
     }
 }
 
@@ -119,7 +126,8 @@ impl ProcedureCall for Enter {
 mod tests {
     use super::*;
     use shm_sim::{
-        run_to_completion, CallKind, CostModel, RoundRobin, Script, ScriptedCall, SeededRandom, SimSpec, Simulator,
+        run_to_completion, CallKind, CostModel, RoundRobin, Script, ScriptedCall, SeededRandom,
+        SimSpec, Simulator,
     };
     use std::sync::Arc;
 
@@ -134,14 +142,26 @@ mod tests {
                 Box::new(Script::new(vec![call])) as Box<dyn shm_sim::CallSource>
             })
             .collect();
-        SimSpec { layout, sources, model: CostModel::Dsm }
+        SimSpec {
+            layout,
+            sources,
+            model: CostModel::Dsm,
+        }
     }
 
     fn outcomes(n: usize, seed: u64) -> Vec<Word> {
         let spec = splitter_spec(n);
         let mut sim = Simulator::new(&spec);
-        assert!(run_to_completion(&mut sim, &mut SeededRandom::new(seed), 100_000));
-        sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect()
+        assert!(run_to_completion(
+            &mut sim,
+            &mut SeededRandom::new(seed),
+            100_000
+        ));
+        sim.history()
+            .calls()
+            .iter()
+            .map(|c| c.return_value.unwrap())
+            .collect()
     }
 
     #[test]
@@ -179,8 +199,12 @@ mod tests {
                 let _ = sim.step(ProcId(pid));
             }
         }
-        let out: Vec<Word> =
-            sim.history().calls().iter().map(|c| c.return_value.unwrap()).collect();
+        let out: Vec<Word> = sim
+            .history()
+            .calls()
+            .iter()
+            .map(|c| c.return_value.unwrap())
+            .collect();
         assert_eq!(out, vec![outcome::STOP, outcome::RIGHT, outcome::RIGHT]);
     }
 

@@ -145,9 +145,50 @@ pub enum ProjectedEvent {
 /// steps from well-defined initial conditions (§2). Queries implement the
 /// definitions of §6 so the adversary and the test suite can check the
 /// constructions mechanically.
+///
+/// Alongside the raw event log, a `History` maintains a per-process rolling
+/// **projection fingerprint**: a 128-bit polynomial hash over exactly the
+/// sequence [`History::projection`] would produce for that process, updated
+/// incrementally as events are appended. Two histories with equal
+/// fingerprints for `p` have equal projections for `p` (up to hash
+/// collision, which [`Simulator::erase_certified`](crate::Simulator) guards
+/// with a `debug_assert` on the exact comparison), which turns the
+/// lower-bound adversary's survivor certification from an O(history) event
+/// comparison into an O(1) hash comparison.
 #[derive(Clone, Debug, Default)]
 pub struct History {
     events: Vec<Event>,
+    /// `proj_hash[p]` = rolling hash of `projection(ProcId(p))`. Grown on
+    /// demand; missing entries mean "no projected events yet".
+    proj_hash: Vec<u128>,
+}
+
+/// Odd multiplier for the polynomial fingerprint (random 128-bit constant).
+const FP_MUL: u128 = 0x9ddf_ea08_eb38_2d69_a54f_f53a_5f1d_36f1;
+
+/// Fingerprint of the empty projection.
+const FP_EMPTY: u128 = 0;
+
+#[inline]
+fn fp_absorb(h: u128, word: u64) -> u128 {
+    h.wrapping_mul(FP_MUL)
+        .wrapping_add(u128::from(crate::rng::mix64(word)))
+}
+
+/// Encodes an operation as fixed-width words for fingerprinting. The leading
+/// tag makes the encoding prefix-free across variants.
+#[inline]
+fn fp_op_words(op: &Op) -> [u64; 4] {
+    match *op {
+        Op::Read(a) => [0, u64::from(a.0), 0, 0],
+        Op::Write(a, w) => [1, u64::from(a.0), w, 0],
+        Op::Cas(a, e, n) => [2, u64::from(a.0), e, n],
+        Op::Ll(a) => [3, u64::from(a.0), 0, 0],
+        Op::Sc(a, w) => [4, u64::from(a.0), w, 0],
+        Op::Faa(a, d) => [5, u64::from(a.0), d, 0],
+        Op::Fas(a, w) => [6, u64::from(a.0), w, 0],
+        Op::Tas(a) => [7, u64::from(a.0), 0, 0],
+    }
 }
 
 impl History {
@@ -157,8 +198,109 @@ impl History {
         Self::default()
     }
 
+    /// Creates an empty event log whose fingerprints continue from `hashes`
+    /// (a checkpoint's fingerprint state). Appending the events that
+    /// followed the checkpoint reproduces the full history's fingerprints
+    /// even though the prefix events themselves are absent.
+    pub(crate) fn seeded(hashes: Vec<u128>) -> Self {
+        History {
+            events: Vec::new(),
+            proj_hash: hashes,
+        }
+    }
+
+    /// Builds the full history `prefix[..] ++ suffix`: used after a suffix
+    /// replay from a checkpoint, where `suffix` was [`History::seeded`] with
+    /// the checkpoint's fingerprints (so its fingerprints already cover the
+    /// whole spliced log).
+    pub(crate) fn spliced(prefix: &[Event], suffix: History) -> Self {
+        let mut events = Vec::with_capacity(prefix.len() + suffix.events.len());
+        events.extend_from_slice(prefix);
+        events.extend(suffix.events);
+        History {
+            events,
+            proj_hash: suffix.proj_hash,
+        }
+    }
+
+    /// Keeps the first `keep` events and appends `suffix`'s events after
+    /// them, adopting `suffix`'s fingerprints (which must have been
+    /// [`History::seeded`] with the fingerprint state at `keep` events, so
+    /// they already cover the whole resulting log). The in-place O(suffix)
+    /// counterpart of [`History::spliced`].
+    pub(crate) fn splice_tail(&mut self, keep: usize, suffix: History) {
+        assert!(keep <= self.events.len(), "splice_tail past the end");
+        self.events.truncate(keep);
+        self.events.extend(suffix.events);
+        self.proj_hash = suffix.proj_hash;
+    }
+
+    /// Removes every event of the processes marked in `gone` (indexed by
+    /// pid), resetting their fingerprints to the empty-projection seed.
+    ///
+    /// Survivors' events and fingerprints are untouched: this is only sound
+    /// when the caller has certified that no surviving projection changes
+    /// under the erasure (Lemma 6.7), which is exactly when the simulator's
+    /// in-place erase uses it.
+    pub(crate) fn erase_pids(&mut self, gone: &[bool]) {
+        self.events
+            .retain(|e| !gone.get(e.pid().index()).copied().unwrap_or(false));
+        for (i, h) in self.proj_hash.iter_mut().enumerate() {
+            if gone.get(i).copied().unwrap_or(false) {
+                *h = FP_EMPTY;
+            }
+        }
+    }
+
+    /// Rewinds to `len` events, resetting fingerprints to `hashes` (the
+    /// fingerprint state recorded when the history had `len` events).
+    pub(crate) fn rewind(&mut self, len: usize, hashes: Vec<u128>) {
+        assert!(len <= self.events.len(), "rewind past the end");
+        self.events.truncate(len);
+        self.proj_hash = hashes;
+    }
+
+    /// The rolling fingerprint of [`History::projection`]`(pid)`. Equal
+    /// fingerprints certify equal projections (up to hash collision).
+    #[must_use]
+    pub fn fingerprint(&self, pid: ProcId) -> u128 {
+        self.proj_hash.get(pid.index()).copied().unwrap_or(FP_EMPTY)
+    }
+
+    /// All per-process fingerprints (indexed by process; possibly shorter
+    /// than the process count — missing entries are empty projections).
+    #[must_use]
+    pub fn fingerprints(&self) -> &[u128] {
+        &self.proj_hash
+    }
+
+    fn fp_update(&mut self, e: &Event) {
+        // Mirror `projection` exactly: only Invoke/Return/Access project.
+        let (pid, words) = match *e {
+            Event::Invoke { pid, kind, .. } => (pid, [1, u64::from(kind.0), 0, 0, 0, 0]),
+            Event::Return { pid, kind, value } => (pid, [2, u64::from(kind.0), value, 0, 0, 0]),
+            Event::Access {
+                pid, op, result, ..
+            } => {
+                let [t, a, x, y] = fp_op_words(&op);
+                (pid, [3, t, a, x, y, result])
+            }
+            Event::Terminate { .. } | Event::Crash { .. } => return,
+        };
+        let i = pid.index();
+        if self.proj_hash.len() <= i {
+            self.proj_hash.resize(i + 1, FP_EMPTY);
+        }
+        let mut h = self.proj_hash[i];
+        for w in words {
+            h = fp_absorb(h, w);
+        }
+        self.proj_hash[i] = h;
+    }
+
     /// Appends an event (used by the simulator).
     pub(crate) fn push(&mut self, e: Event) {
+        self.fp_update(&e);
         self.events.push(e);
     }
 
@@ -203,7 +345,10 @@ impl History {
     #[must_use]
     pub fn active(&self) -> BTreeSet<ProcId> {
         let fin = self.finished();
-        self.participants().into_iter().filter(|p| !fin.contains(p)).collect()
+        self.participants()
+            .into_iter()
+            .filter(|p| !fin.contains(p))
+            .collect()
     }
 
     /// All (seer, seen) pairs: p sees q if p observed a value last written by
@@ -213,7 +358,9 @@ impl History {
         self.events
             .iter()
             .filter_map(|e| match *e {
-                Event::Access { pid, sees: Some(q), .. } => Some((pid, q)),
+                Event::Access {
+                    pid, sees: Some(q), ..
+                } => Some((pid, q)),
                 _ => None,
             })
             .collect()
@@ -226,7 +373,11 @@ impl History {
         self.events
             .iter()
             .filter_map(|e| match *e {
-                Event::Access { pid, touches: Some(q), .. } => Some((pid, q)),
+                Event::Access {
+                    pid,
+                    touches: Some(q),
+                    ..
+                } => Some((pid, q)),
                 _ => None,
             })
             .collect()
@@ -296,13 +447,17 @@ impl History {
         self.events
             .iter()
             .filter_map(|e| match *e {
-                Event::Invoke { pid: p, kind, .. } if p == pid => Some(ProjectedEvent::Invoke(kind)),
-                Event::Return { pid: p, kind, value } if p == pid => {
-                    Some(ProjectedEvent::Return(kind, value))
+                Event::Invoke { pid: p, kind, .. } if p == pid => {
+                    Some(ProjectedEvent::Invoke(kind))
                 }
-                Event::Access { pid: p, op, result, .. } if p == pid => {
-                    Some(ProjectedEvent::Access(op, result))
-                }
+                Event::Return {
+                    pid: p,
+                    kind,
+                    value,
+                } if p == pid => Some(ProjectedEvent::Return(kind, value)),
+                Event::Access {
+                    pid: p, op, result, ..
+                } if p == pid => Some(ProjectedEvent::Access(op, result)),
                 _ => None,
             })
             .collect()
@@ -324,7 +479,10 @@ impl History {
     /// `Poll()` and terminates" without the simulator recording a
     /// `Terminate` event), so it checks regularity against its own `Fin`.
     #[must_use]
-    pub fn regularity_violations_given_fin(&self, fin: &BTreeSet<ProcId>) -> Vec<RegularityViolation> {
+    pub fn regularity_violations_given_fin(
+        &self,
+        fin: &BTreeSet<ProcId>,
+    ) -> Vec<RegularityViolation> {
         let mut violations = Vec::new();
         // Definition 6.6 quantifies over p, q ∈ Par(H): seeing or touching a
         // process that never takes a step (e.g. the owner of a memory module
@@ -333,15 +491,26 @@ impl History {
         // Conditions 1 and 2, checked against end-of-history Fin (the
         // definition quantifies over the whole history).
         for (i, e) in self.events.iter().enumerate() {
-            if let Event::Access { pid, sees, touches, .. } = *e {
+            if let Event::Access {
+                pid, sees, touches, ..
+            } = *e
+            {
                 if let Some(q) = sees {
                     if participants.contains(&q) && !fin.contains(&q) {
-                        violations.push(RegularityViolation::SeesActive { seer: pid, seen: q, at: i });
+                        violations.push(RegularityViolation::SeesActive {
+                            seer: pid,
+                            seen: q,
+                            at: i,
+                        });
                     }
                 }
                 if let Some(q) = touches {
                     if participants.contains(&q) && !fin.contains(&q) {
-                        violations.push(RegularityViolation::TouchesActive { toucher: pid, touched: q, at: i });
+                        violations.push(RegularityViolation::TouchesActive {
+                            toucher: pid,
+                            touched: q,
+                            at: i,
+                        });
                     }
                 }
             }
@@ -349,15 +518,26 @@ impl History {
         // Condition 3: reconstruct per-cell writer sets from the log.
         let mut writers: BTreeMap<Addr, (BTreeSet<ProcId>, ProcId)> = BTreeMap::new();
         for e in &self.events {
-            if let Event::Access { pid, op, wrote: true, .. } = *e {
-                let entry = writers.entry(op.addr()).or_insert_with(|| (BTreeSet::new(), pid));
+            if let Event::Access {
+                pid,
+                op,
+                wrote: true,
+                ..
+            } = *e
+            {
+                let entry = writers
+                    .entry(op.addr())
+                    .or_insert_with(|| (BTreeSet::new(), pid));
                 entry.0.insert(pid);
                 entry.1 = pid;
             }
         }
         for (addr, (set, last)) in writers {
             if set.len() > 1 && !fin.contains(&last) {
-                violations.push(RegularityViolation::MultiWriterLastWriteActive { addr, last_writer: last });
+                violations.push(RegularityViolation::MultiWriterLastWriteActive {
+                    addr,
+                    last_writer: last,
+                });
             }
         }
         violations
@@ -378,10 +558,18 @@ mod tests {
     fn access(pid: u32, addr: u32, wrote: bool, sees: Option<u32>, touches: Option<u32>) -> Event {
         Event::Access {
             pid: ProcId(pid),
-            op: if wrote { Op::Write(Addr(addr), 1) } else { Op::Read(Addr(addr)) },
+            op: if wrote {
+                Op::Write(Addr(addr), 1)
+            } else {
+                Op::Read(Addr(addr))
+            },
             result: 0,
             wrote,
-            cost: AccessCost { rmr: true, messages: 1, invalidations: 0 },
+            cost: AccessCost {
+                rmr: true,
+                messages: 1,
+                invalidations: 0,
+            },
             sees: sees.map(ProcId),
             touches: touches.map(ProcId),
         }
@@ -410,7 +598,10 @@ mod tests {
         h.push(access(1, 0, false, Some(0), None)); // p1 sees p0
         assert!(!h.is_regular());
         h.push(Event::Terminate { pid: ProcId(0) });
-        assert!(h.is_regular(), "finishing the seen process restores regularity");
+        assert!(
+            h.is_regular(),
+            "finishing the seen process restores regularity"
+        );
     }
 
     #[test]
@@ -420,7 +611,11 @@ mod tests {
         h.push(access(1, 5, false, None, Some(0)));
         assert!(matches!(
             h.regularity_violations()[0],
-            RegularityViolation::TouchesActive { toucher: ProcId(1), touched: ProcId(0), .. }
+            RegularityViolation::TouchesActive {
+                toucher: ProcId(1),
+                touched: ProcId(0),
+                ..
+            }
         ));
     }
 
@@ -443,7 +638,10 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(matches!(
             v[0],
-            RegularityViolation::MultiWriterLastWriteActive { addr: Addr(3), last_writer: ProcId(1) }
+            RegularityViolation::MultiWriterLastWriteActive {
+                addr: Addr(3),
+                last_writer: ProcId(1)
+            }
         ));
     }
 
@@ -458,9 +656,21 @@ mod tests {
     #[test]
     fn call_records_match_invokes_to_returns() {
         let mut h = History::new();
-        h.push(Event::Invoke { pid: ProcId(0), kind: CallKind(1), name: "Poll" });
-        h.push(Event::Invoke { pid: ProcId(1), kind: CallKind(2), name: "Signal" });
-        h.push(Event::Return { pid: ProcId(0), kind: CallKind(1), value: 0 });
+        h.push(Event::Invoke {
+            pid: ProcId(0),
+            kind: CallKind(1),
+            name: "Poll",
+        });
+        h.push(Event::Invoke {
+            pid: ProcId(1),
+            kind: CallKind(2),
+            name: "Signal",
+        });
+        h.push(Event::Return {
+            pid: ProcId(0),
+            kind: CallKind(1),
+            value: 0,
+        });
         let calls = h.calls();
         assert_eq!(calls.len(), 2);
         assert_eq!(calls[0].return_value, Some(0));
@@ -484,5 +694,58 @@ mod tests {
         h.push(access(0, 0, true, None, None));
         h.push(Event::Crash { pid: ProcId(0) });
         assert!(h.finished().contains(&ProcId(0)));
+    }
+
+    #[test]
+    fn fingerprints_ignore_other_processes_and_metadata() {
+        // Same projection for p0, different interleavings / cost metadata /
+        // terminate markers: fingerprints must agree.
+        let mut a = History::new();
+        a.push(access(0, 1, true, None, None));
+        a.push(access(1, 2, false, None, Some(0)));
+        a.push(Event::Terminate { pid: ProcId(1) });
+        let mut b = History::new();
+        b.push(Event::Crash { pid: ProcId(2) });
+        b.push(access(0, 1, true, None, None));
+        assert_eq!(a.fingerprint(ProcId(0)), b.fingerprint(ProcId(0)));
+        assert_ne!(a.fingerprint(ProcId(1)), b.fingerprint(ProcId(1)));
+        // Untracked pid: empty projection on both sides.
+        assert_eq!(a.fingerprint(ProcId(9)), b.fingerprint(ProcId(9)));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_results_and_kinds() {
+        let mk = |value| {
+            let mut h = History::new();
+            h.push(Event::Invoke {
+                pid: ProcId(0),
+                kind: CallKind(1),
+                name: "Poll",
+            });
+            h.push(Event::Return {
+                pid: ProcId(0),
+                kind: CallKind(1),
+                value,
+            });
+            h
+        };
+        assert_ne!(mk(0).fingerprint(ProcId(0)), mk(1).fingerprint(ProcId(0)));
+        assert_eq!(mk(1).fingerprint(ProcId(0)), mk(1).fingerprint(ProcId(0)));
+    }
+
+    #[test]
+    fn seeded_fingerprints_continue_a_prefix() {
+        let mut full = History::new();
+        full.push(access(0, 1, true, None, None));
+        let snap = full.fingerprints().to_vec();
+        full.push(access(0, 2, false, None, None));
+
+        let mut suffix = History::seeded(snap);
+        suffix.push(access(0, 2, false, None, None));
+        assert_eq!(suffix.fingerprint(ProcId(0)), full.fingerprint(ProcId(0)));
+
+        let spliced = History::spliced(&full.events()[..1], suffix);
+        assert_eq!(spliced.events(), full.events());
+        assert_eq!(spliced.fingerprint(ProcId(0)), full.fingerprint(ProcId(0)));
     }
 }

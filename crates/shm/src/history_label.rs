@@ -20,7 +20,10 @@ impl Labels {
     /// The display name of `addr`.
     #[must_use]
     pub fn name(&self, addr: Addr) -> String {
-        self.names.get(&addr.0).cloned().unwrap_or_else(|| format!("{addr}"))
+        self.names
+            .get(&addr.0)
+            .cloned()
+            .unwrap_or_else(|| format!("{addr}"))
     }
 
     /// Number of labelled cells.

@@ -88,7 +88,11 @@ impl AddrRange {
     /// Panics if `i >= self.len()`.
     #[must_use]
     pub fn at(&self, i: usize) -> Addr {
-        assert!(i < self.len as usize, "array index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len as usize,
+            "array index {i} out of bounds (len {})",
+            self.len
+        );
         Addr(self.start + i as u32)
     }
 

@@ -67,6 +67,7 @@ pub mod machine;
 pub mod mem;
 pub mod model;
 pub mod op;
+pub mod rng;
 pub mod sched;
 pub mod sim;
 pub mod source;
@@ -79,6 +80,9 @@ pub use machine::{Call, CallKind, OpSequence, ProcedureCall, ReturnConst, Step};
 pub use mem::{MemLayout, Memory};
 pub use model::{AccessCost, CcConfig, CostModel, CostState, Interconnect, Protocol};
 pub use op::{Applied, Op};
+pub use rng::XorShift64;
 pub use sched::{run, run_to_completion, RoundRobin, Scheduler, Scripted, SeededRandom, Solo};
-pub use sim::{Peek, ProcStats, SimSpec, Simulator, Status, StepReport, Totals, TransitionPeek};
+pub use sim::{
+    Checkpoint, Peek, ProcStats, SimSpec, Simulator, Status, StepReport, Totals, TransitionPeek,
+};
 pub use source::{CallFactory, CallSource, Chain, Idle, RepeatUntil, Script, ScriptedCall};

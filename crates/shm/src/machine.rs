@@ -102,7 +102,11 @@ impl Call {
     /// Creates a labelled call.
     #[must_use]
     pub fn new(kind: CallKind, name: &'static str, machine: Box<dyn ProcedureCall>) -> Self {
-        Call { kind, name, machine }
+        Call {
+            kind,
+            name,
+            machine,
+        }
     }
 }
 

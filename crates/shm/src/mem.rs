@@ -55,7 +55,10 @@ impl MemLayout {
 
     /// Allocates a cell in `owner`'s memory module.
     pub fn alloc_local(&mut self, owner: ProcId, init: Word) -> Addr {
-        self.push(CellSpec { init, owner: Some(owner) })
+        self.push(CellSpec {
+            init,
+            owner: Some(owner),
+        })
     }
 
     /// Allocates a contiguous array of global cells.
@@ -64,7 +67,10 @@ impl MemLayout {
         for _ in 0..len {
             self.cells.push(CellSpec { init, owner: None });
         }
-        AddrRange { start, len: len as u32 }
+        AddrRange {
+            start,
+            len: len as u32,
+        }
     }
 
     /// Allocates a contiguous array of cells all local to `owner`'s module
@@ -73,9 +79,15 @@ impl MemLayout {
     pub fn alloc_local_array(&mut self, owner: ProcId, len: usize, init: Word) -> AddrRange {
         let start = self.cells.len() as u32;
         for _ in 0..len {
-            self.cells.push(CellSpec { init, owner: Some(owner) });
+            self.cells.push(CellSpec {
+                init,
+                owner: Some(owner),
+            });
         }
-        AddrRange { start, len: len as u32 }
+        AddrRange {
+            start,
+            len: len as u32,
+        }
     }
 
     /// Allocates an array with one cell per process, element `i` local to
@@ -84,9 +96,15 @@ impl MemLayout {
     pub fn alloc_per_process_array(&mut self, n: usize, init: Word) -> AddrRange {
         let start = self.cells.len() as u32;
         for i in 0..n {
-            self.cells.push(CellSpec { init, owner: Some(ProcId(i as u32)) });
+            self.cells.push(CellSpec {
+                init,
+                owner: Some(ProcId(i as u32)),
+            });
         }
-        AddrRange { start, len: n as u32 }
+        AddrRange {
+            start,
+            len: n as u32,
+        }
     }
 
     fn push(&mut self, spec: CellSpec) -> Addr {
@@ -223,6 +241,18 @@ impl Memory {
         &self.cells[addr.index()].writers
     }
 
+    /// Drops the LL reservations of the processes marked in `gone` (indexed
+    /// by pid) from every cell. Used when erasing processes in place: an
+    /// erased process's reservation is observable only by its own SC, but
+    /// the filtered memory image should not carry state of processes that
+    /// "never ran".
+    pub(crate) fn purge_reservations(&mut self, gone: &[bool]) {
+        for cell in &mut self.cells {
+            cell.reservations
+                .retain(|p| !gone.get(p.index()).copied().unwrap_or(false));
+        }
+    }
+
     /// Atomically applies `op` on behalf of `pid`.
     ///
     /// Returns the result word plus the trivial/nontrivial classification the
@@ -234,48 +264,88 @@ impl Memory {
     pub fn apply(&mut self, pid: ProcId, op: Op) -> Applied {
         let cell = &mut self.cells[op.addr().index()];
         match op {
-            Op::Read(_) => Applied { result: cell.value, nontrivial: false, failed_comparison: false },
+            Op::Read(_) => Applied {
+                result: cell.value,
+                nontrivial: false,
+                failed_comparison: false,
+            },
             Op::Ll(_) => {
                 if !cell.reservations.contains(&pid) {
                     cell.reservations.push(pid);
                 }
-                Applied { result: cell.value, nontrivial: false, failed_comparison: false }
+                Applied {
+                    result: cell.value,
+                    nontrivial: false,
+                    failed_comparison: false,
+                }
             }
             Op::Write(_, w) => {
                 cell.overwrite(pid, w);
-                Applied { result: w, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: w,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
             Op::Cas(_, expected, new) => {
                 let old = cell.value;
                 if old == expected {
                     cell.overwrite(pid, new);
-                    Applied { result: old, nontrivial: true, failed_comparison: false }
+                    Applied {
+                        result: old,
+                        nontrivial: true,
+                        failed_comparison: false,
+                    }
                 } else {
-                    Applied { result: old, nontrivial: false, failed_comparison: true }
+                    Applied {
+                        result: old,
+                        nontrivial: false,
+                        failed_comparison: true,
+                    }
                 }
             }
             Op::Sc(_, w) => {
                 if cell.reservations.contains(&pid) {
                     cell.overwrite(pid, w);
-                    Applied { result: 1, nontrivial: true, failed_comparison: false }
+                    Applied {
+                        result: 1,
+                        nontrivial: true,
+                        failed_comparison: false,
+                    }
                 } else {
-                    Applied { result: 0, nontrivial: false, failed_comparison: true }
+                    Applied {
+                        result: 0,
+                        nontrivial: false,
+                        failed_comparison: true,
+                    }
                 }
             }
             Op::Faa(_, d) => {
                 let old = cell.value;
                 cell.overwrite(pid, old.wrapping_add(d));
-                Applied { result: old, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
             Op::Fas(_, w) => {
                 let old = cell.value;
                 cell.overwrite(pid, w);
-                Applied { result: old, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
             Op::Tas(_) => {
                 let old = cell.value;
                 cell.overwrite(pid, 1);
-                Applied { result: old, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
         }
     }

@@ -59,8 +59,7 @@ pub struct CcConfig {
 }
 
 /// The two architecture models of Figure 1.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum CostModel {
     /// Distributed shared memory: RMR iff the address maps to another
     /// processor's module.
@@ -77,7 +76,6 @@ impl CostModel {
         CostModel::Cc(CcConfig::default())
     }
 }
-
 
 /// Price of one memory access under a cost model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -149,7 +147,11 @@ impl CostState {
             CostModel::Dsm => Vec::new(),
             CostModel::Cc(_) => vec![ProcSet::default(); n_cells],
         };
-        CostState { model, n_procs, valid }
+        CostState {
+            model,
+            n_procs,
+            valid,
+        }
     }
 
     /// The model being priced.
@@ -162,17 +164,33 @@ impl CostState {
     /// owner is `owner`), updating cache state for the CC model.
     ///
     /// Must be called exactly once per memory access, in execution order.
-    pub fn charge(&mut self, pid: ProcId, addr: Addr, owner: Option<ProcId>, applied: &Applied) -> AccessCost {
+    pub fn charge(
+        &mut self,
+        pid: ProcId,
+        addr: Addr,
+        owner: Option<ProcId>,
+        applied: &Applied,
+    ) -> AccessCost {
         match self.model {
             CostModel::Dsm => {
                 let rmr = owner != Some(pid);
-                AccessCost { rmr, messages: u64::from(rmr), invalidations: 0 }
+                AccessCost {
+                    rmr,
+                    messages: u64::from(rmr),
+                    invalidations: 0,
+                }
             }
             CostModel::Cc(cfg) => self.charge_cc(cfg, pid, addr, applied),
         }
     }
 
-    fn charge_cc(&mut self, cfg: CcConfig, pid: ProcId, addr: Addr, applied: &Applied) -> AccessCost {
+    fn charge_cc(
+        &mut self,
+        cfg: CcConfig,
+        pid: ProcId,
+        addr: Addr,
+        applied: &Applied,
+    ) -> AccessCost {
         let valid = &mut self.valid[addr.index()];
         if applied.failed_comparison && cfg.lfcu {
             // LFCU: a failed comparison primitive is applied locally.
@@ -183,7 +201,11 @@ impl CostState {
             // served by the cache if a valid copy exists, otherwise one fetch.
             let rmr = !valid.contains(pid);
             valid.insert(pid);
-            return AccessCost { rmr, messages: u64::from(rmr), invalidations: 0 };
+            return AccessCost {
+                rmr,
+                messages: u64::from(rmr),
+                invalidations: 0,
+            };
         }
         // Nontrivial operation.
         let holders_elsewhere = valid.count_others(pid);
@@ -197,7 +219,11 @@ impl CostState {
                 Interconnect::Bus => u64::from(holders_elsewhere > 0),
                 Interconnect::IdealDirectory => holders_elsewhere,
                 Interconnect::StatelessBroadcast => {
-                    if rmr { self.n_procs as u64 - 1 } else { 0 }
+                    if rmr {
+                        self.n_procs as u64 - 1
+                    } else {
+                        0
+                    }
                 }
             };
             (0, updates)
@@ -206,7 +232,11 @@ impl CostState {
                 Interconnect::Bus => u64::from(holders_elsewhere > 0),
                 Interconnect::IdealDirectory => holders_elsewhere,
                 Interconnect::StatelessBroadcast => {
-                    if rmr { self.n_procs as u64 - 1 } else { 0 }
+                    if rmr {
+                        self.n_procs as u64 - 1
+                    } else {
+                        0
+                    }
                 }
             };
             (holders_elsewhere, msgs)
@@ -216,7 +246,11 @@ impl CostState {
         } else {
             valid.reset_to(pid);
         }
-        AccessCost { rmr, messages: u64::from(rmr) + coherence_messages, invalidations }
+        AccessCost {
+            rmr,
+            messages: u64::from(rmr) + coherence_messages,
+            invalidations,
+        }
     }
 }
 
@@ -224,7 +258,13 @@ impl CostState {
 ///
 /// Useful for "is the next op an RMR?" peeks by the lower-bound adversary.
 #[must_use]
-pub fn would_be_rmr(state: &CostState, pid: ProcId, addr: Addr, owner: Option<ProcId>, nontrivial_hint: bool) -> bool {
+pub fn would_be_rmr(
+    state: &CostState,
+    pid: ProcId,
+    addr: Addr,
+    owner: Option<ProcId>,
+    nontrivial_hint: bool,
+) -> bool {
     match state.model {
         CostModel::Dsm => owner != Some(pid),
         CostModel::Cc(cfg) => {
@@ -251,13 +291,25 @@ mod tests {
     use crate::op::Applied;
 
     fn read_applied(v: Word) -> Applied {
-        Applied { result: v, nontrivial: false, failed_comparison: false }
+        Applied {
+            result: v,
+            nontrivial: false,
+            failed_comparison: false,
+        }
     }
     fn write_applied() -> Applied {
-        Applied { result: 0, nontrivial: true, failed_comparison: false }
+        Applied {
+            result: 0,
+            nontrivial: true,
+            failed_comparison: false,
+        }
     }
     fn failed_cas() -> Applied {
-        Applied { result: 0, nontrivial: false, failed_comparison: true }
+        Applied {
+            result: 0,
+            nontrivial: false,
+            failed_comparison: true,
+        }
     }
 
     const A: Addr = Addr(0);
@@ -269,7 +321,10 @@ mod tests {
         let mut st = CostState::new(CostModel::Dsm, 4, 1);
         assert!(st.charge(P, A, Some(Q), &read_applied(0)).rmr);
         assert!(!st.charge(P, A, Some(P), &read_applied(0)).rmr);
-        assert!(st.charge(P, A, None, &write_applied()).rmr, "global cells are remote to all in DSM");
+        assert!(
+            st.charge(P, A, None, &write_applied()).rmr,
+            "global cells are remote to all in DSM"
+        );
         // Repeated remote reads stay RMRs in DSM (no caching).
         assert!(st.charge(P, A, Some(Q), &read_applied(0)).rmr);
         assert!(st.charge(P, A, Some(Q), &read_applied(0)).rmr);
@@ -290,13 +345,19 @@ mod tests {
         let w = st.charge(Q, A, None, &write_applied());
         assert!(w.rmr);
         assert_eq!(w.invalidations, 1, "P's copy destroyed");
-        assert!(st.charge(P, A, None, &read_applied(0)).rmr, "P must re-fetch");
+        assert!(
+            st.charge(P, A, None, &read_applied(0)).rmr,
+            "P must re-fetch"
+        );
     }
 
     #[test]
     fn cc_write_through_writes_always_rmr() {
         let mut st = CostState::new(
-            CostModel::Cc(CcConfig { protocol: Protocol::WriteThrough, ..Default::default() }),
+            CostModel::Cc(CcConfig {
+                protocol: Protocol::WriteThrough,
+                ..Default::default()
+            }),
             4,
             1,
         );
@@ -307,40 +368,71 @@ mod tests {
     #[test]
     fn cc_write_back_sole_holder_writes_locally() {
         let mut st = CostState::new(
-            CostModel::Cc(CcConfig { protocol: Protocol::WriteBack, ..Default::default() }),
+            CostModel::Cc(CcConfig {
+                protocol: Protocol::WriteBack,
+                ..Default::default()
+            }),
             4,
             1,
         );
-        assert!(st.charge(P, A, None, &write_applied()).rmr, "first write fetches the line");
-        assert!(!st.charge(P, A, None, &write_applied()).rmr, "exclusive holder writes locally");
+        assert!(
+            st.charge(P, A, None, &write_applied()).rmr,
+            "first write fetches the line"
+        );
+        assert!(
+            !st.charge(P, A, None, &write_applied()).rmr,
+            "exclusive holder writes locally"
+        );
         st.charge(Q, A, None, &read_applied(0)); // Q caches a copy
-        assert!(st.charge(P, A, None, &write_applied()).rmr, "sharing forces an RMR again");
+        assert!(
+            st.charge(P, A, None, &write_applied()).rmr,
+            "sharing forces an RMR again"
+        );
     }
 
     #[test]
     fn failed_comparison_standard_vs_lfcu() {
         let mut standard = CostState::new(CostModel::cc_default(), 4, 1);
-        assert!(standard.charge(P, A, None, &failed_cas()).rmr, "standard: failed CAS fetches the line");
-        assert!(!standard.charge(P, A, None, &failed_cas()).rmr, "…then it is cached");
+        assert!(
+            standard.charge(P, A, None, &failed_cas()).rmr,
+            "standard: failed CAS fetches the line"
+        );
+        assert!(
+            !standard.charge(P, A, None, &failed_cas()).rmr,
+            "…then it is cached"
+        );
 
         let mut lfcu = CostState::new(
-            CostModel::Cc(CcConfig { lfcu: true, ..Default::default() }),
+            CostModel::Cc(CcConfig {
+                lfcu: true,
+                ..Default::default()
+            }),
             4,
             1,
         );
         let c = lfcu.charge(P, A, None, &failed_cas());
-        assert!(!c.rmr && c.messages == 0, "LFCU: failed comparisons are local");
+        assert!(
+            !c.rmr && c.messages == 0,
+            "LFCU: failed comparisons are local"
+        );
     }
 
     #[test]
     fn lfcu_write_updates_instead_of_invalidating() {
-        let cfg = CcConfig { lfcu: true, interconnect: Interconnect::IdealDirectory, ..Default::default() };
+        let cfg = CcConfig {
+            lfcu: true,
+            interconnect: Interconnect::IdealDirectory,
+            ..Default::default()
+        };
         let mut st = CostState::new(CostModel::Cc(cfg), 4, 1);
         st.charge(Q, A, None, &read_applied(0));
         let w = st.charge(P, A, None, &write_applied());
         assert_eq!(w.invalidations, 0);
         assert_eq!(w.messages, 2, "1 write + 1 update to Q");
-        assert!(!st.charge(Q, A, None, &read_applied(0)).rmr, "Q's copy stays valid");
+        assert!(
+            !st.charge(Q, A, None, &read_applied(0)).rmr,
+            "Q's copy stays valid"
+        );
     }
 
     #[test]
@@ -348,7 +440,10 @@ mod tests {
         // Two readers cache the line, then P writes.
         let setup = |ic| {
             let mut st = CostState::new(
-                CostModel::Cc(CcConfig { interconnect: ic, ..Default::default() }),
+                CostModel::Cc(CcConfig {
+                    interconnect: ic,
+                    ..Default::default()
+                }),
                 8,
                 1,
             );
@@ -356,9 +451,21 @@ mod tests {
             st.charge(ProcId(2), A, None, &read_applied(0));
             st.charge(P, A, None, &write_applied())
         };
-        assert_eq!(setup(Interconnect::Bus).messages, 1 + 1, "write + one broadcast");
-        assert_eq!(setup(Interconnect::IdealDirectory).messages, 1 + 2, "write + exactly the 2 holders");
-        assert_eq!(setup(Interconnect::StatelessBroadcast).messages, 1 + 7, "write + all N-1 others");
+        assert_eq!(
+            setup(Interconnect::Bus).messages,
+            1 + 1,
+            "write + one broadcast"
+        );
+        assert_eq!(
+            setup(Interconnect::IdealDirectory).messages,
+            1 + 2,
+            "write + exactly the 2 holders"
+        );
+        assert_eq!(
+            setup(Interconnect::StatelessBroadcast).messages,
+            1 + 7,
+            "write + all N-1 others"
+        );
     }
 
     #[test]

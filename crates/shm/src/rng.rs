@@ -1,0 +1,133 @@
+//! A small, in-tree, seedable PRNG.
+//!
+//! The repository must build and test with no network access, so external
+//! RNG crates are out. Everything here is deterministic for a fixed seed —
+//! the property the schedulers, workload generators, and property-style
+//! tests actually rely on; statistical quality beyond "not obviously
+//! patterned" is irrelevant for them.
+
+/// Xorshift64* generator, seeded through a SplitMix64 scramble so that
+/// small or zero seeds still produce well-mixed streams.
+#[derive(Clone, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+#[inline]
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed. Any seed (including 0) is fine.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // xorshift's state must be nonzero; mix64 maps 0x9E37..-related
+        // inputs near-uniformly, and we guard the measure-zero collision.
+        let state = mix64(seed).max(1);
+        XorShift64 { state }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses the multiply-shift reduction; the modulo bias is at most
+    /// `bound / 2^64`, far below anything these tests can observe.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. `lo < hi` required.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. `lo < hi` required.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `num / den` (`den` nonzero).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniformly chosen element of a nonempty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = XorShift64::new(0);
+        let v: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = XorShift64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn range_usize_respects_bounds() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..100 {
+            let v = r.range_usize(4, 12);
+            assert!((4..12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = XorShift64::new(11);
+        let hits = (0..1000).filter(|_| r.chance(3, 10)).count();
+        assert!((200..400).contains(&hits), "3/10 chance hit {hits}/1000");
+    }
+}

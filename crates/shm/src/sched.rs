@@ -5,9 +5,8 @@
 //! lower-bound adversary constructs schedules by hand instead.
 
 use crate::ids::ProcId;
+use crate::rng::XorShift64;
 use crate::sim::{Simulator, StepReport};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A scheduling strategy.
 pub trait Scheduler {
@@ -50,14 +49,16 @@ impl Scheduler for RoundRobin {
 /// Deterministic for a fixed seed, so experiments are reproducible.
 #[derive(Clone, Debug)]
 pub struct SeededRandom {
-    rng: StdRng,
+    rng: XorShift64,
 }
 
 impl SeededRandom {
     /// Creates a random scheduler with the given seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        SeededRandom { rng: StdRng::seed_from_u64(seed) }
+        SeededRandom {
+            rng: XorShift64::new(seed),
+        }
     }
 }
 
@@ -67,7 +68,7 @@ impl Scheduler for SeededRandom {
         if runnable.is_empty() {
             None
         } else {
-            Some(runnable[self.rng.gen_range(0..runnable.len())])
+            Some(*self.rng.choose(&runnable))
         }
     }
 }
@@ -155,7 +156,11 @@ mod tests {
                 Box::new(Script::new(vec![call])) as Box<dyn crate::source::CallSource>
             })
             .collect();
-        SimSpec { layout, sources, model: CostModel::Dsm }
+        SimSpec {
+            layout,
+            sources,
+            model: CostModel::Dsm,
+        }
     }
 
     #[test]
@@ -192,7 +197,10 @@ mod tests {
     fn scripted_follows_order_and_skips_dead() {
         let spec = spec_with_counter_writers(2);
         let mut sim = crate::sim::Simulator::new(&spec);
-        let order = vec![ProcId(0); 10].into_iter().chain(vec![ProcId(1); 10]).collect();
+        let order = vec![ProcId(0); 10]
+            .into_iter()
+            .chain(vec![ProcId(1); 10])
+            .collect();
         let mut sched = Scripted::new(order);
         run(&mut sim, &mut sched, 10_000);
         assert!(sim.all_done());

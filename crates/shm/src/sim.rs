@@ -8,6 +8,8 @@ use crate::mem::{MemLayout, Memory};
 use crate::model::{AccessCost, CostModel, CostState};
 use crate::op::Op;
 use crate::source::CallSource;
+use std::collections::BTreeSet;
+use std::rc::Rc;
 
 /// Everything needed to (re)start an execution from the initial state.
 ///
@@ -141,6 +143,57 @@ struct ProcState {
     stats: ProcStats,
 }
 
+/// An injected call, recorded so filtered replay can re-apply it.
+///
+/// `at` is the schedule position the injection preceded: the call was
+/// injected after schedule entry `at - 1` executed and before entry `at`.
+#[derive(Clone, Debug)]
+struct Injection {
+    at: usize,
+    pid: ProcId,
+    call: Call,
+}
+
+/// An O(live-state) snapshot of a [`Simulator`] mid-execution: memory
+/// cells, cost-model validity state, per-process call state and stats,
+/// aggregate totals, and the per-process projection fingerprints — but
+/// *not* the event log or the schedule (both stay in the recording
+/// simulator).
+///
+/// Taken every [`Simulator::enable_checkpoints`] interval during recording,
+/// checkpoints let an erasure replay only the schedule suffix after the
+/// erased process's first step ([`Simulator::filtered_replay`]) instead of
+/// the whole execution — the incremental replay engine the lower-bound
+/// adversary runs on.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    schedule_len: usize,
+    history_len: usize,
+    memory: Memory,
+    cost: CostState,
+    procs: Vec<Rc<ProcState>>,
+    totals: Totals,
+    injected: u64,
+    proj_hash: Vec<u128>,
+    first_touch: Vec<Option<usize>>,
+    first_write: Vec<Option<usize>>,
+    injections_len: usize,
+}
+
+impl Checkpoint {
+    /// Number of schedule entries the checkpoint covers.
+    #[must_use]
+    pub fn schedule_len(&self) -> usize {
+        self.schedule_len
+    }
+
+    /// Number of history events the checkpoint covers.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+}
+
 /// Deterministic shared-memory simulator.
 ///
 /// A `Simulator` advances processes one step at a time under the control of
@@ -173,11 +226,31 @@ struct ProcState {
 pub struct Simulator {
     memory: Memory,
     cost: CostState,
-    procs: Vec<ProcState>,
+    /// Per-process machines, copy-on-write: snapshots and replays share
+    /// them by refcount, and [`Rc::make_mut`] clones a process's state
+    /// only when it actually steps. An early-aborting certification replay
+    /// therefore deep-clones just the processes that move before the
+    /// divergence, not all `n`.
+    procs: Vec<Rc<ProcState>>,
     history: History,
     schedule: Vec<ProcId>,
     totals: Totals,
     injected: u64,
+    /// `first_touch[p]` = schedule index of p's first step, if any.
+    first_touch: Vec<Option<usize>>,
+    /// `first_write[p]` = schedule index of p's first *nontrivial* (memory-
+    /// mutating) access, if any. Trivial accesses touch no survivor-visible
+    /// state, so a certification replay only needs to re-execute from here
+    /// rather than from the process's first step (see `replay_tail`).
+    first_write: Vec<Option<usize>>,
+    /// Injected calls in injection order (`at` is nondecreasing).
+    injections: Vec<Injection>,
+    /// Periodic snapshots in increasing `schedule_len` order. `Rc` so
+    /// replayed simulators can carry the prefix checkpoints by reference
+    /// instead of deep-cloning O(checkpoints x live state) per erasure.
+    checkpoints: Vec<Rc<Checkpoint>>,
+    /// Steps between snapshots; 0 = checkpointing disabled.
+    ckpt_interval: usize,
 }
 
 impl Simulator {
@@ -193,15 +266,18 @@ impl Simulator {
         let procs = spec
             .sources
             .iter()
-            .map(|s| ProcState {
-                source: s.clone(),
-                current: None,
-                last_op_result: None,
-                last_return: None,
-                status: Status::Runnable,
-                stats: ProcStats::default(),
+            .map(|s| {
+                Rc::new(ProcState {
+                    source: s.clone(),
+                    current: None,
+                    last_op_result: None,
+                    last_return: None,
+                    status: Status::Runnable,
+                    stats: ProcStats::default(),
+                })
             })
             .collect();
+        let n = spec.n();
         Simulator {
             memory,
             cost,
@@ -210,6 +286,11 @@ impl Simulator {
             schedule: Vec::new(),
             totals: Totals::default(),
             injected: 0,
+            first_touch: vec![None; n],
+            first_write: vec![None; n],
+            injections: Vec::new(),
+            checkpoints: Vec::new(),
+            ckpt_interval: 0,
         }
     }
 
@@ -222,11 +303,766 @@ impl Simulator {
     /// surviving process's point of view) whenever no survivor saw an erased
     /// process.
     #[must_use]
-    pub fn replay(spec: &SimSpec, schedule: &[ProcId], erased: &std::collections::BTreeSet<ProcId>) -> Self {
+    pub fn replay(
+        spec: &SimSpec,
+        schedule: &[ProcId],
+        erased: &std::collections::BTreeSet<ProcId>,
+    ) -> Self {
         let mut sim = Simulator::new(spec);
         for &pid in schedule {
             if !erased.contains(&pid) {
                 let _ = sim.step(pid);
+            }
+        }
+        sim
+    }
+
+    /// Maximum checkpoints retained before thinning (drop every other one and
+    /// double the interval). Bounds checkpoint memory to O(96 × live state).
+    const MAX_CHECKPOINTS: usize = 96;
+
+    /// Turns on periodic checkpointing every `interval` steps (0 disables).
+    ///
+    /// An initial checkpoint of the *current* state is taken immediately, so
+    /// incremental replay always has a base to start from even when the
+    /// erased process's first step predates every periodic snapshot.
+    pub fn enable_checkpoints(&mut self, interval: usize) {
+        self.ckpt_interval = interval;
+        if interval > 0 && self.checkpoints.is_empty() {
+            let snap = self.snapshot();
+            self.checkpoints.push(Rc::new(snap));
+        }
+    }
+
+    /// The configured checkpoint interval (0 = disabled).
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> usize {
+        self.ckpt_interval
+    }
+
+    /// Number of checkpoints currently retained.
+    #[must_use]
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Schedule index of `pid`'s first step, if it has taken one.
+    #[must_use]
+    pub fn first_step_of(&self, pid: ProcId) -> Option<usize> {
+        self.first_touch[pid.index()]
+    }
+
+    /// Captures the current execution state as an O(live-state) checkpoint.
+    ///
+    /// The checkpoint holds memory, cost state, process machines, totals and
+    /// the history's per-process fingerprints — everything needed to resume
+    /// stepping — but not the event log or schedule, which remain in `self`.
+    #[must_use]
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            schedule_len: self.schedule.len(),
+            history_len: self.history.events().len(),
+            memory: self.memory.clone(),
+            cost: self.cost.clone(),
+            procs: self.procs.clone(),
+            totals: self.totals,
+            injected: self.injected,
+            proj_hash: self.history.fingerprints().to_vec(),
+            first_touch: self.first_touch.clone(),
+            first_write: self.first_write.clone(),
+            injections_len: self.injections.len(),
+        }
+    }
+
+    /// Rolls this simulator back to `ckpt`, which must have been taken from
+    /// this simulator (or an ancestor clone): the schedule and event log up
+    /// to the checkpoint must be the ones the checkpoint was taken under.
+    ///
+    /// The schedule and history are truncated to the checkpoint; checkpoints
+    /// newer than `ckpt` are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ckpt` is from a longer execution than `self` currently
+    /// holds (i.e. it does not describe a prefix of this simulator).
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        assert!(
+            ckpt.schedule_len <= self.schedule.len()
+                && ckpt.history_len <= self.history.events().len(),
+            "restore: checkpoint does not describe a prefix of this execution"
+        );
+        self.memory = ckpt.memory.clone();
+        self.cost = ckpt.cost.clone();
+        self.procs = ckpt.procs.clone();
+        self.totals = ckpt.totals;
+        self.injected = ckpt.injected;
+        self.schedule.truncate(ckpt.schedule_len);
+        self.history
+            .rewind(ckpt.history_len, ckpt.proj_hash.clone());
+        self.first_touch = ckpt.first_touch.clone();
+        self.first_write = ckpt.first_write.clone();
+        self.injections.truncate(ckpt.injections_len);
+        self.checkpoints
+            .retain(|c| c.schedule_len <= ckpt.schedule_len);
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        if self.ckpt_interval == 0 || self.schedule.len() % self.ckpt_interval != 0 {
+            return;
+        }
+        if self.checkpoints.len() >= Self::MAX_CHECKPOINTS {
+            // Thin: keep every other checkpoint and double the interval so
+            // memory stays bounded while coverage stays roughly uniform.
+            let mut keep = 0usize;
+            self.checkpoints.retain(|_| {
+                keep += 1;
+                (keep - 1) % 2 == 0
+            });
+            self.ckpt_interval *= 2;
+            if self.schedule.len() % self.ckpt_interval != 0 {
+                return;
+            }
+        }
+        let snap = self.snapshot();
+        self.checkpoints.push(Rc::new(snap));
+    }
+
+    /// Builds a simulator resuming from `ckpt`, with this simulator's
+    /// schedule prefix and per-checkpoint bookkeeping carried over.
+    fn resume_at(&self, ckpt: &Checkpoint) -> Simulator {
+        Simulator {
+            memory: ckpt.memory.clone(),
+            cost: ckpt.cost.clone(),
+            procs: ckpt.procs.clone(),
+            history: History::seeded(ckpt.proj_hash.clone()),
+            schedule: self.schedule[..ckpt.schedule_len].to_vec(),
+            totals: ckpt.totals,
+            injected: ckpt.injected,
+            first_touch: ckpt.first_touch.clone(),
+            first_write: ckpt.first_write.clone(),
+            injections: self.injections[..ckpt.injections_len].to_vec(),
+            checkpoints: self
+                .checkpoints
+                .iter()
+                .filter(|c| c.schedule_len <= ckpt.schedule_len)
+                .cloned()
+                .collect(),
+            ckpt_interval: self.ckpt_interval,
+        }
+    }
+
+    /// Replays this simulator's recorded schedule with `erased` filtered
+    /// out, starting from the latest checkpoint that precedes every erased
+    /// process's first step (and every injection targeting an erased
+    /// process). Injections into surviving processes are re-applied at their
+    /// recorded positions.
+    ///
+    /// Returns `(replayed, start, prefix_events)`: the replayed simulator,
+    /// the schedule position it resumed from, and the length (in events) of
+    /// the shared history prefix it did *not* re-execute. The returned
+    /// simulator's history holds only suffix events, with fingerprints
+    /// covering prefix + suffix. Use [`Simulator::filtered_replay`] for a
+    /// spliced full history.
+    ///
+    /// With `certify`, the replay additionally checks — online, event by
+    /// event — that every surviving process reproduces its recorded
+    /// projection, returning `None` at the *first* divergent event. This is
+    /// what makes refused erasures cheap: an FAA-entangled survivor
+    /// diverges within a few steps of the splice point, so the adversary
+    /// pays O(divergence) instead of O(history) to learn the erasure is
+    /// unsound.
+    fn replay_tail(
+        &self,
+        spec: &SimSpec,
+        erased: &BTreeSet<ProcId>,
+        certify: bool,
+    ) -> Option<(Simulator, usize, usize)> {
+        // The replay diverges from the recorded execution at the first
+        // schedule position where an erased process acted or was injected
+        // into; any checkpoint at or before that point is still valid.
+        let mut splice = self.schedule.len();
+        for &pid in erased {
+            if let Some(t) = self.first_touch[pid.index()] {
+                splice = splice.min(t);
+            }
+        }
+        for inj in &self.injections {
+            if erased.contains(&inj.pid) {
+                splice = splice.min(inj.at);
+            }
+        }
+        let base = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.schedule_len <= splice);
+        if certify {
+            // Survivor-visible state can only diverge at an erased process's
+            // first *nontrivial* access: trivial accesses change no value,
+            // writer, or other process's reservation. So the certification
+            // verdict from any checkpoint at or before that point is exact.
+            // When such a checkpoint is strictly later than `base`, run a
+            // throwaway certification probe from it first — a refusal then
+            // costs a fraction of the full suffix — and re-execute the real
+            // suffix (which must start before the erased processes' first
+            // steps so their events vanish from the log) only on acceptance.
+            let mut wsplice = self.schedule.len();
+            for &pid in erased {
+                if let Some(t) = self.first_write[pid.index()] {
+                    wsplice = wsplice.min(t);
+                }
+            }
+            let wbase = self
+                .checkpoints
+                .iter()
+                .rev()
+                .find(|c| c.schedule_len <= wsplice);
+            if wbase.map_or(0, |c| c.schedule_len) > base.map_or(0, |c| c.schedule_len) {
+                self.run_filtered(spec, wbase.map(Rc::as_ref), erased, true, true)?;
+                return self.run_filtered(spec, base.map(Rc::as_ref), erased, false, false);
+            }
+        }
+        self.run_filtered(spec, base.map(Rc::as_ref), erased, certify, false)
+    }
+
+    /// The filtered-replay loop behind [`Simulator::replay_tail`]: replays
+    /// this simulator's recorded schedule from `base` (or from scratch) with
+    /// `erased` filtered out, re-applying injections into survivors at their
+    /// recorded positions. With `certify`, every emitted event is compared
+    /// online against the recorded log and the first divergence returns
+    /// `None`. With `probe`, the replayed simulator skips checkpointing
+    /// (used for throwaway certification passes whose state is discarded).
+    fn run_filtered(
+        &self,
+        spec: &SimSpec,
+        base: Option<&Checkpoint>,
+        erased: &BTreeSet<ProcId>,
+        certify: bool,
+        probe: bool,
+    ) -> Option<(Simulator, usize, usize)> {
+        let mut sim = match base {
+            Some(c) => self.resume_at(c),
+            None => {
+                let mut fresh = Simulator::new(spec);
+                fresh.enable_checkpoints(self.ckpt_interval);
+                fresh
+            }
+        };
+        if probe {
+            sim.ckpt_interval = 0;
+        }
+        let start = sim.schedule.len();
+        let prefix_events = base.map_or(0, |c| c.history_len);
+        let recorded = self.history.events();
+        // Certification cursors: `produced` into the replayed suffix log,
+        // `expect` into the recorded log (skipping erased processes'
+        // events, which the filtered replay must not reproduce).
+        let mut produced = 0usize;
+        let mut expect = prefix_events;
+        // `at` is nondecreasing, so the first injection to re-apply is the
+        // first one at position >= start.
+        let mut next_inj = self.injections.partition_point(|inj| inj.at < start);
+        for i in start..self.schedule.len() {
+            while next_inj < self.injections.len() && self.injections[next_inj].at <= i {
+                let inj = &self.injections[next_inj];
+                next_inj += 1;
+                if !erased.contains(&inj.pid) {
+                    sim.inject_call(inj.pid, inj.call.clone());
+                }
+            }
+            let pid = self.schedule[i];
+            if !erased.contains(&pid) {
+                let _ = sim.step(pid);
+            }
+            if certify
+                && !Self::certify_drain(
+                    recorded,
+                    erased,
+                    sim.history.events(),
+                    &mut produced,
+                    &mut expect,
+                )
+            {
+                return None;
+            }
+        }
+        // Injections recorded after the last schedule entry.
+        while next_inj < self.injections.len() {
+            let inj = &self.injections[next_inj];
+            next_inj += 1;
+            if !erased.contains(&inj.pid) {
+                sim.inject_call(inj.pid, inj.call.clone());
+            }
+        }
+        if certify {
+            if !Self::certify_drain(
+                recorded,
+                erased,
+                sim.history.events(),
+                &mut produced,
+                &mut expect,
+            ) {
+                return None;
+            }
+            // The replay consumed the whole filtered schedule; any surviving
+            // projected event still unmatched in the recording means the
+            // replay produced *fewer* events than recorded — divergence.
+            while expect < recorded.len() {
+                if !erased.contains(&recorded[expect].pid())
+                    && Self::event_projects(&recorded[expect])
+                {
+                    return None;
+                }
+                expect += 1;
+            }
+        }
+        Some((sim, start, prefix_events))
+    }
+
+    /// Whether an event contributes to a process's projection (mirrors
+    /// [`History::projection`]: `Terminate`/`Crash` do not project).
+    fn event_projects(e: &Event) -> bool {
+        !matches!(e, Event::Terminate { .. } | Event::Crash { .. })
+    }
+
+    /// Projection-level equality of two events: same process and same
+    /// projected content. Cost, `sees`/`touches` attribution and the
+    /// `wrote` flag may legitimately differ under erasure (they depend on
+    /// the erased processes' accesses, not on the survivor's own view), so
+    /// they are excluded — exactly as in [`History::projection`].
+    fn same_projected(a: &Event, b: &Event) -> bool {
+        match (a, b) {
+            (
+                Event::Invoke {
+                    pid: p1, kind: k1, ..
+                },
+                Event::Invoke {
+                    pid: p2, kind: k2, ..
+                },
+            ) => p1 == p2 && k1 == k2,
+            (
+                Event::Return {
+                    pid: p1,
+                    kind: k1,
+                    value: v1,
+                },
+                Event::Return {
+                    pid: p2,
+                    kind: k2,
+                    value: v2,
+                },
+            ) => p1 == p2 && k1 == k2 && v1 == v2,
+            (
+                Event::Access {
+                    pid: p1,
+                    op: o1,
+                    result: r1,
+                    ..
+                },
+                Event::Access {
+                    pid: p2,
+                    op: o2,
+                    result: r2,
+                    ..
+                },
+            ) => p1 == p2 && o1 == o2 && r1 == r2,
+            _ => false,
+        }
+    }
+
+    /// Advances the online certification cursors over events the replay
+    /// emitted since the last drain, matching each against the next
+    /// surviving projected event of the recording. Returns `false` on the
+    /// first mismatch.
+    fn certify_drain(
+        recorded: &[Event],
+        erased: &BTreeSet<ProcId>,
+        suffix: &[Event],
+        produced: &mut usize,
+        expect: &mut usize,
+    ) -> bool {
+        while *produced < suffix.len() {
+            let e = &suffix[*produced];
+            *produced += 1;
+            if !Self::event_projects(e) {
+                continue;
+            }
+            while *expect < recorded.len()
+                && (erased.contains(&recorded[*expect].pid())
+                    || !Self::event_projects(&recorded[*expect]))
+            {
+                *expect += 1;
+            }
+            if *expect >= recorded.len() || !Self::same_projected(e, &recorded[*expect]) {
+                return false;
+            }
+            *expect += 1;
+        }
+        true
+    }
+
+    /// After a suffix replay is spliced onto a prefix of `prefix_events`
+    /// events, checkpoints created *during* the suffix replay (those past
+    /// `start`) recorded history lengths relative to the seeded (empty)
+    /// suffix log; rebase them onto the spliced log.
+    fn rebase_suffix_checkpoints(sim: &mut Simulator, start: usize, prefix_events: usize) {
+        for c in &mut sim.checkpoints {
+            if c.schedule_len > start {
+                Rc::make_mut(c).history_len += prefix_events;
+            }
+        }
+    }
+
+    /// Incremental form of [`Simulator::replay`]: replays this simulator's
+    /// own recorded schedule (and injections) with `erased` filtered out,
+    /// reusing the longest valid checkpointed prefix instead of starting
+    /// from scratch.
+    ///
+    /// The returned simulator's history is the full spliced event log
+    /// (prefix events verbatim + re-executed suffix), and its state is
+    /// exactly what [`Simulator::replay`] would produce — verified by the
+    /// determinism-contract tests.
+    #[must_use]
+    pub fn filtered_replay(&self, spec: &SimSpec, erased: &BTreeSet<ProcId>) -> Simulator {
+        let (mut sim, start, prefix_events) = self
+            .replay_tail(spec, erased, false)
+            .expect("uncertified replay cannot fail");
+        if prefix_events > 0 {
+            let suffix = std::mem::take(&mut sim.history);
+            sim.history = History::spliced(&self.history.events()[..prefix_events], suffix);
+            Self::rebase_suffix_checkpoints(&mut sim, start, prefix_events);
+        }
+        sim
+    }
+
+    /// Attempts to erase `batch` from this execution, certifying that every
+    /// surviving process's projection is unchanged (Lemma 6.7's soundness
+    /// condition). Returns the replayed simulator on success, `None` if any
+    /// survivor's projection differs.
+    ///
+    /// Certification is streamed: the replay compares every event it emits
+    /// against the recorded log as it goes and aborts at the first
+    /// divergence, so a refused erasure costs O(steps to divergence), not
+    /// O(history). The per-process rolling-hash fingerprints double-check
+    /// the accepted result in O(1) per process, and a debug assertion
+    /// cross-checks the exact projections.
+    #[must_use]
+    pub fn erase_certified(&self, spec: &SimSpec, batch: &BTreeSet<ProcId>) -> Option<Simulator> {
+        let (tail, start, prefix_events) = self.replay_tail(spec, batch, true)?;
+        let survives = (0..self.n()).map(|i| ProcId(i as u32)).all(|p| {
+            batch.contains(&p) || tail.history.fingerprint(p) == self.history.fingerprint(p)
+        });
+        if !survives {
+            return None;
+        }
+        let mut sim = tail;
+        if prefix_events > 0 {
+            let suffix = std::mem::take(&mut sim.history);
+            sim.history = History::spliced(&self.history.events()[..prefix_events], suffix);
+            Self::rebase_suffix_checkpoints(&mut sim, start, prefix_events);
+        }
+        #[cfg(debug_assertions)]
+        for i in 0..self.n() {
+            let p = ProcId(i as u32);
+            if !batch.contains(&p) {
+                debug_assert_eq!(
+                    sim.history.projection(p),
+                    self.history.projection(p),
+                    "fingerprint collision: projection of {p} changed under erasure"
+                );
+            }
+        }
+        Some(sim)
+    }
+
+    /// In-place form of [`Simulator::erase_certified`], the one the
+    /// adversary's hot loop uses. On success the erasure is applied to
+    /// `self`; on refusal (`false`) `self` is unchanged.
+    ///
+    /// Under the DSM model this runs entirely at the event level — no step
+    /// machine is re-executed. A survivor's machine state is a function of
+    /// the results it has observed, so it suffices to re-apply the recorded
+    /// `Access` ops of survivors against a filtered memory image (seeded
+    /// from the latest checkpoint preceding the erased processes' first
+    /// nontrivial write) and compare each result with the recording: the
+    /// first mismatch is exactly the first projection divergence, and a
+    /// mismatch-free walk proves every surviving projection is unchanged
+    /// (Lemma 6.7's condition). Acceptance is then applied by surgery —
+    /// memory takes the walk's image, the erased events/steps are filtered
+    /// out of the log and schedule, and the erased machines reset — instead
+    /// of replaying the execution. DSM access costs depend only on the
+    /// static cell placement, so survivor stats are reused verbatim; under
+    /// CC models (where erasure changes cache-validity history) this falls
+    /// back to the replay-based path.
+    pub fn erase_certified_in_place(&mut self, spec: &SimSpec, batch: &BTreeSet<ProcId>) -> bool {
+        if self.cost.model() != CostModel::Dsm {
+            return self.erase_certified_in_place_replay(spec, batch);
+        }
+        #[cfg(debug_assertions)]
+        let mut shadow = self.clone();
+
+        let n = self.n();
+        let mut gone = vec![false; n];
+        for &pid in batch {
+            gone[pid.index()] = true;
+        }
+        // First schedule position an erased process acted on or was injected
+        // into: checkpoints at or before it stay valid after the surgery.
+        let mut splice = self.schedule.len();
+        for &pid in batch {
+            if let Some(t) = self.first_touch[pid.index()] {
+                splice = splice.min(t);
+            }
+        }
+        let mut first_gone_inj = self.injections.len();
+        for (k, inj) in self.injections.iter().enumerate() {
+            if gone[inj.pid.index()] {
+                splice = splice.min(inj.at);
+                first_gone_inj = first_gone_inj.min(k);
+            }
+        }
+        // Survivor-visible values can only diverge at an erased process's
+        // first nontrivial access; walk from the latest checkpoint before
+        // that point.
+        let mut wsplice = self.schedule.len();
+        for &pid in batch {
+            if let Some(t) = self.first_write[pid.index()] {
+                wsplice = wsplice.min(t);
+            }
+        }
+        let wbase = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|c| c.schedule_len <= wsplice);
+        let (mut mem, start_events) = match wbase {
+            Some(c) => (c.memory.clone(), c.history_len),
+            None => (Memory::from_layout(&spec.layout), 0),
+        };
+        // Certification walk: re-apply survivors' recorded accesses against
+        // the filtered memory. Invoke/Return/Terminate events are machine-
+        // internal — they cannot change while every observed result is
+        // unchanged — so only Access events are checked.
+        for e in &self.history.events()[start_events..] {
+            if let Event::Access {
+                pid, op, result, ..
+            } = e
+            {
+                if gone[pid.index()] {
+                    continue;
+                }
+                let applied = mem.apply(*pid, *op);
+                if applied.result != *result {
+                    #[cfg(debug_assertions)]
+                    debug_assert!(
+                        !shadow.erase_certified_in_place_replay(spec, batch),
+                        "event-walk refused an erasure the replay path accepts"
+                    );
+                    return false;
+                }
+            }
+        }
+
+        // Accepted: apply the erasure by surgery.
+        mem.purge_reservations(&gone);
+        self.memory = mem;
+        for &pid in batch {
+            let st = self.procs[pid.index()].stats;
+            self.totals.steps -= st.steps;
+            self.totals.accesses -= st.accesses;
+            self.totals.rmrs -= st.rmrs;
+            self.totals.messages -= st.messages;
+            self.procs[pid.index()] = Rc::new(ProcState {
+                source: spec.sources[pid.index()].clone(),
+                current: None,
+                last_op_result: None,
+                last_return: None,
+                status: Status::Runnable,
+                stats: ProcStats::default(),
+            });
+        }
+        // Filter the schedule, remembering how many erased steps precede
+        // each position so recorded indices can be shifted.
+        let old_sched = std::mem::take(&mut self.schedule);
+        let mut removed_before: Vec<u32> = Vec::with_capacity(old_sched.len() + 1);
+        let mut removed = 0u32;
+        let mut new_sched = Vec::with_capacity(old_sched.len());
+        for &pid in &old_sched {
+            removed_before.push(removed);
+            if gone[pid.index()] {
+                removed += 1;
+            } else {
+                new_sched.push(pid);
+            }
+        }
+        removed_before.push(removed);
+        self.schedule = new_sched;
+        for (i, &g) in gone.iter().enumerate().take(n) {
+            if g {
+                self.first_touch[i] = None;
+                self.first_write[i] = None;
+            } else {
+                if let Some(t) = self.first_touch[i] {
+                    self.first_touch[i] = Some(t - removed_before[t] as usize);
+                }
+                if let Some(t) = self.first_write[i] {
+                    self.first_write[i] = Some(t - removed_before[t] as usize);
+                }
+            }
+        }
+        let mut dropped_inj = 0u64;
+        self.injections.retain_mut(|inj| {
+            if gone[inj.pid.index()] {
+                dropped_inj += 1;
+                false
+            } else {
+                inj.at -= removed_before[inj.at] as usize;
+                true
+            }
+        });
+        self.injected -= dropped_inj;
+        self.history.erase_pids(&gone);
+        // Checkpoints past the splice captured erased-process state; drop
+        // them (recording rebuilds coverage as stepping continues). The
+        // retained ones precede every erased step and injection, so their
+        // recorded lengths and indices need no shifting.
+        self.checkpoints
+            .retain(|c| c.schedule_len <= splice && c.injections_len <= first_gone_inj);
+
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                shadow.erase_certified_in_place_replay(spec, batch),
+                "event-walk accepted an erasure the replay path refuses"
+            );
+            debug_assert_eq!(
+                shadow.history.events(),
+                self.history.events(),
+                "surgery: history mismatch"
+            );
+            debug_assert_eq!(shadow.schedule, self.schedule, "surgery: schedule mismatch");
+            debug_assert_eq!(shadow.totals, self.totals, "surgery: totals mismatch");
+            debug_assert_eq!(
+                shadow.first_touch, self.first_touch,
+                "surgery: first_touch mismatch"
+            );
+            debug_assert_eq!(
+                shadow.first_write, self.first_write,
+                "surgery: first_write mismatch"
+            );
+            for i in 0..n {
+                let p = ProcId(i as u32);
+                debug_assert_eq!(
+                    shadow.history.fingerprint(p),
+                    self.history.fingerprint(p),
+                    "surgery: fingerprint mismatch for {p}"
+                );
+            }
+            for a in 0..spec.layout.len() {
+                let addr = crate::ids::Addr(a as u32);
+                debug_assert_eq!(
+                    shadow.memory.peek(addr),
+                    self.memory.peek(addr),
+                    "surgery: memory value mismatch at cell {a}"
+                );
+                debug_assert_eq!(
+                    shadow.memory.last_writer(addr),
+                    self.memory.last_writer(addr),
+                    "surgery: last-writer mismatch at cell {a}"
+                );
+            }
+        }
+        true
+    }
+
+    /// Replay-based fallback behind [`Simulator::erase_certified_in_place`]:
+    /// certifies by checkpointed filtered re-execution, then keeps the
+    /// untouched history prefix in place and adopts only the re-executed
+    /// suffix — O(n + suffix), with *no* O(history) splice copy. Used under
+    /// CC cost models, where erasing a process rewrites cache-validity
+    /// history and per-access costs must be re-derived.
+    fn erase_certified_in_place_replay(
+        &mut self,
+        spec: &SimSpec,
+        batch: &BTreeSet<ProcId>,
+    ) -> bool {
+        #[cfg(debug_assertions)]
+        let before: Vec<Vec<crate::event::ProjectedEvent>> = (0..self.n())
+            .map(|i| self.history.projection(ProcId(i as u32)))
+            .collect();
+        let Some((tail, start, prefix_events)) = self.replay_tail(spec, batch, true) else {
+            return false;
+        };
+        let survives = (0..self.n()).map(|i| ProcId(i as u32)).all(|p| {
+            batch.contains(&p) || tail.history.fingerprint(p) == self.history.fingerprint(p)
+        });
+        if !survives {
+            return false;
+        }
+        let mut tail = tail;
+        Self::rebase_suffix_checkpoints(&mut tail, start, prefix_events);
+        self.memory = tail.memory;
+        self.cost = tail.cost;
+        self.procs = tail.procs;
+        self.totals = tail.totals;
+        self.injected = tail.injected;
+        self.first_touch = tail.first_touch;
+        self.first_write = tail.first_write;
+        self.injections = tail.injections;
+        self.schedule = tail.schedule;
+        self.checkpoints = tail.checkpoints;
+        self.history.splice_tail(prefix_events, tail.history);
+        #[cfg(debug_assertions)]
+        for (i, recorded) in before.iter().enumerate().take(self.n()) {
+            let p = ProcId(i as u32);
+            if !batch.contains(&p) {
+                debug_assert_eq!(
+                    &self.history.projection(p),
+                    recorded,
+                    "fingerprint collision: projection of {p} changed under erasure"
+                );
+            }
+        }
+        true
+    }
+
+    /// Replays from an explicit checkpoint: restores `ckpt`'s state and then
+    /// executes `suffix` (schedule entries recorded after the checkpoint),
+    /// skipping processes in `erased`. Injections recorded between the
+    /// checkpoint and the end of the original execution are re-applied at
+    /// their positions (unless targeting an erased process).
+    ///
+    /// The returned simulator's history covers only the replayed suffix; its
+    /// fingerprints cover the whole (prefix + suffix) projection, seeded
+    /// from the checkpoint.
+    #[must_use]
+    pub fn replay_from(
+        &self,
+        ckpt: &Checkpoint,
+        suffix: &[ProcId],
+        erased: &BTreeSet<ProcId>,
+    ) -> Simulator {
+        let mut sim = self.resume_at(ckpt);
+        let start = ckpt.schedule_len;
+        let mut next_inj = self.injections.partition_point(|inj| inj.at < start);
+        for (k, &pid) in suffix.iter().enumerate() {
+            let i = start + k;
+            while next_inj < self.injections.len() && self.injections[next_inj].at <= i {
+                let inj = &self.injections[next_inj];
+                next_inj += 1;
+                if !erased.contains(&inj.pid) {
+                    sim.inject_call(inj.pid, inj.call.clone());
+                }
+            }
+            if !erased.contains(&pid) {
+                let _ = sim.step(pid);
+            }
+        }
+        while next_inj < self.injections.len() {
+            let inj = &self.injections[next_inj];
+            next_inj += 1;
+            if !erased.contains(&inj.pid) {
+                sim.inject_call(inj.pid, inj.call.clone());
             }
         }
         sim
@@ -313,30 +1149,46 @@ impl Simulator {
         if self.procs[pid.index()].status != Status::Runnable {
             return StepReport::NotRunnable;
         }
+        if self.first_touch[pid.index()].is_none() {
+            self.first_touch[pid.index()] = Some(self.schedule.len());
+        }
         self.schedule.push(pid);
         self.totals.steps += 1;
-        self.procs[pid.index()].stats.steps += 1;
+        Rc::make_mut(&mut self.procs[pid.index()]).stats.steps += 1;
+        let report = self.transition(pid);
+        self.maybe_checkpoint();
+        report
+    }
 
+    /// The body of one step after schedule/stat bookkeeping: fetch a call if
+    /// needed, then run exactly one machine transition.
+    fn transition(&mut self, pid: ProcId) -> StepReport {
         // Fetch the next call if none is in progress.
         if self.procs[pid.index()].current.is_none() {
-            let prev = self.procs[pid.index()].last_return;
-            match self.procs[pid.index()].source.next_call(prev) {
+            let p = Rc::make_mut(&mut self.procs[pid.index()]);
+            let prev = p.last_return;
+            match p.source.next_call(prev) {
                 None => {
-                    self.procs[pid.index()].status = Status::Terminated;
+                    p.status = Status::Terminated;
                     self.history.push(Event::Terminate { pid });
                     return StepReport::Terminated;
                 }
                 Some(call) => {
-                    self.history.push(Event::Invoke { pid, kind: call.kind, name: call.name });
-                    self.procs[pid.index()].current = Some(call);
-                    self.procs[pid.index()].last_op_result = None;
+                    self.history.push(Event::Invoke {
+                        pid,
+                        kind: call.kind,
+                        name: call.name,
+                    });
+                    p.current = Some(call);
+                    p.last_op_result = None;
                 }
             }
         }
 
         // One machine transition.
-        let last = self.procs[pid.index()].last_op_result;
-        let step = self.procs[pid.index()]
+        let p = Rc::make_mut(&mut self.procs[pid.index()]);
+        let last = p.last_op_result;
+        let step = p
             .current
             .as_mut()
             .expect("current call set above")
@@ -345,15 +1197,23 @@ impl Simulator {
         match step {
             Step::Op(op) => {
                 let (result, cost) = self.apply_access(pid, op);
-                self.procs[pid.index()].last_op_result = Some(result);
+                Rc::make_mut(&mut self.procs[pid.index()]).last_op_result = Some(result);
                 StepReport::Access { op, result, cost }
             }
             Step::Return(value) => {
-                let call = self.procs[pid.index()].current.take().expect("current call");
-                self.history.push(Event::Return { pid, kind: call.kind, value });
-                self.procs[pid.index()].last_return = Some(value);
-                self.procs[pid.index()].stats.calls_completed += 1;
-                StepReport::Returned { kind: call.kind, value }
+                let p = Rc::make_mut(&mut self.procs[pid.index()]);
+                let call = p.current.take().expect("current call");
+                self.history.push(Event::Return {
+                    pid,
+                    kind: call.kind,
+                    value,
+                });
+                p.last_return = Some(value);
+                p.stats.calls_completed += 1;
+                StepReport::Returned {
+                    kind: call.kind,
+                    value,
+                }
             }
         }
     }
@@ -370,8 +1230,13 @@ impl Simulator {
         };
         let touches = self.memory.owner(addr).filter(|&q| q != pid);
         let applied = self.memory.apply(pid, op);
-        let cost = self.cost.charge(pid, addr, self.memory.owner(addr), &applied);
-        let st = &mut self.procs[pid.index()].stats;
+        if applied.nontrivial && self.first_write[pid.index()].is_none() {
+            self.first_write[pid.index()] = Some(self.schedule.len() - 1);
+        }
+        let cost = self
+            .cost
+            .charge(pid, addr, self.memory.owner(addr), &applied);
+        let st = &mut Rc::make_mut(&mut self.procs[pid.index()]).stats;
         st.accesses += 1;
         st.rmrs += u64::from(cost.rmr);
         st.messages += cost.messages;
@@ -424,7 +1289,12 @@ impl Simulator {
                     }
                 }
             }
-            match current.as_mut().expect("set above").machine.step(last_op_result) {
+            match current
+                .as_mut()
+                .expect("set above")
+                .machine
+                .step(last_op_result)
+            {
                 Step::Op(op) => return Peek::Access(op),
                 Step::Return(v) => {
                     current = None;
@@ -432,7 +1302,10 @@ impl Simulator {
                 }
             }
         }
-        panic!("peek_next_op: {pid} made {} transitions without accessing memory", Self::PEEK_LIMIT);
+        panic!(
+            "peek_next_op: {pid} made {} transitions without accessing memory",
+            Self::PEEK_LIMIT
+        );
     }
 
     /// Computes what the next *single* `step(pid)` call would do, without
@@ -458,7 +1331,10 @@ impl Simulator {
         };
         match current.machine.step(last_op_result) {
             Step::Op(op) => TransitionPeek::Access(op),
-            Step::Return(value) => TransitionPeek::Return { kind: current.kind, value },
+            Step::Return(value) => TransitionPeek::Return {
+                kind: current.kind,
+                value,
+            },
         }
     }
 
@@ -513,14 +1389,26 @@ impl Simulator {
     ///
     /// Panics if the process currently has a call in progress or crashed.
     pub fn inject_call(&mut self, pid: ProcId, call: Call) {
-        let p = &mut self.procs[pid.index()];
-        assert!(p.current.is_none(), "inject_call: {pid} has a call in progress");
+        let p = Rc::make_mut(&mut self.procs[pid.index()]);
+        assert!(
+            p.current.is_none(),
+            "inject_call: {pid} has a call in progress"
+        );
         assert!(p.status != Status::Crashed, "inject_call: {pid} crashed");
         p.status = Status::Runnable;
-        self.history.push(Event::Invoke { pid, kind: call.kind, name: call.name });
-        p.current = Some(call);
+        self.history.push(Event::Invoke {
+            pid,
+            kind: call.kind,
+            name: call.name,
+        });
+        p.current = Some(call.clone());
         p.last_op_result = None;
         self.injected += 1;
+        self.injections.push(Injection {
+            at: self.schedule.len(),
+            pid,
+            call,
+        });
     }
 
     /// Whether `pid` has a procedure call in progress.
@@ -534,7 +1422,7 @@ impl Simulator {
     /// Models the paper's crash (§2: a process crashes if it terminates while
     /// performing a procedure call). Used for failure-injection tests.
     pub fn crash(&mut self, pid: ProcId) {
-        let p = &mut self.procs[pid.index()];
+        let p = Rc::make_mut(&mut self.procs[pid.index()]);
         if p.status == Status::Runnable {
             p.status = Status::Crashed;
             self.history.push(Event::Crash { pid });
@@ -655,7 +1543,10 @@ mod tests {
         let (spec, flag) = write_then_read_spec();
         let mut sim = Simulator::new(&spec);
         // p0's first effective action is the write.
-        assert_eq!(sim.peek_next_op(ProcId(0)), Peek::Access(Op::Write(flag, 1)));
+        assert_eq!(
+            sim.peek_next_op(ProcId(0)),
+            Peek::Access(Op::Write(flag, 1))
+        );
         // Peeking does not advance anything.
         assert_eq!(sim.totals().steps, 0);
         drain(&mut sim, ProcId(0));
@@ -694,7 +1585,11 @@ mod tests {
         assert_eq!(sim.status(ProcId(0)), Status::Terminated);
         sim.inject_call(
             ProcId(0),
-            Call::new(CallKind(9), "extra", Box::new(OpSequence::new(vec![Op::Write(flag, 7)]))),
+            Call::new(
+                CallKind(9),
+                "extra",
+                Box::new(OpSequence::new(vec![Op::Write(flag, 7)])),
+            ),
         );
         assert!(sim.is_runnable(ProcId(0)));
         let _ = sim.step(ProcId(0));

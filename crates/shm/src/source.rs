@@ -66,7 +66,11 @@ pub struct ScriptedCall {
 impl ScriptedCall {
     /// Creates a scripted call.
     pub fn new(kind: CallKind, name: &'static str, factory: CallFactory) -> Self {
-        ScriptedCall { kind, name, factory }
+        ScriptedCall {
+            kind,
+            name,
+            factory,
+        }
     }
 
     fn instantiate(&self) -> Call {
@@ -76,7 +80,10 @@ impl ScriptedCall {
 
 impl fmt::Debug for ScriptedCall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ScriptedCall").field("kind", &self.kind).field("name", &self.name).finish()
+        f.debug_struct("ScriptedCall")
+            .field("kind", &self.kind)
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -127,14 +134,24 @@ impl RepeatUntil {
     /// Repeats `call` until it returns `stop_value` (no call cap).
     #[must_use]
     pub fn new(call: ScriptedCall, stop_value: Word) -> Self {
-        RepeatUntil { call, stop_value, max_calls: None, made: 0 }
+        RepeatUntil {
+            call,
+            stop_value,
+            max_calls: None,
+            made: 0,
+        }
     }
 
     /// Repeats `call` until it returns `stop_value` or `max_calls` calls have
     /// completed, whichever comes first.
     #[must_use]
     pub fn with_max_calls(call: ScriptedCall, stop_value: Word, max_calls: u64) -> Self {
-        RepeatUntil { call, stop_value, max_calls: Some(max_calls), made: 0 }
+        RepeatUntil {
+            call,
+            stop_value,
+            max_calls: Some(max_calls),
+            made: 0,
+        }
     }
 }
 
@@ -171,7 +188,11 @@ impl Chain {
     /// Creates the chained source.
     #[must_use]
     pub fn new(first: Box<dyn CallSource>, second: Box<dyn CallSource>) -> Self {
-        Chain { first, second, in_second: false }
+        Chain {
+            first,
+            second,
+            in_second: false,
+        }
     }
 }
 
@@ -197,7 +218,11 @@ mod tests {
     use crate::machine::ReturnConst;
 
     fn const_call(kind: u32, v: Word) -> ScriptedCall {
-        ScriptedCall::new(CallKind(kind), "const", Arc::new(move || Box::new(ReturnConst(v))))
+        ScriptedCall::new(
+            CallKind(kind),
+            "const",
+            Arc::new(move || Box::new(ReturnConst(v))),
+        )
     }
 
     #[test]

@@ -49,9 +49,20 @@ pub fn render(events: &[Event], labels: &Labels, only: Option<crate::ids::ProcId
             Event::Return { pid, value, .. } => {
                 let _ = writeln!(out, "{pid} return {}", render_word(*value));
             }
-            Event::Access { pid, op, result, cost, .. } => {
+            Event::Access {
+                pid,
+                op,
+                result,
+                cost,
+                ..
+            } => {
                 let star = if cost.rmr { "*" } else { " " };
-                let _ = writeln!(out, "{pid}{star} {} -> {}", render_op(op, labels), render_word(*result));
+                let _ = writeln!(
+                    out,
+                    "{pid}{star} {} -> {}",
+                    render_op(op, labels),
+                    render_word(*result)
+                );
             }
             Event::Terminate { pid } => {
                 let _ = writeln!(out, "{pid} terminate");
@@ -79,17 +90,29 @@ mod tests {
         assert_eq!(labels.name(b), "B");
         assert_eq!(labels.name(Addr(99)), "@99");
         let events = vec![
-            Event::Invoke { pid: ProcId(0), kind: crate::machine::CallKind(1), name: "Poll" },
+            Event::Invoke {
+                pid: ProcId(0),
+                kind: crate::machine::CallKind(1),
+                name: "Poll",
+            },
             Event::Access {
                 pid: ProcId(0),
                 op: Op::Read(b),
                 result: 0,
                 wrote: false,
-                cost: crate::model::AccessCost { rmr: true, messages: 1, invalidations: 0 },
+                cost: crate::model::AccessCost {
+                    rmr: true,
+                    messages: 1,
+                    invalidations: 0,
+                },
                 sees: None,
                 touches: None,
             },
-            Event::Return { pid: ProcId(0), kind: crate::machine::CallKind(1), value: 0 },
+            Event::Return {
+                pid: ProcId(0),
+                kind: crate::machine::CallKind(1),
+                value: 0,
+            },
         ];
         let text = render(&events, &labels, None);
         assert!(text.contains("p0 invoke Poll()"));

@@ -1,0 +1,307 @@
+//! Determinism contract for the incremental replay engine: a checkpointed
+//! simulator's `filtered_replay` / `replay_from` / `erase_certified` must
+//! reproduce exactly — event log, totals, per-process stats, memory — what a
+//! from-scratch `Simulator::replay` of the same schedule produces, for every
+//! cost model and checkpoint interval, with and without erasure and call
+//! injection.
+
+use shm_sim::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Mixed-op workload over shared and per-process cells (same family as
+/// `sim_invariants`).
+fn workload(n: usize, calls: usize, model: CostModel) -> SimSpec {
+    let mut layout = MemLayout::new();
+    let a = layout.alloc_global(0);
+    let b = layout.alloc_global(5);
+    let mine = layout.alloc_per_process_array(n, 0);
+    let sources = (0..n)
+        .map(|i| {
+            let pid = ProcId(i as u32);
+            let mut cs = Vec::new();
+            for k in 0..calls {
+                let ops = match (i + k) % 5 {
+                    0 => vec![Op::Read(a), Op::Write(mine.at(pid.index()), k as Word)],
+                    1 => vec![Op::Faa(a, 1), Op::Read(b)],
+                    2 => vec![Op::Cas(b, 5, 6), Op::Read(mine.at(pid.index()))],
+                    3 => vec![Op::Ll(b), Op::Sc(b, 9)],
+                    _ => vec![Op::Tas(a), Op::Fas(b, 7)],
+                };
+                cs.push(ScriptedCall::new(
+                    CallKind(k as u32),
+                    "mix",
+                    Arc::new(move || {
+                        Box::new(OpSequence::new(ops.clone())) as Box<dyn ProcedureCall>
+                    }),
+                ));
+            }
+            Box::new(Script::new(cs)) as Box<dyn CallSource>
+        })
+        .collect();
+    SimSpec {
+        layout,
+        sources,
+        model,
+    }
+}
+
+fn all_models() -> Vec<CostModel> {
+    vec![
+        CostModel::Dsm,
+        CostModel::Cc(CcConfig {
+            protocol: Protocol::WriteThrough,
+            lfcu: false,
+            interconnect: Interconnect::IdealDirectory,
+        }),
+        CostModel::Cc(CcConfig {
+            protocol: Protocol::WriteBack,
+            lfcu: false,
+            interconnect: Interconnect::Bus,
+        }),
+        CostModel::Cc(CcConfig {
+            protocol: Protocol::WriteBack,
+            lfcu: true,
+            interconnect: Interconnect::IdealDirectory,
+        }),
+    ]
+}
+
+/// Every observable of `got` equals `want`: events, totals, stats, memory
+/// contents, fingerprints.
+fn assert_same_execution(got: &Simulator, want: &Simulator, ctx: &str) {
+    assert_eq!(
+        got.history().events(),
+        want.history().events(),
+        "{ctx}: events"
+    );
+    assert_eq!(got.totals(), want.totals(), "{ctx}: totals");
+    assert_eq!(got.schedule(), want.schedule(), "{ctx}: schedule");
+    for i in 0..want.n() {
+        let p = ProcId(i as u32);
+        assert_eq!(got.proc_stats(p), want.proc_stats(p), "{ctx}: stats of {p}");
+        assert_eq!(
+            got.history().fingerprint(p),
+            want.history().fingerprint(p),
+            "{ctx}: fingerprint of {p}"
+        );
+        assert_eq!(
+            got.history().projection(p),
+            want.history().projection(p),
+            "{ctx}: projection of {p}"
+        );
+    }
+}
+
+/// `filtered_replay` with no erasure reproduces the recording exactly, for
+/// every model and a spread of checkpoint intervals.
+#[test]
+fn filtered_replay_matches_full_replay_without_erasure() {
+    for model in all_models() {
+        for interval in [1usize, 7, 64] {
+            let spec = workload(5, 3, model);
+            let mut sim = Simulator::new(&spec);
+            sim.enable_checkpoints(interval);
+            run_to_completion(&mut sim, &mut SeededRandom::new(2024), 1_000_000);
+            let reference = Simulator::replay(&spec, sim.schedule(), &BTreeSet::new());
+            let got = sim.filtered_replay(&spec, &BTreeSet::new());
+            assert_same_execution(&got, &reference, &format!("{model:?} interval={interval}"));
+            assert_same_execution(&got, &sim, &format!("{model:?} interval={interval} (self)"));
+        }
+    }
+}
+
+/// `filtered_replay` under erasure equals a from-scratch filtered
+/// `Simulator::replay` — the incremental path may only change *how* the
+/// state is computed, never the state.
+#[test]
+fn filtered_replay_matches_full_replay_under_erasure() {
+    for model in all_models() {
+        for interval in [1usize, 7, 64] {
+            for victim in 0..5u32 {
+                let spec = workload(5, 3, model);
+                let mut sim = Simulator::new(&spec);
+                sim.enable_checkpoints(interval);
+                run_to_completion(&mut sim, &mut SeededRandom::new(99), 1_000_000);
+                let erased = BTreeSet::from([ProcId(victim)]);
+                let reference = Simulator::replay(&spec, sim.schedule(), &erased);
+                let got = sim.filtered_replay(&spec, &erased);
+                assert_same_execution(
+                    &got,
+                    &reference,
+                    &format!("{model:?} interval={interval} erased=p{victim}"),
+                );
+            }
+        }
+    }
+}
+
+/// Multi-process erasure batches replay exactly too.
+#[test]
+fn filtered_replay_matches_under_batch_erasure() {
+    let spec = workload(6, 3, CostModel::cc_default());
+    let mut sim = Simulator::new(&spec);
+    sim.enable_checkpoints(16);
+    run_to_completion(&mut sim, &mut SeededRandom::new(7), 1_000_000);
+    for batch in [
+        BTreeSet::from([ProcId(0), ProcId(5)]),
+        BTreeSet::from([ProcId(1), ProcId(2), ProcId(3)]),
+        (0..6).map(ProcId).collect::<BTreeSet<_>>(),
+    ] {
+        let reference = Simulator::replay(&spec, sim.schedule(), &batch);
+        let got = sim.filtered_replay(&spec, &batch);
+        assert_same_execution(&got, &reference, &format!("batch={batch:?}"));
+    }
+}
+
+/// `snapshot`/`restore` rolls the simulator back to a byte-identical state:
+/// re-running the same suffix reproduces the original execution.
+#[test]
+fn snapshot_restore_roundtrip() {
+    let spec = workload(4, 3, CostModel::cc_default());
+    let mut sim = Simulator::new(&spec);
+    let mut sched = SeededRandom::new(5);
+    shm_sim::run(&mut sim, &mut sched, 20);
+    let ckpt = sim.snapshot();
+    let fork = sim.clone();
+
+    // Advance past the snapshot, then restore.
+    let mut sched2 = sched.clone();
+    shm_sim::run(&mut sim, &mut sched2, 50);
+    let suffix: Vec<ProcId> = sim.schedule()[ckpt.schedule_len()..].to_vec();
+    sim.restore(&ckpt);
+    assert_same_execution(&sim, &fork, "restored state");
+
+    // Re-running the recorded suffix reproduces the advanced execution.
+    let mut replayed = sim.clone();
+    for &pid in &suffix {
+        let _ = replayed.step(pid);
+    }
+    let mut advanced = fork.clone();
+    for &pid in &suffix {
+        let _ = advanced.step(pid);
+    }
+    assert_same_execution(&replayed, &advanced, "suffix after restore");
+}
+
+/// `replay_from` a checkpoint reproduces the suffix state and fingerprints.
+#[test]
+fn replay_from_checkpoint_reproduces_suffix() {
+    let spec = workload(5, 3, CostModel::Dsm);
+    let mut sim = Simulator::new(&spec);
+    sim.enable_checkpoints(8);
+    run_to_completion(&mut sim, &mut SeededRandom::new(41), 1_000_000);
+    let ckpt = sim.snapshot();
+    // Extend the execution with injected work so there is a real suffix.
+    sim.inject_call(
+        ProcId(2),
+        Call::new(
+            CallKind(77),
+            "extra",
+            Box::new(OpSequence::new(vec![Op::Faa(Addr(0), 3)])),
+        ),
+    );
+    while sim.is_runnable(ProcId(2)) {
+        let _ = sim.step(ProcId(2));
+    }
+    let suffix: Vec<ProcId> = sim.schedule()[ckpt.schedule_len()..].to_vec();
+    let got = sim.replay_from(&ckpt, &suffix, &BTreeSet::new());
+    assert_eq!(got.schedule(), sim.schedule(), "replay_from schedule");
+    assert_eq!(got.totals(), sim.totals(), "replay_from totals");
+    for i in 0..sim.n() {
+        let p = ProcId(i as u32);
+        assert_eq!(
+            got.history().fingerprint(p),
+            sim.history().fingerprint(p),
+            "replay_from fingerprint of {p}"
+        );
+    }
+    // Suffix history matches the original's tail.
+    assert_eq!(
+        got.history().events(),
+        &sim.history().events()[ckpt.history_len()..],
+        "replay_from suffix events"
+    );
+}
+
+/// Injected calls are re-applied at their recorded positions by
+/// `filtered_replay`, and skipped when their target is erased.
+#[test]
+fn filtered_replay_reapplies_injections() {
+    let spec = workload(4, 2, CostModel::cc_default());
+    let mut sim = Simulator::new(&spec);
+    sim.enable_checkpoints(4);
+    run_to_completion(&mut sim, &mut SeededRandom::new(12), 1_000_000);
+    sim.inject_call(
+        ProcId(1),
+        Call::new(
+            CallKind(50),
+            "sig",
+            Box::new(OpSequence::new(vec![Op::Write(Addr(0), 42)])),
+        ),
+    );
+    while sim.is_runnable(ProcId(1)) {
+        let _ = sim.step(ProcId(1));
+    }
+
+    let replayed = sim.filtered_replay(&spec, &BTreeSet::new());
+    assert_same_execution(&replayed, &sim, "injection replay, no erasure");
+
+    // Erasing the injection's target drops the injected call too: the replay
+    // equals a plain filtered replay of the schedule minus p1.
+    let erased = BTreeSet::from([ProcId(1)]);
+    let got = sim.filtered_replay(&spec, &erased);
+    let reference = Simulator::replay(&spec, sim.schedule(), &erased);
+    assert_same_execution(&got, &reference, "injection target erased");
+}
+
+/// `erase_certified` agrees with the reference certification: it returns a
+/// simulator exactly when every survivor's projection is unchanged, and the
+/// returned state equals the reference filtered replay.
+#[test]
+fn erase_certified_agrees_with_reference() {
+    let spec = workload(6, 3, CostModel::cc_default());
+    let mut sim = Simulator::new(&spec);
+    sim.enable_checkpoints(8);
+    run_to_completion(&mut sim, &mut SeededRandom::new(3), 1_000_000);
+    for victim in 0..6u32 {
+        let batch = BTreeSet::from([ProcId(victim)]);
+        let reference = Simulator::replay(&spec, sim.schedule(), &batch);
+        let ref_ok = (0..6u32).map(ProcId).all(|p| {
+            batch.contains(&p) || reference.history().projection(p) == sim.history().projection(p)
+        });
+        match sim.erase_certified(&spec, &batch) {
+            Some(got) => {
+                assert!(
+                    ref_ok,
+                    "erase_certified accepted p{victim} but reference rejects"
+                );
+                assert_same_execution(&got, &reference, &format!("certified erase of p{victim}"));
+            }
+            None => assert!(
+                !ref_ok,
+                "erase_certified rejected p{victim} but reference accepts"
+            ),
+        }
+    }
+}
+
+/// Checkpoint thinning keeps memory bounded (≤ 96 checkpoints) without
+/// breaking replay exactness, even at interval 1.
+#[test]
+fn checkpoint_thinning_preserves_exactness() {
+    let spec = workload(8, 6, CostModel::Dsm);
+    let mut sim = Simulator::new(&spec);
+    sim.enable_checkpoints(1);
+    run_to_completion(&mut sim, &mut SeededRandom::new(17), 1_000_000);
+    assert!(
+        sim.checkpoint_count() <= 96,
+        "thinned to {}",
+        sim.checkpoint_count()
+    );
+    assert!(sim.checkpoint_interval() >= 1);
+    let erased = BTreeSet::from([ProcId(7)]);
+    let reference = Simulator::replay(&spec, sim.schedule(), &erased);
+    let got = sim.filtered_replay(&spec, &erased);
+    assert_same_execution(&got, &reference, "after thinning");
+}

@@ -1,28 +1,36 @@
-//! Property tests for the memory and cost models against simple reference
-//! implementations.
+//! Property-style tests for the memory and cost models against simple
+//! reference implementations, driven by seeded deterministic random loops
+//! (the workspace is dependency-free, so no proptest).
 
-use proptest::prelude::*;
 use shm_sim::{
-    Addr, Applied, CcConfig, CostModel, CostState, Interconnect, MemLayout, Memory, Op, ProcId, Protocol, Word,
+    Addr, Applied, CcConfig, CostModel, CostState, Interconnect, MemLayout, Memory, Op, ProcId,
+    Protocol, Word, XorShift64,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
 const CELLS: u32 = 4;
 const PROCS: u32 = 4;
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let addr = (0..CELLS).prop_map(Addr);
-    let word = 0u64..5;
-    prop_oneof![
-        addr.clone().prop_map(Op::Read),
-        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Write(a, w)),
-        (addr.clone(), word.clone(), word.clone()).prop_map(|(a, e, n)| Op::Cas(a, e, n)),
-        addr.clone().prop_map(Op::Ll),
-        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Sc(a, w)),
-        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Faa(a, w)),
-        (addr.clone(), word.clone()).prop_map(|(a, w)| Op::Fas(a, w)),
-        addr.prop_map(Op::Tas),
-    ]
+fn gen_op(rng: &mut XorShift64) -> Op {
+    let a = Addr(rng.below(u64::from(CELLS)) as u32);
+    let word = |rng: &mut XorShift64| rng.below(5);
+    match rng.below(8) {
+        0 => Op::Read(a),
+        1 => Op::Write(a, word(rng)),
+        2 => Op::Cas(a, word(rng), word(rng)),
+        3 => Op::Ll(a),
+        4 => Op::Sc(a, word(rng)),
+        5 => Op::Faa(a, word(rng)),
+        6 => Op::Fas(a, word(rng)),
+        _ => Op::Tas(a),
+    }
+}
+
+fn gen_ops(rng: &mut XorShift64, max_len: u64) -> Vec<(u32, Op)> {
+    let len = rng.below(max_len) as usize;
+    (0..len)
+        .map(|_| (rng.below(u64::from(PROCS)) as u32, gen_op(rng)))
+        .collect()
 }
 
 /// Straightforward reference semantics: value map + per-process LL links.
@@ -36,47 +44,88 @@ impl RefModel {
     fn apply(&mut self, pid: u32, op: Op) -> Applied {
         let a = op.addr().0;
         let old = *self.values.entry(a).or_insert(0);
-        let write = |vals: &mut BTreeMap<u32, Word>, links: &mut BTreeMap<u32, BTreeSet<u32>>, v: Word| {
-            vals.insert(a, v);
-            links.remove(&a);
-        };
+        let write =
+            |vals: &mut BTreeMap<u32, Word>, links: &mut BTreeMap<u32, BTreeSet<u32>>, v: Word| {
+                vals.insert(a, v);
+                links.remove(&a);
+            };
         match op {
-            Op::Read(_) => Applied { result: old, nontrivial: false, failed_comparison: false },
+            Op::Read(_) => Applied {
+                result: old,
+                nontrivial: false,
+                failed_comparison: false,
+            },
             Op::Ll(_) => {
                 self.links.entry(a).or_default().insert(pid);
-                Applied { result: old, nontrivial: false, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: false,
+                    failed_comparison: false,
+                }
             }
             Op::Write(_, w) => {
                 write(&mut self.values, &mut self.links, w);
-                Applied { result: w, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: w,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
             Op::Cas(_, e, n) => {
                 if old == e {
                     write(&mut self.values, &mut self.links, n);
-                    Applied { result: old, nontrivial: true, failed_comparison: false }
+                    Applied {
+                        result: old,
+                        nontrivial: true,
+                        failed_comparison: false,
+                    }
                 } else {
-                    Applied { result: old, nontrivial: false, failed_comparison: true }
+                    Applied {
+                        result: old,
+                        nontrivial: false,
+                        failed_comparison: true,
+                    }
                 }
             }
             Op::Sc(_, w) => {
                 if self.links.get(&a).is_some_and(|s| s.contains(&pid)) {
                     write(&mut self.values, &mut self.links, w);
-                    Applied { result: 1, nontrivial: true, failed_comparison: false }
+                    Applied {
+                        result: 1,
+                        nontrivial: true,
+                        failed_comparison: false,
+                    }
                 } else {
-                    Applied { result: 0, nontrivial: false, failed_comparison: true }
+                    Applied {
+                        result: 0,
+                        nontrivial: false,
+                        failed_comparison: true,
+                    }
                 }
             }
             Op::Faa(_, d) => {
                 write(&mut self.values, &mut self.links, old.wrapping_add(d));
-                Applied { result: old, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
             Op::Fas(_, w) => {
                 write(&mut self.values, &mut self.links, w);
-                Applied { result: old, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
             Op::Tas(_) => {
                 write(&mut self.values, &mut self.links, 1);
-                Applied { result: old, nontrivial: true, failed_comparison: false }
+                Applied {
+                    result: old,
+                    nontrivial: true,
+                    failed_comparison: false,
+                }
             }
         }
     }
@@ -90,38 +139,45 @@ fn blank_memory() -> Memory {
     Memory::from_layout(&layout)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The memory implements exactly the reference semantics for arbitrary
-    /// interleavings of all eight primitives.
-    #[test]
-    fn memory_matches_reference(ops in proptest::collection::vec((0..PROCS, arb_op()), 0..60)) {
+/// The memory implements exactly the reference semantics for arbitrary
+/// interleavings of all eight primitives.
+#[test]
+fn memory_matches_reference() {
+    let mut rng = XorShift64::new(0xA11C_E55);
+    for _case in 0..256 {
+        let ops = gen_ops(&mut rng, 60);
         let mut mem = blank_memory();
         let mut reference = RefModel::default();
         for (pid, op) in ops {
             let got = mem.apply(ProcId(pid), op);
             let want = reference.apply(pid, op);
-            prop_assert_eq!(got, want, "op {} by p{}", op, pid);
+            assert_eq!(got, want, "op {op} by p{pid}");
         }
         for a in 0..CELLS {
-            prop_assert_eq!(mem.peek(Addr(a)), *reference.values.get(&a).unwrap_or(&0));
+            assert_eq!(mem.peek(Addr(a)), *reference.values.get(&a).unwrap_or(&0));
         }
     }
+}
 
-    /// §8's inequality as a machine invariant: under every CC configuration
-    /// the total invalidations never exceed total RMRs.
-    #[test]
-    fn invalidations_never_exceed_rmrs(
-        ops in proptest::collection::vec((0..PROCS, arb_op()), 0..80),
-        write_back in any::<bool>(),
-        lfcu in any::<bool>(),
-        ic in 0u8..3,
-    ) {
+/// §8's inequality as a machine invariant: under every CC configuration
+/// the total invalidations never exceed total RMRs.
+#[test]
+fn invalidations_never_exceed_rmrs() {
+    let mut rng = XorShift64::new(0xBEEF);
+    for case in 0..256u64 {
+        let ops = gen_ops(&mut rng, 80);
         let cfg = CcConfig {
-            protocol: if write_back { Protocol::WriteBack } else { Protocol::WriteThrough },
-            lfcu,
-            interconnect: match ic { 0 => Interconnect::Bus, 1 => Interconnect::IdealDirectory, _ => Interconnect::StatelessBroadcast },
+            protocol: if case % 2 == 0 {
+                Protocol::WriteBack
+            } else {
+                Protocol::WriteThrough
+            },
+            lfcu: (case / 2) % 2 == 0,
+            interconnect: match (case / 4) % 3 {
+                0 => Interconnect::Bus,
+                1 => Interconnect::IdealDirectory,
+                _ => Interconnect::StatelessBroadcast,
+            },
         };
         let mut mem = blank_memory();
         let mut cost = CostState::new(CostModel::Cc(cfg), PROCS as usize, CELLS as usize);
@@ -131,17 +187,19 @@ proptest! {
             let c = cost.charge(ProcId(pid), op.addr(), mem.owner(op.addr()), &applied);
             rmrs += u64::from(c.rmr);
             invalidations += c.invalidations;
-            prop_assert!(invalidations <= rmrs, "after {} by p{}", op, pid);
+            assert!(invalidations <= rmrs, "after {op} by p{pid} under {cfg:?}");
         }
     }
+}
 
-    /// A read that costs zero RMRs in CC must return the same value the
-    /// last fetch (or a local write chain) established — i.e. cached reads
-    /// are never stale: any nontrivial op by another process invalidates.
-    #[test]
-    fn cc_cached_reads_are_never_stale(
-        ops in proptest::collection::vec((0..PROCS, arb_op()), 0..80),
-    ) {
+/// A read that costs zero RMRs in CC must return the same value the
+/// last fetch (or a local write chain) established — i.e. cached reads
+/// are never stale: any nontrivial op by another process invalidates.
+#[test]
+fn cc_cached_reads_are_never_stale() {
+    let mut rng = XorShift64::new(0xCAC4E);
+    for _case in 0..256 {
+        let ops = gen_ops(&mut rng, 80);
         let mut mem = blank_memory();
         let mut cost = CostState::new(CostModel::cc_default(), PROCS as usize, CELLS as usize);
         // last_seen[(pid, addr)] = value this process last observed/wrote.
@@ -152,17 +210,21 @@ proptest! {
             let c = cost.charge(ProcId(pid), a, mem.owner(a), &applied);
             if matches!(op, Op::Read(_)) && !c.rmr {
                 if let Some(&v) = last_seen.get(&(pid, a.0)) {
-                    prop_assert_eq!(applied.result, v, "stale cached read of {} by p{}", a, pid);
+                    assert_eq!(applied.result, v, "stale cached read of {a} by p{pid}");
                 }
             }
             last_seen.insert((pid, a.0), mem.peek(a));
         }
     }
+}
 
-    /// In the DSM model every access costs exactly what ownership dictates,
-    /// independent of history.
-    #[test]
-    fn dsm_is_stateless(ops in proptest::collection::vec((0..PROCS, arb_op()), 0..60)) {
+/// In the DSM model every access costs exactly what ownership dictates,
+/// independent of history.
+#[test]
+fn dsm_is_stateless() {
+    let mut rng = XorShift64::new(0xD5A);
+    for _case in 0..256 {
+        let ops = gen_ops(&mut rng, 60);
         let mut layout = MemLayout::new();
         let a0 = layout.alloc_local(ProcId(0), 0);
         for _ in 1..CELLS {
@@ -174,9 +236,9 @@ proptest! {
             let applied = mem.apply(ProcId(pid), op);
             let c = cost.charge(ProcId(pid), op.addr(), mem.owner(op.addr()), &applied);
             let expect = !(op.addr() == a0 && pid == 0);
-            prop_assert_eq!(c.rmr, expect);
-            prop_assert_eq!(c.messages, u64::from(expect));
-            prop_assert_eq!(c.invalidations, 0);
+            assert_eq!(c.rmr, expect);
+            assert_eq!(c.messages, u64::from(expect));
+            assert_eq!(c.invalidations, 0);
         }
     }
 }

@@ -15,7 +15,10 @@ use cc_dsm::signaling::kinds;
 
 fn main() {
     let n = 6;
-    let cfg = Part1Config { n, ..Part1Config::default() };
+    let cfg = Part1Config {
+        n,
+        ..Part1Config::default()
+    };
     let mut runner = Part1Runner::new(&SingleWaiter, cfg);
     let labels = runner.spec.layout.labels();
     let outcome = runner.run();
@@ -29,7 +32,11 @@ fn main() {
             r.newly_stable,
             r.erased,
             r.rolled_forward,
-            if r.roll_forward_case { "  [roll-forward case]" } else { "" },
+            if r.roll_forward_case {
+                "  [roll-forward case]"
+            } else {
+                ""
+            },
         );
     }
     println!(
@@ -37,7 +44,10 @@ fn main() {
         outcome.stable, outcome.finished, outcome.erased, outcome.regular
     );
     println!("== The constructed history (RMRs starred) ==\n");
-    print!("{}", trace::render(runner.sim.history().events(), &labels, None));
+    print!(
+        "{}",
+        trace::render(runner.sim.history().events(), &labels, None)
+    );
 
     // Inject a Signal() into a process whose module nobody wrote and run it
     // to completion, printing its steps.
@@ -67,7 +77,10 @@ fn main() {
             _ => break,
         }
     }
-    print!("{}", trace::render(&runner.sim.history().events()[before..], &labels, None));
+    print!(
+        "{}",
+        trace::render(&runner.sim.history().events()[before..], &labels, None)
+    );
     println!(
         "\nSignal() cost {s} {} RMRs; it saw only W's last writer — every other",
         runner.sim.proc_stats(s).rmrs - rmrs_before

@@ -20,7 +20,9 @@ fn main() {
     let park_steps = 500; // how long each waiter spins before the signal
     let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
         Box::new(CcFlag),
-        Box::new(FixedSignaler { signaler: ProcId(n_waiters) }),
+        Box::new(FixedSignaler {
+            signaler: ProcId(n_waiters),
+        }),
         Box::new(QueueSignaling),
     ];
 
@@ -33,7 +35,11 @@ fn main() {
         for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
             let mut roles = vec![Role::BlockingWaiter; n_waiters as usize];
             roles.push(Role::signaler());
-            let scenario = Scenario { algorithm: algo.as_ref(), roles, model };
+            let scenario = Scenario {
+                algorithm: algo.as_ref(),
+                roles,
+                model,
+            };
             let spec = scenario.build();
             let mut sim = Simulator::new(&spec);
             // Park: every waiter spins inside Wait() while the signaler is
@@ -46,8 +52,10 @@ fn main() {
             let ok = cc_dsm::shm::run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000_000);
             assert!(ok, "{} did not complete", algo.name());
             assert_eq!(check_blocking(sim.history()), Ok(()));
-            let max_waiter =
-                (0..n_waiters).map(|w| sim.proc_stats(ProcId(w)).rmrs).max().unwrap_or(0);
+            let max_waiter = (0..n_waiters)
+                .map(|w| sim.proc_stats(ProcId(w)).rmrs)
+                .max()
+                .unwrap_or(0);
             println!(
                 "{:<16} {:>8} {:>24} {:>18}",
                 algo.name(),

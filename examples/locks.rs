@@ -17,16 +17,28 @@ fn main() {
         Box::new(cc_dsm::mutex::TournamentLock),
     ];
     println!("RMRs per passage, 16 contenders x 4 passages each, seed 7\n");
-    println!("{:<12} {:>10} {:>10} {:>22}", "lock", "CC", "DSM", "CC vs DSM");
+    println!(
+        "{:<12} {:>10} {:>10} {:>22}",
+        "lock", "CC", "DSM", "CC vs DSM"
+    );
     for lock in &locks {
         let mut per_model = Vec::new();
         for model in [CostModel::cc_default(), CostModel::Dsm] {
             let r = run_lock_workload(
                 lock.as_ref(),
-                &LockWorkloadConfig { n: 16, cycles: 4, seed: 7, model },
+                &LockWorkloadConfig {
+                    n: 16,
+                    cycles: 4,
+                    seed: 7,
+                    model,
+                },
             );
             assert!(r.completed, "{} stalled", lock.name());
-            assert!(r.violations.is_empty(), "{} violated mutual exclusion", lock.name());
+            assert!(
+                r.violations.is_empty(),
+                "{} violated mutual exclusion",
+                lock.name()
+            );
             per_model.push(r.rmrs_per_passage());
         }
         let (cc, dsm) = (per_model[0], per_model[1]);
@@ -37,7 +49,13 @@ fn main() {
         } else {
             "model-dependent"
         };
-        println!("{:<12} {:>10.2} {:>10.2} {:>22}", lock.name(), cc, dsm, verdict);
+        println!(
+            "{:<12} {:>10.2} {:>10.2} {:>22}",
+            lock.name(),
+            cc,
+            dsm,
+            verdict
+        );
     }
     println!("\nFor mutual exclusion the tight RMR bounds agree across models");
     println!("(Θ(log N) for reads/writes, O(1) with RMW primitives) — the paper");
@@ -46,7 +64,9 @@ fn main() {
     // Coda: group mutual exclusion, the problem where Hadzilacos and Danek
     // found the *first* CC/DSM separation (§3). Two sessions share the
     // floor; conflicting sessions exclude each other.
-    let gme = cc_dsm::mutex::MutexBackedGme { lock: cc_dsm::mutex::TournamentLock };
+    let gme = cc_dsm::mutex::MutexBackedGme {
+        lock: cc_dsm::mutex::TournamentLock,
+    };
     let r = cc_dsm::mutex::run_gme_workload(
         &gme,
         &cc_dsm::mutex::GmeWorkloadConfig {
@@ -58,7 +78,10 @@ fn main() {
     );
     assert!(r.completed && r.violations.is_empty());
     println!("\nGME (2 sessions, 6 processes, tournament-backed): safe across");
-    println!("{} events; same-session processes overlapped in the critical section", r.sim.history().len());
+    println!(
+        "{} events; same-session processes overlapped in the critical section",
+        r.sim.history().len()
+    );
     println!("while cross-session overlap never occurred — the §3 problem family,");
     println!("executable (see shm-mutex::gme).");
 }

@@ -31,7 +31,10 @@ fn main() {
 
     println!("signaling with one shared Boolean (the §5 algorithm), {n_waiters} waiters");
     println!("each waiter polls {polls_before_signal}x before the signal arrives\n");
-    println!("{:<28} {:>12} {:>16}", "model", "total RMRs", "max RMRs/process");
+    println!(
+        "{:<28} {:>12} {:>16}",
+        "model", "total RMRs", "max RMRs/process"
+    );
 
     for (label, model) in [
         ("cache-coherent (CC)", CostModel::cc_default()),
@@ -39,18 +42,35 @@ fn main() {
     ] {
         let mut roles = vec![Role::waiter(); n_waiters as usize];
         roles.push(Role::signaler());
-        let scenario = Scenario { algorithm: &CcFlag, roles, model };
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles,
+            model,
+        };
         let spec = scenario.build();
         let mut sim = Simulator::new(&spec);
         // Play the fixed interleaving, then drain fairly to completion.
         cc_dsm::shm::run(&mut sim, &mut Scripted::new(order.clone()), 10_000_000);
-        assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 10_000_000));
-        assert_eq!(check_polling(sim.history()), Ok(()), "Specification 4.1 violated?!");
+        assert!(run_to_completion(
+            &mut sim,
+            &mut RoundRobin::new(),
+            10_000_000
+        ));
+        assert_eq!(
+            check_polling(sim.history()),
+            Ok(()),
+            "Specification 4.1 violated?!"
+        );
         let max_per_proc = (0..=n_waiters)
             .map(|i| sim.proc_stats(ProcId(i)).rmrs)
             .max()
             .unwrap_or(0);
-        println!("{:<28} {:>12} {:>16}", label, sim.totals().rmrs, max_per_proc);
+        println!(
+            "{:<28} {:>12} {:>16}",
+            label,
+            sim.totals().rmrs,
+            max_per_proc
+        );
     }
 
     println!("\nCC: every waiter caches the flag — one RMR to fetch it, one when the");

@@ -13,7 +13,11 @@ fn cc_upper_bound_holds_across_population_sizes() {
     for n in [2usize, 8, 32, 128] {
         let mut roles = vec![Role::waiter(); n];
         roles.push(Role::signaler());
-        let scenario = Scenario { algorithm: &CcFlag, roles, model: CostModel::cc_default() };
+        let scenario = Scenario {
+            algorithm: &CcFlag,
+            roles,
+            model: CostModel::cc_default(),
+        };
         let out = run_scenario(&scenario, &mut RoundRobin::new(), 50_000_000);
         assert!(out.completed);
         assert_eq!(out.polling_spec, Ok(()));
@@ -59,7 +63,10 @@ fn faa_closes_the_gap() {
 #[test]
 fn adversary_exposes_incorrect_algorithm() {
     let report = run_lower_bound(&SingleWaiter, LowerBoundConfig::for_n(64));
-    assert!(report.found_violation(), "single-waiter cannot serve many waiters");
+    assert!(
+        report.found_violation(),
+        "single-waiter cannot serve many waiters"
+    );
 }
 
 /// The same binary of the same algorithm, priced in both models, shows the
@@ -69,7 +76,9 @@ fn same_execution_two_prices() {
     for (model, expect_cheap) in [(CostModel::cc_default(), true), (CostModel::Dsm, false)] {
         let scenario = Scenario {
             algorithm: &CcFlag,
-            roles: vec![Role::Waiter { max_polls: Some(200) }],
+            roles: vec![Role::Waiter {
+                max_polls: Some(200),
+            }],
             model,
         };
         let out = run_scenario(&scenario, &mut RoundRobin::new(), 1_000_000);

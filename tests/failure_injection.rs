@@ -3,10 +3,9 @@
 //! survive any crash pattern (§2 defines crashes; §4's properties are
 //! crash-oblivious).
 
-use cc_dsm::shm::{CostModel, ProcId, SeededRandom, Simulator, Status};
+use cc_dsm::shm::{CostModel, ProcId, SeededRandom, Simulator, Status, XorShift64};
 use cc_dsm::signaling::algorithms::{Broadcast, CcFlag, FixedSignaler, QueueSignaling};
 use cc_dsm::signaling::{check_blocking, check_polling, Role, Scenario, SignalingAlgorithm};
-use proptest::prelude::*;
 
 fn crash_run(
     algo: &dyn SignalingAlgorithm,
@@ -14,9 +13,18 @@ fn crash_run(
     seed: u64,
     crash_at: Vec<(u32, u64)>, // (pid, after this many global steps)
 ) -> Simulator {
-    let mut roles = vec![Role::Waiter { max_polls: Some(10) }; n_waiters];
+    let mut roles = vec![
+        Role::Waiter {
+            max_polls: Some(10)
+        };
+        n_waiters
+    ];
     roles.push(Role::signaler());
-    let scenario = Scenario { algorithm: algo, roles, model: CostModel::Dsm };
+    let scenario = Scenario {
+        algorithm: algo,
+        roles,
+        model: CostModel::Dsm,
+    };
     let spec = scenario.build();
     let mut sim = Simulator::new(&spec);
     let mut sched = SeededRandom::new(seed);
@@ -27,7 +35,9 @@ fn crash_run(
                 sim.crash(ProcId(pid));
             }
         }
-        let Some(pid) = cc_dsm::shm::Scheduler::next(&mut sched, &sim) else { break };
+        let Some(pid) = cc_dsm::shm::Scheduler::next(&mut sched, &sim) else {
+            break;
+        };
         let _ = sim.step(pid);
         steps += 1;
         if steps > 2_000_000 {
@@ -37,25 +47,37 @@ fn crash_run(
     sim
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any crash pattern leaves the completed-call history spec-compliant.
-    #[test]
-    fn spec_survives_crashes(
-        seed in 0u64..500,
-        crashes in proptest::collection::vec((0u32..5, 0u64..300), 0..4),
-        which in 0usize..4,
-    ) {
+/// Any crash pattern leaves the completed-call history spec-compliant.
+/// Seeded deterministic loop (the workspace is dependency-free, so no
+/// proptest).
+#[test]
+fn spec_survives_crashes() {
+    let mut rng = XorShift64::new(0xC7A5);
+    for _case in 0..64 {
+        let seed = rng.below(500);
+        let crashes: Vec<(u32, u64)> = (0..rng.below(4))
+            .map(|_| (rng.below(5) as u32, rng.below(300)))
+            .collect();
+        let which = rng.range_usize(0, 4);
         let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
             Box::new(CcFlag),
             Box::new(Broadcast),
             Box::new(QueueSignaling),
-            Box::new(FixedSignaler { signaler: ProcId(4) }),
+            Box::new(FixedSignaler {
+                signaler: ProcId(4),
+            }),
         ];
-        let sim = crash_run(algos[which].as_ref(), 4, seed, crashes);
-        prop_assert_eq!(check_polling(sim.history()), Ok(()));
-        prop_assert_eq!(check_blocking(sim.history()), Ok(()));
+        let sim = crash_run(algos[which].as_ref(), 4, seed, crashes.clone());
+        assert_eq!(
+            check_polling(sim.history()),
+            Ok(()),
+            "which={which} crashes={crashes:?}"
+        );
+        assert_eq!(
+            check_blocking(sim.history()),
+            Ok(()),
+            "which={which} crashes={crashes:?}"
+        );
     }
 }
 
@@ -65,7 +87,11 @@ proptest! {
 fn crashed_signaler_blocks_but_never_lies() {
     let mut roles = vec![Role::waiter(); 3];
     roles.push(Role::signaler());
-    let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+    let scenario = Scenario {
+        algorithm: &QueueSignaling,
+        roles,
+        model: CostModel::Dsm,
+    };
     let spec = scenario.build();
     let mut sim = Simulator::new(&spec);
     // Signaler starts Signal() (writes G) then crashes mid-call.
@@ -80,7 +106,10 @@ fn crashed_signaler_blocks_but_never_lies() {
     // Nobody false-positived before the signal began: the first poll event
     // precedes no Signal invoke.
     let calls = sim.history().calls();
-    let sig_invoke = calls.iter().find(|c| c.kind == cc_dsm::signaling::kinds::SIGNAL).unwrap();
+    let sig_invoke = calls
+        .iter()
+        .find(|c| c.kind == cc_dsm::signaling::kinds::SIGNAL)
+        .unwrap();
     for c in calls.iter().filter(|c| c.return_value == Some(1)) {
         assert!(c.returned_at.unwrap() > sig_invoke.invoked_at);
     }
@@ -91,7 +120,11 @@ fn crashed_signaler_blocks_but_never_lies() {
 fn crashed_registrant_does_not_wedge_signal() {
     let mut roles = vec![Role::waiter(); 2];
     roles.push(Role::signaler());
-    let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+    let scenario = Scenario {
+        algorithm: &QueueSignaling,
+        roles,
+        model: CostModel::Dsm,
+    };
     let spec = scenario.build();
     let mut sim = Simulator::new(&spec);
     // Waiter 0 claims a ticket (FAA) then crashes before writing its slot.
@@ -101,6 +134,10 @@ fn crashed_registrant_does_not_wedge_signal() {
     // The signaler must still complete (it skips the NIL slot).
     let mut sched = SeededRandom::new(3);
     cc_dsm::shm::run_to_completion(&mut sim, &mut sched, 2_000_000);
-    assert_eq!(sim.status(ProcId(2)), Status::Terminated, "signaler finished");
+    assert_eq!(
+        sim.status(ProcId(2)),
+        Status::Terminated,
+        "signaler finished"
+    );
     assert_eq!(check_polling(sim.history()), Ok(()));
 }

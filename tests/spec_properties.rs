@@ -1,37 +1,43 @@
-//! Property-based tests: safety of every algorithm under randomized
+//! Property-style tests: safety of every algorithm under randomized
 //! schedules and populations, and determinism/replay invariants of the
-//! simulator — the load-bearing assumptions of the adversary.
+//! simulator — the load-bearing assumptions of the adversary. Driven by
+//! seeded deterministic loops (the workspace is dependency-free, so no
+//! proptest).
 
-use cc_dsm::shm::{CostModel, ProcId, SeededRandom, Simulator};
+use cc_dsm::shm::{CostModel, ProcId, SeededRandom, Simulator, XorShift64};
 use cc_dsm::signaling::algorithms::{
     Broadcast, CcFlag, FixedSignaler, FixedWaiters, QueueSignaling,
 };
 use cc_dsm::signaling::{run_scenario, Role, Scenario, SignalingAlgorithm};
-use proptest::prelude::*;
 
-fn arb_role() -> impl Strategy<Value = Role> {
-    prop_oneof![
-        3 => Just(Role::waiter()),
-        2 => (1u64..6).prop_map(|m| Role::Waiter { max_polls: Some(m) }),
-        1 => Just(Role::BlockingWaiter),
-        1 => (0u64..3).prop_map(|p| Role::Signaler { polls_first: p }),
-        1 => Just(Role::Bystander),
-    ]
+fn gen_role(rng: &mut XorShift64) -> Role {
+    // Weights mirror the original proptest distribution: 3/2/1/1/1.
+    match rng.below(8) {
+        0..=2 => Role::waiter(),
+        3 | 4 => Role::Waiter {
+            max_polls: Some(rng.range_u64(1, 6)),
+        },
+        5 => Role::BlockingWaiter,
+        6 => Role::Signaler {
+            polls_first: rng.below(3),
+        },
+        _ => Role::Bystander,
+    }
 }
 
 /// Populations that terminate on their own: if anyone blocks (unbounded
 /// waiter / blocking waiter), at least one signaler must exist.
-fn arb_population() -> impl Strategy<Value = Vec<Role>> {
-    proptest::collection::vec(arb_role(), 2..10).prop_map(|mut roles| {
-        let has_signaler = roles.iter().any(|r| matches!(r, Role::Signaler { .. }));
-        let has_blocking = roles.iter().any(|r| {
-            matches!(r, Role::BlockingWaiter | Role::Waiter { max_polls: None })
-        });
-        if has_blocking && !has_signaler {
-            roles.push(Role::signaler());
-        }
-        roles
-    })
+fn gen_population(rng: &mut XorShift64) -> Vec<Role> {
+    let len = rng.range_usize(2, 10);
+    let mut roles: Vec<Role> = (0..len).map(|_| gen_role(rng)).collect();
+    let has_signaler = roles.iter().any(|r| matches!(r, Role::Signaler { .. }));
+    let has_blocking = roles
+        .iter()
+        .any(|r| matches!(r, Role::BlockingWaiter | Role::Waiter { max_polls: None }));
+    if has_blocking && !has_signaler {
+        roles.push(Role::signaler());
+    }
+    roles
 }
 
 fn algorithms(n: usize) -> Vec<Box<dyn SignalingAlgorithm>> {
@@ -40,71 +46,104 @@ fn algorithms(n: usize) -> Vec<Box<dyn SignalingAlgorithm>> {
         Box::new(CcFlag),
         Box::new(Broadcast),
         Box::new(QueueSignaling),
-        Box::new(FixedSignaler { signaler: ProcId(0) }),
+        Box::new(FixedSignaler {
+            signaler: ProcId(0),
+        }),
         Box::new(FixedWaiters::eager(everyone)),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Specification 4.1 and the blocking contract hold for every correct
-    /// algorithm under arbitrary role mixes, seeds, and both cost models.
-    #[test]
-    fn safety_under_random_populations(roles in arb_population(), seed in 0u64..1_000, dsm in any::<bool>()) {
-        let model = if dsm { CostModel::Dsm } else { CostModel::cc_default() };
+/// Specification 4.1 and the blocking contract hold for every correct
+/// algorithm under arbitrary role mixes, seeds, and both cost models.
+#[test]
+fn safety_under_random_populations() {
+    let mut rng = XorShift64::new(0x5AFE);
+    for case in 0..48u64 {
+        let roles = gen_population(&mut rng);
+        let seed = rng.below(1_000);
+        let model = if case % 2 == 0 {
+            CostModel::Dsm
+        } else {
+            CostModel::cc_default()
+        };
         for algo in algorithms(roles.len()) {
-            let scenario = Scenario { algorithm: algo.as_ref(), roles: roles.clone(), model };
+            let scenario = Scenario {
+                algorithm: algo.as_ref(),
+                roles: roles.clone(),
+                model,
+            };
             let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 3_000_000);
-            prop_assert!(out.completed, "{} stalled", algo.name());
-            prop_assert_eq!(out.polling_spec, Ok(()), "{} polling spec", algo.name());
-            prop_assert_eq!(out.blocking_spec, Ok(()), "{} blocking spec", algo.name());
+            assert!(out.completed, "{} stalled", algo.name());
+            assert_eq!(out.polling_spec, Ok(()), "{} polling spec", algo.name());
+            assert_eq!(out.blocking_spec, Ok(()), "{} blocking spec", algo.name());
         }
     }
+}
 
-    /// Determinism: identical spec + seed ⇒ identical history and costs.
-    #[test]
-    fn runs_are_deterministic(seed in 0u64..1_000) {
+/// Determinism: identical spec + seed ⇒ identical history and costs.
+#[test]
+fn runs_are_deterministic() {
+    for seed in [0u64, 17, 313, 999] {
         let run = || {
             let mut roles = vec![Role::waiter(); 5];
             roles.push(Role::signaler());
-            let scenario = Scenario { algorithm: &QueueSignaling, roles, model: CostModel::Dsm };
+            let scenario = Scenario {
+                algorithm: &QueueSignaling,
+                roles,
+                model: CostModel::Dsm,
+            };
             let out = run_scenario(&scenario, &mut SeededRandom::new(seed), 3_000_000);
             (out.sim.schedule().to_vec(), out.sim.totals())
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    /// Replay fidelity: replaying a recorded schedule reproduces the exact
-    /// history (the adversary's soundness bedrock).
-    #[test]
-    fn replay_reproduces_history(seed in 0u64..1_000) {
+/// Replay fidelity: replaying a recorded schedule reproduces the exact
+/// history (the adversary's soundness bedrock).
+#[test]
+fn replay_reproduces_history() {
+    let mut rng = XorShift64::new(0x9E9);
+    for _case in 0..32 {
+        let seed = rng.below(1_000);
         let mut roles = vec![Role::waiter(); 4];
         roles.push(Role::Signaler { polls_first: 1 });
-        let scenario = Scenario { algorithm: &Broadcast, roles, model: CostModel::Dsm };
+        let scenario = Scenario {
+            algorithm: &Broadcast,
+            roles,
+            model: CostModel::Dsm,
+        };
         let spec = scenario.build();
         let mut sim = Simulator::new(&spec);
         let mut sched = SeededRandom::new(seed);
         cc_dsm::shm::run_to_completion(&mut sim, &mut sched, 3_000_000);
         let replayed = Simulator::replay(&spec, sim.schedule(), &std::collections::BTreeSet::new());
-        prop_assert_eq!(replayed.history().events(), sim.history().events());
-        prop_assert_eq!(replayed.totals(), sim.totals());
+        assert_eq!(replayed.history().events(), sim.history().events());
+        assert_eq!(replayed.totals(), sim.totals());
     }
+}
 
-    /// Erasing a process that took no steps is always projection-transparent.
-    #[test]
-    fn erasing_nonparticipant_is_transparent(seed in 0u64..500) {
+/// Erasing a process that took no steps is always projection-transparent.
+#[test]
+fn erasing_nonparticipant_is_transparent() {
+    let mut rng = XorShift64::new(0x7A5);
+    for _case in 0..32 {
+        let seed = rng.below(500);
         let mut roles = vec![Role::waiter(); 4];
         roles.push(Role::signaler());
         roles.push(Role::Bystander); // p5 takes no memory steps
-        let scenario = Scenario { algorithm: &Broadcast, roles, model: CostModel::Dsm };
+        let scenario = Scenario {
+            algorithm: &Broadcast,
+            roles,
+            model: CostModel::Dsm,
+        };
         let spec = scenario.build();
         let mut sim = Simulator::new(&spec);
         cc_dsm::shm::run_to_completion(&mut sim, &mut SeededRandom::new(seed), 3_000_000);
         let erased = std::collections::BTreeSet::from([ProcId(5)]);
         let replayed = Simulator::replay(&spec, sim.schedule(), &erased);
         for i in 0..5u32 {
-            prop_assert_eq!(
+            assert_eq!(
                 replayed.history().projection(ProcId(i)),
                 sim.history().projection(ProcId(i))
             );
