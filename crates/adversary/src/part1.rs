@@ -68,6 +68,13 @@ pub struct Part1Config {
     /// from-scratch replay plus full projection comparison — the reference
     /// path the incremental one is tested against.
     pub incremental: bool,
+    /// Run the differential audit ([`Simulator::audit`]) over the final
+    /// history of each phase: a naive shadow executor re-runs the recorded
+    /// schedule under reference implementations of all four cost models and
+    /// diffs every charge, cache state and memory image against the
+    /// incremental path. Expensive (full re-execution × 4 models); off by
+    /// default.
+    pub audit: bool,
 }
 
 impl Default for Part1Config {
@@ -79,6 +86,7 @@ impl Default for Part1Config {
             max_local_steps: 4_096,
             checkpoint_interval: 128,
             incremental: true,
+            audit: false,
         }
     }
 }
@@ -114,6 +122,9 @@ pub struct Part1Outcome {
     /// Wall-clock milliseconds spent on round machinery other than
     /// recording: conflict resolution, erasure replays, roll-forwards.
     pub rounds_ms: f64,
+    /// Differential audit of the final Part-1 history against the naive
+    /// reference executor (present iff [`Part1Config::audit`]).
+    pub audit: Option<shm_sim::AuditReport>,
 }
 
 /// Verdict of advancing one process through its local steps.
@@ -146,6 +157,11 @@ pub struct Part1Runner {
     pub stable: BTreeSet<ProcId>,
     /// Stable processes parked mid-call (subset of `stable`).
     pub parked: BTreeSet<ProcId>,
+    /// The algorithm's participation contract
+    /// ([`SignalingAlgorithm::max_concurrent_waiters`]): histories whose
+    /// peak concurrent-waiter count exceeds this are out of contract, and
+    /// safety failures in them must not be reported as violations.
+    pub contract_waiters: Option<usize>,
     cfg: Part1Config,
     blocked: usize,
     /// Wall-clock nanoseconds spent advancing processes (history recording).
@@ -190,6 +206,7 @@ impl Part1Runner {
             finished: BTreeSet::new(),
             stable: BTreeSet::new(),
             parked: BTreeSet::new(),
+            contract_waiters: algo.max_concurrent_waiters(),
             cfg,
             blocked: 0,
             record_nanos: 0,
@@ -603,6 +620,7 @@ impl Part1Runner {
             .is_empty();
         self.parked
             .retain(|p| self.stable.contains(p) && !self.erased.contains(p));
+        let audit = self.cfg.audit.then(|| self.sim.audit(&self.spec));
         Part1Outcome {
             rounds,
             stabilized,
@@ -616,6 +634,7 @@ impl Part1Runner {
             regular,
             record_ms: record_nanos as f64 / 1e6,
             rounds_ms: total_nanos.saturating_sub(record_nanos) as f64 / 1e6,
+            audit,
         }
     }
 }
@@ -739,6 +758,34 @@ mod tests {
         for q in &out.erased {
             assert!(!participants.contains(q), "{q} was erased but participates");
         }
+    }
+
+    #[test]
+    fn audited_part1_run_is_clean() {
+        // The audit shadow-executes the heavily erased/spliced Part-1
+        // history under all four cost models and diffs it against the
+        // incremental path.
+        let mut runner = Part1Runner::new(
+            &SingleWaiter,
+            Part1Config {
+                n: 32,
+                audit: true,
+                ..Part1Config::default()
+            },
+        );
+        let out = runner.run();
+        let audit = out.audit.expect("audit enabled");
+        assert!(audit.is_clean(), "{}", audit.divergence.unwrap());
+        assert_eq!(audit.models_checked, 4);
+    }
+
+    #[test]
+    fn contract_waiters_reflects_the_algorithm() {
+        assert_eq!(
+            Part1Runner::new(&SingleWaiter, cfg(8)).contract_waiters,
+            Some(1)
+        );
+        assert_eq!(Part1Runner::new(&Broadcast, cfg(8)).contract_waiters, None);
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //!
 //! Pass `--json` to also write the rows (including per-phase wall-clock
 //! timings of the incremental replay engine) to `BENCH_adversary.json`.
+//! Pass `--audit` to shadow-execute every phase's final history under naive
+//! reference implementations of all four cost models and diff it against
+//! the incremental path; the process exits nonzero on any divergence or
+//! in-contract safety violation. Pass `--sizes 32,64` to override the
+//! default population sizes.
 
 use bench::table::{f2, header, row};
-use bench::{e2_dsm_lower, E2Row};
+use bench::{e2_dsm_lower_with, E2Row};
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -15,11 +20,17 @@ fn json_escape(s: &str) -> String {
 fn to_json(rows: &[E2Row]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
+        let audit_clean = r
+            .audit_clean
+            .map_or_else(|| "null".to_string(), |c| c.to_string());
+        // The divergence is already a JSON object; embed it verbatim.
+        let audit_divergence = r.audit_divergence.clone().unwrap_or_else(|| "null".into());
         out.push_str(&format!(
             concat!(
                 "  {{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
                 "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
                 "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
+                "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}, ",
                 "\"record_ms\": {:.3}, \"rounds_ms\": {:.3}, \"chase_ms\": {:.3}, ",
                 "\"discovery_ms\": {:.3}, \"total_ms\": {:.3}}}{}"
             ),
@@ -32,6 +43,9 @@ fn to_json(rows: &[E2Row]) -> String {
             r.blocked,
             r.amortized,
             r.violation,
+            r.out_of_contract,
+            audit_clean,
+            audit_divergence,
             r.timings.record_ms,
             r.timings.rounds_ms,
             r.timings.chase_ms,
@@ -44,10 +58,27 @@ fn to_json(rows: &[E2Row]) -> String {
     out
 }
 
+fn parse_sizes(args: &[String]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || vec![32, 64, 128, 256],
+            |list| {
+                list.split(',')
+                    .map(|s| s.trim().parse().expect("--sizes takes e.g. 32,64"))
+                    .collect()
+            },
+        )
+}
+
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let audit = args.iter().any(|a| a == "--audit");
+    let sizes = parse_sizes(&args);
     println!("E2: the §6 adversary (erase / roll forward / wild goose chase), DSM model\n");
-    let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10, 10, 10, 10];
+    let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10, 9, 7, 10, 10, 10];
     header(&[
         ("algorithm", 15),
         ("N", 6),
@@ -58,11 +89,13 @@ fn main() {
         ("blocked", 8),
         ("amortized", 10),
         ("violation", 10),
+        ("outOfCtr", 9),
+        ("audit", 7),
         ("record_ms", 10),
         ("rounds_ms", 10),
         ("chase_ms", 10),
     ]);
-    let rows = e2_dsm_lower(&[32, 64, 128, 256]);
+    let rows = e2_dsm_lower_with(&sizes, audit);
     for r in &rows {
         row(
             &[
@@ -75,6 +108,9 @@ fn main() {
                 r.blocked.to_string(),
                 f2(r.amortized),
                 r.violation.to_string(),
+                r.out_of_contract.to_string(),
+                r.audit_clean
+                    .map_or_else(|| "-".to_string(), |c| if c { "ok" } else { "FAIL" }.into()),
                 f2(r.timings.record_ms),
                 f2(r.timings.rounds_ms),
                 f2(r.timings.chase_ms),
@@ -89,7 +125,30 @@ fn main() {
     }
     println!("\npaper: for any c there is a history with k participants and > c*k RMRs");
     println!("(reads/writes/CAS/LLSC). shape check: broadcast's amortized column grows");
-    println!("~linearly with N; cc-flag never stabilizes (waiters pay); single-waiter is");
-    println!("exposed as unsafe with many waiters; queue-faa (outside the primitive class)");
-    println!("blocks every erasure and stays flat.");
+    println!("~linearly with N; cc-flag never stabilizes (waiters pay); single-waiter's");
+    println!("spec failures are out-of-contract (its §7 premise is one waiter; the");
+    println!("adversary drives many), not violations; queue-faa (outside the primitive");
+    println!("class) blocks every erasure and stays flat.");
+    if audit {
+        let divergent: Vec<&E2Row> = rows
+            .iter()
+            .filter(|r| r.audit_clean == Some(false))
+            .collect();
+        for r in &divergent {
+            eprintln!(
+                "AUDIT DIVERGENCE: {} n={}: {}",
+                r.algorithm,
+                r.n,
+                r.audit_divergence.as_deref().unwrap_or("?")
+            );
+        }
+        let violations: Vec<&E2Row> = rows.iter().filter(|r| r.violation).collect();
+        for r in &violations {
+            eprintln!("IN-CONTRACT VIOLATION: {} n={}", r.algorithm, r.n);
+        }
+        if !divergent.is_empty() || !violations.is_empty() {
+            std::process::exit(1);
+        }
+        println!("\naudit: all phases clean under all four cost models");
+    }
 }

@@ -2,13 +2,18 @@
 //! after transformation to reads/writes; FAA does.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e8_transformation`
+//!
+//! Pass `--audit` to shadow-execute each variant's recording phase under
+//! naive reference implementations of all four cost models; the process
+//! exits nonzero on any divergence.
 
-use bench::e8_transformation;
+use bench::e8_transformation_with;
 use bench::table::{f2, header, row};
 
 fn main() {
+    let audit = std::env::args().any(|a| a == "--audit");
     println!("E8: Corollary 6.14 — the primitive classes under the same adversary\n");
-    let widths = [14, 6, 11, 8, 11, 9, 13, 10, 10, 10];
+    let widths = [14, 6, 11, 8, 11, 9, 13, 7, 10, 10, 10];
     header(&[
         ("variant", 14),
         ("N", 6),
@@ -17,11 +22,13 @@ fn main() {
         ("amortized", 11),
         ("blocked", 9),
         ("signalStuck", 13),
+        ("audit", 7),
         ("record_ms", 10),
         ("rounds_ms", 10),
         ("chase_ms", 10),
     ]);
-    for r in e8_transformation(&[16, 32, 64, 128]) {
+    let rows = e8_transformation_with(&[16, 32, 64, 128], audit);
+    for r in &rows {
         row(
             &[
                 r.variant.clone(),
@@ -31,6 +38,8 @@ fn main() {
                 f2(r.amortized),
                 r.blocked.to_string(),
                 r.signal_stuck.to_string(),
+                r.audit_clean
+                    .map_or_else(|| "-".to_string(), |c| if c { "ok" } else { "FAIL" }.into()),
                 f2(r.timings.record_ms),
                 f2(r.timings.rounds_ms),
                 f2(r.timings.chase_ms),
@@ -47,4 +56,11 @@ fn main() {
     println!("non-comparison primitives, exactly where the paper draws it. 'blocked'");
     println!("rows document our adversary's honest limitation on native CAS chains");
     println!("(the paper transforms first; we show both sides).");
+    if audit {
+        if rows.iter().any(|r| r.audit_clean == Some(false)) {
+            eprintln!("AUDIT DIVERGENCE: at least one variant diverged from the naive replay");
+            std::process::exit(1);
+        }
+        println!("\naudit: all recordings clean under all four cost models");
+    }
 }

@@ -136,8 +136,19 @@ pub struct E2Row {
     pub blocked: usize,
     /// Worst amortized RMRs (total / participants) across runs.
     pub amortized: f64,
-    /// Whether a Specification 4.1 violation was exposed.
+    /// Whether a genuine (in-contract) Specification 4.1 violation was
+    /// exposed.
     pub violation: bool,
+    /// Whether some Part-2 history exceeded the algorithm's participation
+    /// contract (safety failures in such histories are *not* counted as
+    /// violations — e.g. single-waiter under the adversary's many waiters).
+    pub out_of_contract: bool,
+    /// Differential-audit verdict: `None` when auditing was off, otherwise
+    /// whether every audited phase matched the naive reference executor.
+    pub audit_clean: Option<bool>,
+    /// First audit divergence, rendered as a JSON object (present only on a
+    /// failed audit).
+    pub audit_divergence: Option<String>,
     /// Per-phase wall-clock (record / rounds / chase / discovery).
     pub timings: PhaseTimings,
 }
@@ -147,6 +158,15 @@ pub struct E2Row {
 /// against the FAA queue (the adversary must fail).
 #[must_use]
 pub fn e2_dsm_lower(sizes: &[usize]) -> Vec<E2Row> {
+    e2_dsm_lower_with(sizes, false)
+}
+
+/// [`e2_dsm_lower`] with the differential audit optionally enabled: every
+/// phase's final history is shadow-executed under naive reference
+/// implementations of all four cost models and diffed against the
+/// incremental path ([`shm_sim::Simulator::audit`]).
+#[must_use]
+pub fn e2_dsm_lower_with(sizes: &[usize], audit: bool) -> Vec<E2Row> {
     let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
         Box::new(Broadcast),
         Box::new(CcFlag),
@@ -156,7 +176,9 @@ pub fn e2_dsm_lower(sizes: &[usize]) -> Vec<E2Row> {
     let mut rows = Vec::new();
     for &n in sizes {
         for algo in &algos {
-            let report = run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(n));
+            let mut cfg = LowerBoundConfig::for_n(n);
+            cfg.part1.audit = audit;
+            let report = run_lower_bound(algo.as_ref(), cfg);
             let (chase_rmrs, chase_erased, blocked) = report
                 .chase
                 .as_ref()
@@ -171,6 +193,9 @@ pub fn e2_dsm_lower(sizes: &[usize]) -> Vec<E2Row> {
                 blocked,
                 amortized: report.worst_amortized(),
                 violation: report.found_violation(),
+                out_of_contract: report.out_of_contract(),
+                audit_clean: report.audit_clean(),
+                audit_divergence: report.first_divergence().map(|d| d.to_json()),
                 timings: report.timings,
             });
         }
@@ -520,6 +545,9 @@ pub struct E8Row {
     pub blocked: usize,
     /// Whether the solo signaler failed to complete (busy-waiting).
     pub signal_stuck: bool,
+    /// Differential-audit verdict: `None` when auditing was off, otherwise
+    /// whether every audited phase matched the naive reference executor.
+    pub audit_clean: Option<bool>,
     /// Per-phase wall-clock (record / rounds / chase / discovery).
     pub timings: PhaseTimings,
 }
@@ -530,6 +558,12 @@ pub struct E8Row {
 /// that *does* escape.
 #[must_use]
 pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
+    e8_transformation_with(sizes, false)
+}
+
+/// [`e8_transformation`] with the differential audit optionally enabled.
+#[must_use]
+pub fn e8_transformation_with(sizes: &[usize], audit: bool) -> Vec<E8Row> {
     use rmr_adversary::{Part1Config, ReadWriteTransformed};
     use signaling::algorithms::CasList;
     let mut rows = Vec::new();
@@ -538,6 +572,7 @@ pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
         cfg.part1 = Part1Config {
             n,
             max_rounds: 64,
+            audit,
             ..Part1Config::default()
         };
         let variants: Vec<(String, Box<dyn SignalingAlgorithm>)> = vec![
@@ -560,6 +595,7 @@ pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
                 amortized: r.worst_amortized(),
                 blocked: r.part1.blocked_erasures + r.chase.as_ref().map_or(0, |c| c.blocked),
                 signal_stuck,
+                audit_clean: r.audit_clean(),
                 timings: r.timings,
             });
         }

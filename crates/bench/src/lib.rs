@@ -17,7 +17,11 @@
 //! | E8 | Corollary 6.14: CAS (native or transformed to reads/writes) stays bounded by the adversary; FAA escapes | [`e8_transformation`] |
 //!
 //! Every function returns structured rows (so the integration tests assert
-//! on them) and the `exp_*` binaries print them as tables.
+//! on them) and the `exp_*` binaries print them as tables. The adversary
+//! experiments have `*_with(sizes, audit)` variants that additionally run
+//! the differential RMR audit ([`shm_sim::Simulator::audit`]) over every
+//! phase; the `exp_e2_dsm_lower` / `exp_e8_transformation` binaries expose
+//! this as `--audit` and exit nonzero on any divergence.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]

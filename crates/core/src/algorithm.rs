@@ -32,6 +32,22 @@ pub trait SignalingAlgorithm: Send + Sync {
     /// The primitive class the algorithm's operations belong to.
     fn primitive_class(&self) -> PrimitiveClass;
 
+    /// The algorithm's participation contract: the maximum number of
+    /// processes that may act as waiters (issue `Poll()`/`Wait()` calls) in
+    /// a history for Specification 4.1 to be guaranteed. `None` (the
+    /// default) means the algorithm supports arbitrarily many concurrent
+    /// waiters. Measured by [`crate::spec::waiter_processes`], which
+    /// dominates the simultaneously-open-calls count.
+    ///
+    /// Drivers that deliberately exceed this bound (e.g. the §6 lower-bound
+    /// adversary, which pits up to n−1 concurrent waiters against every
+    /// algorithm) must classify resulting safety failures as out-of-contract
+    /// rather than as violations — see
+    /// [`crate::spec::peak_concurrent_waiters`].
+    fn max_concurrent_waiters(&self) -> Option<usize> {
+        None
+    }
+
     /// Allocates the algorithm's shared variables for `n` processes and
     /// returns an instance bound to those addresses.
     fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance>;

@@ -39,6 +39,14 @@ impl SignalingAlgorithm for SingleWaiter {
         PrimitiveClass::ReadWrite
     }
 
+    fn max_concurrent_waiters(&self) -> Option<usize> {
+        // §7's premise: at most one process ever polls (its identity just
+        // isn't fixed in advance). `Signal()` notifies only the waiter
+        // registered in `W`, so any second poller may legitimately read
+        // `V[i] = 0` after the signal completes.
+        Some(1)
+    }
+
     fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
         let inst = Inst {
             w: layout.alloc_global(NIL),

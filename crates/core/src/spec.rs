@@ -111,6 +111,56 @@ pub fn check_polling(history: &History) -> Result<(), SpecViolation> {
     Ok(())
 }
 
+/// The distinct processes that act as waiters — invoke `Poll()` or `Wait()`
+/// — anywhere in the history.
+///
+/// This is the measure algorithm participation contracts
+/// ([`crate::SignalingAlgorithm::max_concurrent_waiters`]) bound: a history
+/// with more waiter processes than the contract allows is *out of
+/// contract*, and safety failures in it say nothing about the algorithm.
+/// Since each process has at most one call open at a time, this count
+/// always dominates [`peak_concurrent_waiters`], so checking it subsumes
+/// the simultaneously-open-calls reading of the bound.
+#[must_use]
+pub fn waiter_processes(history: &History) -> std::collections::BTreeSet<ProcId> {
+    history
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            shm_sim::Event::Invoke { pid, kind, .. }
+                if kind == kinds::POLL || kind == kinds::WAIT =>
+            {
+                Some(pid)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// The peak number of waiters with `Poll()`/`Wait()` calls open at the same
+/// time anywhere in the history — the simultaneity profile complementing
+/// [`waiter_processes`]. A call opens at its `Invoke` event and closes at
+/// its `Return`; calls left pending (including by a crash) stay open to the
+/// end of the history.
+#[must_use]
+pub fn peak_concurrent_waiters(history: &History) -> usize {
+    let mut open = 0usize;
+    let mut peak = 0usize;
+    for e in history.events() {
+        match *e {
+            shm_sim::Event::Invoke { kind, .. } if kind == kinds::POLL || kind == kinds::WAIT => {
+                open += 1;
+                peak = peak.max(open);
+            }
+            shm_sim::Event::Return { kind, .. } if kind == kinds::POLL || kind == kinds::WAIT => {
+                open = open.saturating_sub(1);
+            }
+            _ => {}
+        }
+    }
+    peak
+}
+
 /// Checks the blocking-semantics contract over a history: every completed
 /// `Wait()` returned after some `Signal()` began.
 ///
@@ -264,6 +314,55 @@ mod tests {
                 check_blocking(&h),
                 Err(SpecViolation::WaitWithoutSignalBegun { pid: ProcId(0), .. })
             ));
+        }
+
+        #[test]
+        fn sequential_polls_have_peak_one() {
+            use crate::spec::peak_concurrent_waiters;
+            let h = scripted_history(&[
+                (0, kinds::POLL, 0),
+                (1, kinds::POLL, 0),
+                (2, kinds::SIGNAL, 0),
+                (0, kinds::POLL, 1),
+            ]);
+            assert_eq!(peak_concurrent_waiters(&h), 1);
+            assert_eq!(peak_concurrent_waiters(&scripted_history(&[])), 0);
+        }
+
+        #[test]
+        fn concurrent_polls_raise_the_peak() {
+            use crate::spec::peak_concurrent_waiters;
+            let mut layout = MemLayout::new();
+            let scratch = layout.alloc_global(0);
+            let sources = (0..3)
+                .map(|_| {
+                    Box::new(Script::new(vec![ScriptedCall::new(
+                        kinds::POLL,
+                        "poll",
+                        Arc::new(move || {
+                            Box::new(ReturnAfterRead {
+                                scratch,
+                                value: 0,
+                                read_done: false,
+                            }) as Box<dyn ProcedureCall>
+                        }),
+                    )])) as Box<dyn CallSource>
+                })
+                .collect();
+            let spec = SimSpec {
+                layout,
+                sources,
+                model: CostModel::Dsm,
+            };
+            let mut sim = Simulator::new(&spec);
+            // Open all three polls before any returns: peak 3.
+            for p in 0..3 {
+                let _ = sim.step(ProcId(p)); // invoke + read
+            }
+            assert_eq!(peak_concurrent_waiters(sim.history()), 3);
+            // Closing them does not lower the recorded peak.
+            assert!(run_to_completion(&mut sim, &mut RoundRobin::new(), 1_000));
+            assert_eq!(peak_concurrent_waiters(sim.history()), 3);
         }
 
         #[test]

@@ -310,6 +310,13 @@ impl History {
         &self.events
     }
 
+    /// Mutable access to the recorded events, bypassing fingerprint
+    /// maintenance. For audit-layer tamper tests only.
+    #[cfg(test)]
+    pub(crate) fn events_mut(&mut self) -> &mut Vec<Event> {
+        &mut self.events
+    }
+
     /// Number of events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -747,5 +754,173 @@ mod tests {
         let spliced = History::spliced(&full.events()[..1], suffix);
         assert_eq!(spliced.events(), full.events());
         assert_eq!(spliced.fingerprint(ProcId(0)), full.fingerprint(ProcId(0)));
+    }
+
+    /// Generates a random access history over `n_procs` processes and
+    /// `n_cells` cells (writes only — condition 3 is about writer sets), plus
+    /// a random finished set.
+    fn random_write_history(
+        rng: &mut crate::rng::XorShift64,
+        n_procs: u32,
+        n_cells: u32,
+        len: usize,
+    ) -> (History, BTreeSet<ProcId>) {
+        let mut h = History::new();
+        for _ in 0..len {
+            let pid = rng.below(u64::from(n_procs)) as u32;
+            let addr = rng.below(u64::from(n_cells)) as u32;
+            h.push(access(pid, addr, true, None, None));
+        }
+        let mut fin = BTreeSet::new();
+        for p in 0..n_procs {
+            if rng.chance(1, 2) {
+                fin.insert(ProcId(p));
+            }
+        }
+        (h, fin)
+    }
+
+    /// Property: condition-3 violations are exactly the multi-writer cells
+    /// whose last writer is outside `fin` — one violation per such cell,
+    /// naming that last writer — for arbitrary write histories and `fin` sets.
+    #[test]
+    fn prop_multi_writer_last_write_active_matches_reference() {
+        let mut rng = crate::rng::XorShift64::new(0xE1);
+        for _ in 0..200 {
+            let (h, fin) = random_write_history(&mut rng, 5, 4, 24);
+            // Independent reconstruction of per-cell writer sets.
+            let mut expected = Vec::new();
+            for a in 0..4u32 {
+                let writers: BTreeSet<ProcId> = h
+                    .events()
+                    .iter()
+                    .filter_map(|e| match *e {
+                        Event::Access {
+                            pid,
+                            op,
+                            wrote: true,
+                            ..
+                        } if op.addr() == Addr(a) => Some(pid),
+                        _ => None,
+                    })
+                    .collect();
+                let last = h.events().iter().rev().find_map(|e| match *e {
+                    Event::Access {
+                        pid,
+                        op,
+                        wrote: true,
+                        ..
+                    } if op.addr() == Addr(a) => Some(pid),
+                    _ => None,
+                });
+                if let Some(last) = last {
+                    if writers.len() > 1 && !fin.contains(&last) {
+                        expected.push(RegularityViolation::MultiWriterLastWriteActive {
+                            addr: Addr(a),
+                            last_writer: last,
+                        });
+                    }
+                }
+            }
+            let got: Vec<_> = h
+                .regularity_violations_given_fin(&fin)
+                .into_iter()
+                .filter(|v| matches!(v, RegularityViolation::MultiWriterLastWriteActive { .. }))
+                .collect();
+            assert_eq!(got, expected, "history: {:?}, fin: {fin:?}", h.events());
+        }
+    }
+
+    /// Property: a cell only ever written by one process never triggers
+    /// condition 3, whatever the finished set.
+    #[test]
+    fn prop_single_writer_cells_never_violate_condition_3() {
+        let mut rng = crate::rng::XorShift64::new(0xE2);
+        for _ in 0..100 {
+            // One exclusive cell per process.
+            let mut h = History::new();
+            for _ in 0..20 {
+                let pid = rng.below(5) as u32;
+                h.push(access(pid, pid, true, None, None));
+            }
+            let (_, fin) = random_write_history(&mut rng, 5, 1, 0);
+            assert!(h
+                .regularity_violations_given_fin(&fin)
+                .iter()
+                .all(|v| !matches!(v, RegularityViolation::MultiWriterLastWriteActive { .. })));
+        }
+    }
+
+    /// Property (empty finished set): with `fin = ∅`, *every* multi-writer
+    /// cell violates condition 3 and every sees/touches of a participant
+    /// violates conditions 1/2; an empty history still has no violations.
+    #[test]
+    fn prop_empty_fin_flags_every_multi_writer_cell() {
+        let empty = BTreeSet::new();
+        assert!(History::new()
+            .regularity_violations_given_fin(&empty)
+            .is_empty());
+
+        let mut rng = crate::rng::XorShift64::new(0xE3);
+        for _ in 0..100 {
+            let (h, _) = random_write_history(&mut rng, 4, 3, 18);
+            let multi_writer_cells: BTreeSet<Addr> = (0..3u32)
+                .map(Addr)
+                .filter(|&a| {
+                    let writers: BTreeSet<ProcId> = h
+                        .events()
+                        .iter()
+                        .filter_map(|e| match *e {
+                            Event::Access {
+                                pid,
+                                op,
+                                wrote: true,
+                                ..
+                            } if op.addr() == a => Some(pid),
+                            _ => None,
+                        })
+                        .collect();
+                    writers.len() > 1
+                })
+                .collect();
+            let flagged: BTreeSet<Addr> = h
+                .regularity_violations_given_fin(&empty)
+                .into_iter()
+                .filter_map(|v| match v {
+                    RegularityViolation::MultiWriterLastWriteActive { addr, .. } => Some(addr),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(flagged, multi_writer_cells);
+        }
+    }
+
+    /// With `fin = ∅`, sees/touches of participants are condition-1/2
+    /// violations at the recorded indices; sees/touches of non-participants
+    /// constrain nothing.
+    #[test]
+    fn empty_fin_sees_touches_and_nonparticipants() {
+        let mut h = History::new();
+        h.push(access(0, 0, true, None, None));
+        h.push(access(1, 0, false, Some(0), Some(0)));
+        // Process 7 never takes a step: seeing it constrains nothing.
+        h.push(access(2, 1, false, Some(7), Some(7)));
+        let empty = BTreeSet::new();
+        let violations = h.regularity_violations_given_fin(&empty);
+        assert_eq!(
+            violations,
+            vec![
+                RegularityViolation::SeesActive {
+                    seer: ProcId(1),
+                    seen: ProcId(0),
+                    at: 1,
+                },
+                RegularityViolation::TouchesActive {
+                    toucher: ProcId(1),
+                    touched: ProcId(0),
+                    at: 1,
+                },
+            ]
+        );
     }
 }

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod audit;
 pub mod event;
 pub mod history_label;
 pub mod ids;
@@ -73,6 +74,7 @@ pub mod sim;
 pub mod source;
 pub mod trace;
 
+pub use audit::{AuditDivergence, AuditReport};
 pub use event::{CallRecord, Event, History, ProjectedEvent, RegularityViolation};
 pub use history_label::Labels;
 pub use ids::{Addr, AddrRange, ProcId, Word, NIL};

@@ -124,6 +124,20 @@ impl ProcSet {
         self.bits.iter_mut().for_each(|b| *b = 0);
         self.insert(p);
     }
+
+    /// Members in ascending process-ID order.
+    fn members(&self) -> Vec<ProcId> {
+        let mut out = Vec::new();
+        for (blk, &bits) in self.bits.iter().enumerate() {
+            let mut rest = bits;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                out.push(ProcId((blk * 64 + bit) as u32));
+                rest &= rest - 1;
+            }
+        }
+        out
+    }
 }
 
 /// Mutable pricing state for one execution under one cost model.
@@ -158,6 +172,20 @@ impl CostState {
     #[must_use]
     pub fn model(&self) -> CostModel {
         self.model
+    }
+
+    /// Processes currently holding a valid cached copy of `addr`, in
+    /// ascending ID order. Always empty under DSM (which has no caches).
+    ///
+    /// Exposed for the differential audit layer, which diffs the fast path's
+    /// cache-validity state against an independent reference after every
+    /// audited access.
+    #[must_use]
+    pub fn holders(&self, addr: Addr) -> Vec<ProcId> {
+        self.valid
+            .get(addr.index())
+            .map(ProcSet::members)
+            .unwrap_or_default()
     }
 
     /// Prices the access `applied` performed by `pid` on `addr` (whose module
@@ -498,5 +526,23 @@ mod tests {
         s.reset_to(ProcId(9));
         assert_eq!(s.len(), 1);
         assert!(s.contains(ProcId(9)) && !s.contains(ProcId(70)));
+    }
+
+    #[test]
+    fn members_and_holders_enumerate_in_order() {
+        let mut s = ProcSet::default();
+        s.insert(ProcId(70));
+        s.insert(ProcId(3));
+        s.insert(ProcId(64));
+        assert_eq!(s.members(), vec![ProcId(3), ProcId(64), ProcId(70)]);
+
+        let mut st = CostState::new(CostModel::cc_default(), 4, 2);
+        st.charge(Q, A, None, &read_applied(0));
+        st.charge(P, A, None, &read_applied(0));
+        assert_eq!(st.holders(A), vec![P, Q]);
+        assert_eq!(st.holders(Addr(1)), Vec::<ProcId>::new());
+
+        let dsm = CostState::new(CostModel::Dsm, 4, 2);
+        assert!(dsm.holders(A).is_empty(), "DSM has no caches");
     }
 }

@@ -148,10 +148,10 @@ struct ProcState {
 /// `at` is the schedule position the injection preceded: the call was
 /// injected after schedule entry `at - 1` executed and before entry `at`.
 #[derive(Clone, Debug)]
-struct Injection {
-    at: usize,
-    pid: ProcId,
-    call: Call,
+pub(crate) struct Injection {
+    pub(crate) at: usize,
+    pub(crate) pid: ProcId,
+    pub(crate) call: Call,
 }
 
 /// An O(live-state) snapshot of a [`Simulator`] mid-execution: memory
@@ -744,8 +744,9 @@ impl Simulator {
     /// against the recorded log as it goes and aborts at the first
     /// divergence, so a refused erasure costs O(steps to divergence), not
     /// O(history). The per-process rolling-hash fingerprints double-check
-    /// the accepted result in O(1) per process, and a debug assertion
-    /// cross-checks the exact projections.
+    /// the accepted result in O(1) per process, and an exact projection
+    /// cross-check runs in debug builds (or in release builds when the
+    /// `exact-fingerprints` cargo feature is enabled).
     #[must_use]
     pub fn erase_certified(&self, spec: &SimSpec, batch: &BTreeSet<ProcId>) -> Option<Simulator> {
         let (tail, start, prefix_events) = self.replay_tail(spec, batch, true)?;
@@ -761,11 +762,11 @@ impl Simulator {
             sim.history = History::spliced(&self.history.events()[..prefix_events], suffix);
             Self::rebase_suffix_checkpoints(&mut sim, start, prefix_events);
         }
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         for i in 0..self.n() {
             let p = ProcId(i as u32);
             if !batch.contains(&p) {
-                debug_assert_eq!(
+                assert_eq!(
                     sim.history.projection(p),
                     self.history.projection(p),
                     "fingerprint collision: projection of {p} changed under erasure"
@@ -798,7 +799,7 @@ impl Simulator {
         if self.cost.model() != CostModel::Dsm {
             return self.erase_certified_in_place_replay(spec, batch);
         }
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         let mut shadow = self.clone();
 
         let n = self.n();
@@ -853,8 +854,8 @@ impl Simulator {
                 }
                 let applied = mem.apply(*pid, *op);
                 if applied.result != *result {
-                    #[cfg(debug_assertions)]
-                    debug_assert!(
+                    #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
+                    assert!(
                         !shadow.erase_certified_in_place_replay(spec, batch),
                         "event-walk refused an erasure the replay path accepts"
                     );
@@ -929,30 +930,30 @@ impl Simulator {
         self.checkpoints
             .retain(|c| c.schedule_len <= splice && c.injections_len <= first_gone_inj);
 
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         {
-            debug_assert!(
+            assert!(
                 shadow.erase_certified_in_place_replay(spec, batch),
                 "event-walk accepted an erasure the replay path refuses"
             );
-            debug_assert_eq!(
+            assert_eq!(
                 shadow.history.events(),
                 self.history.events(),
                 "surgery: history mismatch"
             );
-            debug_assert_eq!(shadow.schedule, self.schedule, "surgery: schedule mismatch");
-            debug_assert_eq!(shadow.totals, self.totals, "surgery: totals mismatch");
-            debug_assert_eq!(
+            assert_eq!(shadow.schedule, self.schedule, "surgery: schedule mismatch");
+            assert_eq!(shadow.totals, self.totals, "surgery: totals mismatch");
+            assert_eq!(
                 shadow.first_touch, self.first_touch,
                 "surgery: first_touch mismatch"
             );
-            debug_assert_eq!(
+            assert_eq!(
                 shadow.first_write, self.first_write,
                 "surgery: first_write mismatch"
             );
             for i in 0..n {
                 let p = ProcId(i as u32);
-                debug_assert_eq!(
+                assert_eq!(
                     shadow.history.fingerprint(p),
                     self.history.fingerprint(p),
                     "surgery: fingerprint mismatch for {p}"
@@ -960,12 +961,12 @@ impl Simulator {
             }
             for a in 0..spec.layout.len() {
                 let addr = crate::ids::Addr(a as u32);
-                debug_assert_eq!(
+                assert_eq!(
                     shadow.memory.peek(addr),
                     self.memory.peek(addr),
                     "surgery: memory value mismatch at cell {a}"
                 );
-                debug_assert_eq!(
+                assert_eq!(
                     shadow.memory.last_writer(addr),
                     self.memory.last_writer(addr),
                     "surgery: last-writer mismatch at cell {a}"
@@ -986,7 +987,7 @@ impl Simulator {
         spec: &SimSpec,
         batch: &BTreeSet<ProcId>,
     ) -> bool {
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         let before: Vec<Vec<crate::event::ProjectedEvent>> = (0..self.n())
             .map(|i| self.history.projection(ProcId(i as u32)))
             .collect();
@@ -1012,11 +1013,11 @@ impl Simulator {
         self.schedule = tail.schedule;
         self.checkpoints = tail.checkpoints;
         self.history.splice_tail(prefix_events, tail.history);
-        #[cfg(debug_assertions)]
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         for (i, recorded) in before.iter().enumerate().take(self.n()) {
             let p = ProcId(i as u32);
             if !batch.contains(&p) {
-                debug_assert_eq!(
+                assert_eq!(
                     &self.history.projection(p),
                     recorded,
                     "fingerprint collision: projection of {p} changed under erasure"
@@ -1137,6 +1138,39 @@ impl Simulator {
     #[must_use]
     pub fn injected_calls(&self) -> u64 {
         self.injected
+    }
+
+    /// The recorded injections, in injection order (`at` nondecreasing).
+    pub(crate) fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// The live cost-model state (cache validity under CC).
+    pub(crate) fn cost_state(&self) -> &CostState {
+        &self.cost
+    }
+
+    /// Mutable access to the recorded event log, bypassing fingerprint
+    /// maintenance. For audit-layer tamper tests only.
+    #[cfg(test)]
+    pub(crate) fn history_mut(&mut self) -> &mut History {
+        &mut self.history
+    }
+
+    /// Differentially audits this execution against a naive shadow executor:
+    /// the recorded schedule (and injections) are re-run step by step under
+    /// an independent reference implementation of memory semantics and of
+    /// each of the four standard cost models — no checkpoints, no
+    /// fingerprints, no event-walk surgery — and every per-step result,
+    /// RMR/message/invalidation charge, cache-validity set, the final memory
+    /// image and the final [`Totals`]/per-process stats are diffed against
+    /// the fast incremental path. See [`crate::audit`] for the report format.
+    ///
+    /// `spec` must be the spec this simulator was built from. The audit is
+    /// read-only and returns on the *first* divergence found.
+    #[must_use]
+    pub fn audit(&self, spec: &SimSpec) -> crate::audit::AuditReport {
+        crate::audit::run_audit(self, spec)
     }
 
     /// Advances `pid` by one step.

@@ -286,6 +286,81 @@ fn erase_certified_agrees_with_reference() {
     }
 }
 
+/// Audit tier of the determinism contract: the differential audit layer —
+/// a naive shadow executor with none of the incremental machinery — finds
+/// no divergence from the fast path on a plain recording, for every cost
+/// model, and its cross-model walks are clean too.
+#[test]
+fn audit_is_clean_on_plain_recordings_for_every_model() {
+    for model in all_models() {
+        let spec = workload(5, 3, model);
+        let mut sim = Simulator::new(&spec);
+        run_to_completion(&mut sim, &mut SeededRandom::new(2024), 1_000_000);
+        let report = sim.audit(&spec);
+        assert!(
+            report.is_clean(),
+            "{model:?}: {}",
+            report.divergence.unwrap()
+        );
+        assert_eq!(report.models_checked, 4, "{model:?}");
+        assert!(report.steps_checked > 0, "{model:?}");
+    }
+}
+
+/// Audit tier with injections: a recording extended by injected calls (the
+/// adversary's signal splices) still audits clean — the shadow executor
+/// re-applies the injections at their recorded positions.
+#[test]
+fn audit_is_clean_after_call_injection() {
+    for model in all_models() {
+        let spec = workload(4, 2, model);
+        let mut sim = Simulator::new(&spec);
+        run_to_completion(&mut sim, &mut SeededRandom::new(12), 1_000_000);
+        sim.inject_call(
+            ProcId(1),
+            Call::new(
+                CallKind(50),
+                "sig",
+                Box::new(OpSequence::new(vec![Op::Write(Addr(0), 42)])),
+            ),
+        );
+        while sim.is_runnable(ProcId(1)) {
+            let _ = sim.step(ProcId(1));
+        }
+        let report = sim.audit(&spec);
+        assert!(
+            report.is_clean(),
+            "{model:?}: {}",
+            report.divergence.unwrap()
+        );
+    }
+}
+
+/// Audit tier after event-walk surgery: a simulator produced by
+/// `erase_certified` (checkpoints + fingerprints + surgical replay) audits
+/// clean against the naive shadow executor — the strongest end-to-end check
+/// that the incremental path's shortcuts are sound.
+#[test]
+fn audit_is_clean_after_certified_erasure() {
+    for model in all_models() {
+        let spec = workload(6, 3, model);
+        let mut sim = Simulator::new(&spec);
+        sim.enable_checkpoints(8);
+        run_to_completion(&mut sim, &mut SeededRandom::new(3), 1_000_000);
+        for victim in 0..6u32 {
+            let batch = BTreeSet::from([ProcId(victim)]);
+            if let Some(got) = sim.erase_certified(&spec, &batch) {
+                let report = got.audit(&spec);
+                assert!(
+                    report.is_clean(),
+                    "{model:?} erased=p{victim}: {}",
+                    report.divergence.unwrap()
+                );
+            }
+        }
+    }
+}
+
 /// Checkpoint thinning keeps memory bounded (≤ 96 checkpoints) without
 /// breaking replay exactness, even at interval 1.
 #[test]
