@@ -155,7 +155,7 @@ fn incremental_engine_matches_reference_pipeline() {
                 s.survivors,
                 s.signal_completed,
                 s.post_polls_skipped,
-                s.post_spec.clone(),
+                s.post_spec,
                 s.total_rmrs,
                 s.participants,
             )

@@ -2,10 +2,26 @@
 //! of `EXPERIMENTS.md`'s tables.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_all`
+//!
+//! Pass `--threads N` to set every child's pool size (exported as
+//! `CC_DSM_THREADS`; 1 = exact serial path). Pass `--json` to write
+//! per-experiment wall times to `BENCH_experiments.json` — the repo's
+//! wall-time trajectory. Pass `--canon-dir DIR` to have E1/E2/E8 write
+//! canonical (timing-free) row JSON into `DIR` for byte-equality
+//! determinism diffs between thread counts.
 
+use bench::cli;
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let threads = cli::value_of(&args, "--threads");
+    let canon_dir = cli::value_of(&args, "--canon-dir");
+    if let Some(dir) = &canon_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
+    }
     let bins = [
         "exp_e1_cc_upper",
         "exp_e2_dsm_lower",
@@ -16,16 +32,49 @@ fn main() {
         "exp_e7_fixed_w",
         "exp_e8_transformation",
     ];
+    // Which binaries accept --canon, and the canonical file each writes.
+    let canon_name = |bin: &str| match bin {
+        "exp_e1_cc_upper" => Some("e1.json"),
+        "exp_e2_dsm_lower" => Some("e2.json"),
+        "exp_e8_transformation" => Some("e8.json"),
+        _ => None,
+    };
     // When invoked via cargo, sibling binaries sit next to us.
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
+    let mut walls: Vec<(&str, f64)> = Vec::new();
     for bin in bins {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================\n");
-        let status = Command::new(dir.join(bin))
+        let mut cmd = Command::new(dir.join(bin));
+        if let Some(t) = &threads {
+            cmd.env("CC_DSM_THREADS", t);
+        }
+        if let (Some(cdir), Some(name)) = (&canon_dir, canon_name(bin)) {
+            cmd.arg("--canon").arg(format!("{cdir}/{name}"));
+        }
+        let t = Instant::now();
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
         assert!(status.success(), "{bin} failed");
+        walls.push((bin, wall_ms));
+    }
+    if json {
+        let threads_json = threads.unwrap_or_else(|| shm_pool::threads().to_string());
+        let total: f64 = walls.iter().map(|(_, w)| w).sum();
+        let mut out = format!("{{\"threads\": {threads_json}, \"experiments\": [\n");
+        for (i, (bin, wall_ms)) in walls.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"experiment\": \"{bin}\", \"wall_ms\": {wall_ms:.3}}}{}",
+                if i + 1 < walls.len() { ",\n" } else { "\n" },
+            ));
+        }
+        out.push_str(&format!("], \"total_wall_ms\": {total:.3}}}\n"));
+        let path = "BENCH_experiments.json";
+        std::fs::write(path, out).expect("write BENCH_experiments.json");
+        println!("\nwrote {path}");
     }
 }

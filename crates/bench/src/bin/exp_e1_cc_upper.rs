@@ -1,11 +1,18 @@
 //! E1 — §5 upper bound: O(1) RMRs per process in the CC model.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e1_cc_upper`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path) and
+//! `--canon FILE` to write the canonical row JSON for byte-equality
+//! determinism checks.
 
-use bench::e1_cc_upper;
 use bench::table::{header, row};
+use bench::{canon, cli, e1_cc_upper};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let canon_path = cli::value_of(&args, "--canon");
     println!("E1: the single-Boolean algorithm (§5), waiters poll 25x before the signal\n");
     let widths = [18, 10, 8, 18, 12];
     header(&[
@@ -15,7 +22,8 @@ fn main() {
         ("max RMR/process", 18),
         ("total RMRs", 12),
     ]);
-    for r in e1_cc_upper(&[4, 16, 64, 256], 25) {
+    let rows = e1_cc_upper(&[4, 16, 64, 256], 25);
+    for r in &rows {
         row(
             &[
                 r.model.into(),
@@ -26,6 +34,11 @@ fn main() {
             ],
             &widths,
         );
+    }
+    if let Some(path) = canon_path {
+        std::fs::write(&path, canon::e1_json(&rows))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
     }
     println!("\npaper: O(1) RMRs/process, wait-free, reads+writes, O(1) space (CC).");
     println!("shape check: CC rows stay at <= 3 RMRs/process for every N; the DSM rows");

@@ -8,75 +8,114 @@
 //! reference implementations of all four cost models and diff it against
 //! the incremental path; the process exits nonzero on any divergence or
 //! in-contract safety violation. Pass `--sizes 32,64` to override the
-//! default population sizes.
+//! default population sizes, `--threads N` to set the pool size (default:
+//! `CC_DSM_THREADS` or available parallelism; 1 = exact serial path),
+//! `--speedup` to re-run the sweep at `--threads 1` and record per-phase
+//! parallel speedups, and `--canon FILE` to write the canonical
+//! (timing-free) row JSON for byte-equality determinism checks.
 
 use bench::table::{f2, header, row};
-use bench::{e2_dsm_lower_with, E2Row};
+use bench::{canon, cli, e2_dsm_lower_with, E2Row};
+use std::time::Instant;
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-fn to_json(rows: &[E2Row]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        let audit_clean = r
-            .audit_clean
-            .map_or_else(|| "null".to_string(), |c| c.to_string());
-        // The divergence is already a JSON object; embed it verbatim.
-        let audit_divergence = r.audit_divergence.clone().unwrap_or_else(|| "null".into());
-        out.push_str(&format!(
-            concat!(
-                "  {{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
-                "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
-                "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
-                "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}, ",
-                "\"record_ms\": {:.3}, \"rounds_ms\": {:.3}, \"chase_ms\": {:.3}, ",
-                "\"discovery_ms\": {:.3}, \"total_ms\": {:.3}}}{}"
-            ),
-            json_escape(&r.algorithm),
-            r.n,
-            r.stabilized,
-            r.stable,
-            r.chase_signaler_rmrs,
-            r.chase_erased,
-            r.blocked,
-            r.amortized,
-            r.violation,
-            r.out_of_contract,
-            audit_clean,
-            audit_divergence,
-            r.timings.record_ms,
-            r.timings.rounds_ms,
-            r.timings.chase_ms,
-            r.timings.discovery_ms,
-            r.timings.total_ms(),
-            if i + 1 < rows.len() { ",\n" } else { "\n" },
-        ));
+/// Ratio rendered as JSON: `serial / parallel`, `null` when not measured or
+/// when the parallel denominator is ~0.
+fn speedup_json(serial: Option<f64>, parallel: f64) -> String {
+    match serial {
+        Some(s) if parallel > 1e-9 => format!("{:.3}", s / parallel),
+        _ => "null".to_string(),
     }
-    out.push_str("]\n");
-    out
 }
 
-fn parse_sizes(args: &[String]) -> Vec<usize> {
-    args.iter()
-        .position(|a| a == "--sizes")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(
-            || vec![32, 64, 128, 256],
-            |list| {
-                list.split(',')
-                    .map(|s| s.trim().parse().expect("--sizes takes e.g. 32,64"))
-                    .collect()
-            },
-        )
+fn row_json(r: &E2Row, threads: usize, serial: Option<&E2Row>) -> String {
+    let audit_clean = r
+        .audit_clean
+        .map_or_else(|| "null".to_string(), |c| c.to_string());
+    // The divergence is already a JSON object; embed it verbatim.
+    let audit_divergence = r.audit_divergence.clone().unwrap_or_else(|| "null".into());
+    format!(
+        concat!(
+            "  {{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
+            "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
+            "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
+            "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}, ",
+            "\"threads\": {}, ",
+            "\"record_ms\": {:.3}, \"rounds_ms\": {:.3}, \"chase_ms\": {:.3}, ",
+            "\"discovery_ms\": {:.3}, \"total_ms\": {:.3}, ",
+            "\"record_speedup\": {}, \"rounds_speedup\": {}, \"chase_speedup\": {}, ",
+            "\"discovery_speedup\": {}, \"total_speedup\": {}}}"
+        ),
+        r.algorithm.replace('\\', "\\\\").replace('"', "\\\""),
+        r.n,
+        r.stabilized,
+        r.stable,
+        r.chase_signaler_rmrs,
+        r.chase_erased,
+        r.blocked,
+        r.amortized,
+        r.violation,
+        r.out_of_contract,
+        audit_clean,
+        audit_divergence,
+        threads,
+        r.timings.record_ms,
+        r.timings.rounds_ms,
+        r.timings.chase_ms,
+        r.timings.discovery_ms,
+        r.timings.total_ms(),
+        speedup_json(serial.map(|s| s.timings.record_ms), r.timings.record_ms),
+        speedup_json(serial.map(|s| s.timings.rounds_ms), r.timings.rounds_ms),
+        speedup_json(serial.map(|s| s.timings.chase_ms), r.timings.chase_ms),
+        speedup_json(
+            serial.map(|s| s.timings.discovery_ms),
+            r.timings.discovery_ms
+        ),
+        speedup_json(serial.map(|s| s.timings.total_ms()), r.timings.total_ms()),
+    )
+}
+
+fn to_json(
+    rows: &[E2Row],
+    threads: usize,
+    wall_ms: f64,
+    serial: Option<(&[E2Row], f64)>,
+) -> String {
+    let (serial_wall, speedup) = serial.map_or_else(
+        || ("null".to_string(), "null".to_string()),
+        |(_, sw)| {
+            (
+                format!("{sw:.3}"),
+                if wall_ms > 1e-9 {
+                    format!("{:.3}", sw / wall_ms)
+                } else {
+                    "null".to_string()
+                },
+            )
+        },
+    );
+    let mut out = format!(
+        concat!(
+            "{{\"threads\": {}, \"wall_ms\": {:.3}, \"serial_wall_ms\": {}, ",
+            "\"speedup\": {}, \"rows\": [\n"
+        ),
+        threads, wall_ms, serial_wall, speedup,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&row_json(r, threads, serial.map(|(s, _)| &s[i])));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
     let audit = args.iter().any(|a| a == "--audit");
-    let sizes = parse_sizes(&args);
+    let speedup = args.iter().any(|a| a == "--speedup");
+    let canon_path = cli::value_of(&args, "--canon");
+    let sizes = cli::sizes_of(&args, &[32, 64, 128, 256]);
+    let threads = cli::apply_threads(&args);
     println!("E2: the §6 adversary (erase / roll forward / wild goose chase), DSM model\n");
     let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10, 9, 7, 10, 10, 10];
     header(&[
@@ -95,7 +134,9 @@ fn main() {
         ("rounds_ms", 10),
         ("chase_ms", 10),
     ]);
+    let t = Instant::now();
     let rows = e2_dsm_lower_with(&sizes, audit);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
     for r in &rows {
         row(
             &[
@@ -118,10 +159,40 @@ fn main() {
             &widths,
         );
     }
+    let serial = speedup.then(|| {
+        println!("\n--speedup: re-running the sweep at --threads 1 ...");
+        shm_pool::set_threads(1);
+        let t = Instant::now();
+        let serial_rows = e2_dsm_lower_with(&sizes, audit);
+        let serial_wall = t.elapsed().as_secs_f64() * 1e3;
+        shm_pool::set_threads(threads);
+        assert_eq!(
+            canon::e2_json(&serial_rows),
+            canon::e2_json(&rows),
+            "serial and parallel sweeps must agree on every deterministic field"
+        );
+        println!(
+            "wall: {wall_ms:.1} ms at {threads} threads vs {serial_wall:.1} ms serial \
+             ({:.2}x)",
+            serial_wall / wall_ms.max(1e-9),
+        );
+        (serial_rows, serial_wall)
+    });
     if json {
         let path = "BENCH_adversary.json";
-        std::fs::write(path, to_json(&rows)).expect("write BENCH_adversary.json");
+        let body = to_json(
+            &rows,
+            threads,
+            wall_ms,
+            serial.as_ref().map(|(r, w)| (r.as_slice(), *w)),
+        );
+        std::fs::write(path, body).expect("write BENCH_adversary.json");
         println!("\nwrote {path}");
+    }
+    if let Some(path) = canon_path {
+        std::fs::write(&path, canon::e2_json(&rows))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
     }
     println!("\npaper: for any c there is a history with k participants and > c*k RMRs");
     println!("(reads/writes/CAS/LLSC). shape check: broadcast's amortized column grows");

@@ -5,13 +5,20 @@
 //!
 //! Pass `--audit` to shadow-execute each variant's recording phase under
 //! naive reference implementations of all four cost models; the process
-//! exits nonzero on any divergence.
+//! exits nonzero on any divergence. Pass `--sizes 16,32` to override the
+//! default population sizes, `--threads N` to set the pool size (1 = exact
+//! serial path), and `--canon FILE` to write the canonical row JSON for
+//! byte-equality determinism checks.
 
-use bench::e8_transformation_with;
 use bench::table::{f2, header, row};
+use bench::{canon, cli, e8_transformation_with};
 
 fn main() {
-    let audit = std::env::args().any(|a| a == "--audit");
+    let args: Vec<String> = std::env::args().collect();
+    let audit = args.iter().any(|a| a == "--audit");
+    let _threads = cli::apply_threads(&args);
+    let canon_path = cli::value_of(&args, "--canon");
+    let sizes = cli::sizes_of(&args, &[16, 32, 64, 128]);
     println!("E8: Corollary 6.14 — the primitive classes under the same adversary\n");
     let widths = [14, 6, 11, 8, 11, 9, 13, 7, 10, 10, 10];
     header(&[
@@ -27,7 +34,7 @@ fn main() {
         ("rounds_ms", 10),
         ("chase_ms", 10),
     ]);
-    let rows = e8_transformation_with(&[16, 32, 64, 128], audit);
+    let rows = e8_transformation_with(&sizes, audit);
     for r in &rows {
         row(
             &[
@@ -46,6 +53,11 @@ fn main() {
             ],
             &widths,
         );
+    }
+    if let Some(path) = canon_path {
+        std::fs::write(&path, canon::e8_json(&rows))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
     }
     println!("\npaper (Cor. 6.14): the DSM lower bound holds for reads/writes plus CAS");
     println!("or LL/SC, via locally-accessible read/write implementations of those");

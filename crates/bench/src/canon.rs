@@ -1,0 +1,114 @@
+//! Canonical JSON serialization of experiment rows.
+//!
+//! These serializers emit only the *deterministic* fields of each row — no
+//! wall-clock timings, no thread counts — with a fixed key order and fixed
+//! float formatting, so the output is byte-identical across thread counts
+//! and across machines. The determinism tests and the `--canon` flags of the
+//! experiment binaries compare these byte-for-byte between `--threads 1` and
+//! multi-threaded runs.
+
+use crate::{E1Row, E2Row, E8Row};
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn join_rows(rows: Vec<String>) -> String {
+    let mut out = String::from("[\n");
+    let n = rows.len();
+    for (i, r) in rows.into_iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r);
+        out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Canonical JSON for E1 rows (stable key order, deterministic fields only).
+#[must_use]
+pub fn e1_json(rows: &[E1Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "{{\"model\": \"{}\", \"n_waiters\": {}, \"polls\": {}, ",
+                        "\"max_rmrs_per_proc\": {}, \"total_rmrs\": {}}}"
+                    ),
+                    json_escape(r.model),
+                    r.n_waiters,
+                    r.polls,
+                    r.max_rmrs_per_proc,
+                    r.total_rmrs,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Canonical JSON for E2 rows: the deterministic adversary outcome fields,
+/// without the per-phase timings (those go in `BENCH_adversary.json`).
+#[must_use]
+pub fn e2_json(rows: &[E2Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                let audit_clean = r
+                    .audit_clean
+                    .map_or_else(|| "null".to_string(), |c| c.to_string());
+                // The divergence is already a JSON object; embed it verbatim.
+                let audit_divergence = r.audit_divergence.clone().unwrap_or_else(|| "null".into());
+                format!(
+                    concat!(
+                        "{{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
+                        "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
+                        "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
+                        "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}}}"
+                    ),
+                    json_escape(&r.algorithm),
+                    r.n,
+                    r.stabilized,
+                    r.stable,
+                    r.chase_signaler_rmrs,
+                    r.chase_erased,
+                    r.blocked,
+                    r.amortized,
+                    r.violation,
+                    r.out_of_contract,
+                    audit_clean,
+                    audit_divergence,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Canonical JSON for E8 rows (deterministic fields only).
+#[must_use]
+pub fn e8_json(rows: &[E8Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                let audit_clean = r
+                    .audit_clean
+                    .map_or_else(|| "null".to_string(), |c| c.to_string());
+                format!(
+                    concat!(
+                        "{{\"variant\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
+                        "\"stable\": {}, \"amortized\": {:.4}, \"blocked\": {}, ",
+                        "\"signal_stuck\": {}, \"audit_clean\": {}}}"
+                    ),
+                    json_escape(&r.variant),
+                    r.n,
+                    r.stabilized,
+                    r.stable,
+                    r.amortized,
+                    r.blocked,
+                    r.signal_stuck,
+                    audit_clean,
+                )
+            })
+            .collect(),
+    )
+}

@@ -1,0 +1,41 @@
+//! Tiny shared argument helpers for the experiment binaries.
+//!
+//! The binaries stay dependency-free (no clap); these helpers cover the two
+//! patterns they share: `--flag value` extraction and the `--threads N`
+//! convention (an explicit `--threads` overrides the `CC_DSM_THREADS`
+//! environment variable, which overrides available parallelism — resolution
+//! lives in [`shm_pool::threads`]).
+
+/// The value following `--<flag>`, if present.
+#[must_use]
+pub fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Applies `--threads N` (if present) as the process-wide pool thread count
+/// and returns the effective count.
+#[must_use]
+pub fn apply_threads(args: &[String]) -> usize {
+    if let Some(v) = value_of(args, "--threads") {
+        let n: usize = v.parse().expect("--threads takes a positive integer");
+        assert!(n > 0, "--threads takes a positive integer");
+        shm_pool::set_threads(n);
+    }
+    shm_pool::threads()
+}
+
+/// Parses a `--sizes 32,64,...` override, falling back to `default`.
+#[must_use]
+pub fn sizes_of(args: &[String], default: &[usize]) -> Vec<usize> {
+    value_of(args, "--sizes").map_or_else(
+        || default.to_vec(),
+        |list| {
+            list.split(',')
+                .map(|s| s.trim().parse().expect("--sizes takes e.g. 32,64"))
+                .collect()
+        },
+    )
+}

@@ -1,7 +1,15 @@
 //! The experiment implementations. See the crate docs for the claim map.
+//!
+//! Every sweep below is embarrassingly parallel: each (algorithm, size,
+//! model) row is an independent deterministic simulation. The loops submit
+//! one job per row to [`shm_pool::map_indexed`] and merge results by
+//! submission index, so the returned row order — and any table/JSON rendered
+//! from it — is byte-identical to the serial run at every thread count
+//! (`--threads 1` / `CC_DSM_THREADS=1` is the exact serial path).
 
 use rmr_adversary::{fixed_waiters_signaler_cost, run_lower_bound, LowerBoundConfig, PhaseTimings};
 use shm_mutex::{run_lock_workload, LockWorkloadConfig, MutexAlgorithm};
+use shm_pool::map_indexed;
 use shm_sim::{CcConfig, CostModel, Interconnect, ProcId, Protocol, Scripted, SimSpec, Simulator};
 use signaling::algorithms::{
     Broadcast, CcFlag, FixedSignaler, FixedWaiters, QueueSignaling, SingleWaiter,
@@ -95,24 +103,26 @@ pub fn e1_cc_upper(sizes: &[u32], polls: u32) -> Vec<E1Row> {
         ),
         ("dsm", CostModel::Dsm),
     ];
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in sizes {
         for (label, model) in models {
-            let sim = run_poll_heavy(&CcFlag, n, polls, model);
-            let max = (0..=n)
-                .map(|i| sim.proc_stats(ProcId(i)).rmrs)
-                .max()
-                .unwrap_or(0);
-            rows.push(E1Row {
-                model: label,
-                n_waiters: n,
-                polls,
-                max_rmrs_per_proc: max,
-                total_rmrs: sim.totals().rmrs,
-            });
+            jobs.push((n, label, model));
         }
     }
-    rows
+    map_indexed(shm_pool::threads(), jobs, |_, (n, label, model)| {
+        let sim = run_poll_heavy(&CcFlag, n, polls, model);
+        let max = (0..=n)
+            .map(|i| sim.proc_stats(ProcId(i)).rmrs)
+            .max()
+            .unwrap_or(0);
+        E1Row {
+            model: label,
+            n_waiters: n,
+            polls,
+            max_rmrs_per_proc: max,
+            total_rmrs: sim.totals().rmrs,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- E2 ----
@@ -173,34 +183,37 @@ pub fn e2_dsm_lower_with(sizes: &[usize], audit: bool) -> Vec<E2Row> {
         Box::new(SingleWaiter),
         Box::new(QueueSignaling),
     ];
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in sizes {
-        for algo in &algos {
-            let mut cfg = LowerBoundConfig::for_n(n);
-            cfg.part1.audit = audit;
-            let report = run_lower_bound(algo.as_ref(), cfg);
-            let (chase_rmrs, chase_erased, blocked) = report
-                .chase
-                .as_ref()
-                .map_or((0, 0, 0), |c| (c.signaler_rmrs, c.erased.len(), c.blocked));
-            rows.push(E2Row {
-                algorithm: report.algorithm.clone(),
-                n,
-                stabilized: report.part1.stabilized,
-                stable: report.part1.stable.len(),
-                chase_signaler_rmrs: chase_rmrs,
-                chase_erased,
-                blocked,
-                amortized: report.worst_amortized(),
-                violation: report.found_violation(),
-                out_of_contract: report.out_of_contract(),
-                audit_clean: report.audit_clean(),
-                audit_divergence: report.first_divergence().map(|d| d.to_json()),
-                timings: report.timings,
-            });
+        for k in 0..algos.len() {
+            jobs.push((n, k));
         }
     }
-    rows
+    let algos = &algos;
+    map_indexed(shm_pool::threads(), jobs, move |_, (n, k)| {
+        let mut cfg = LowerBoundConfig::for_n(n);
+        cfg.part1.audit = audit;
+        let report = run_lower_bound(algos[k].as_ref(), cfg);
+        let (chase_rmrs, chase_erased, blocked) = report
+            .chase
+            .as_ref()
+            .map_or((0, 0, 0), |c| (c.signaler_rmrs, c.erased.len(), c.blocked));
+        E2Row {
+            algorithm: report.algorithm.clone(),
+            n,
+            stabilized: report.part1.stabilized,
+            stable: report.part1.stable.len(),
+            chase_signaler_rmrs: chase_rmrs,
+            chase_erased,
+            blocked,
+            amortized: report.worst_amortized(),
+            violation: report.found_violation(),
+            out_of_contract: report.out_of_contract(),
+            audit_clean: report.audit_clean(),
+            audit_divergence: report.first_divergence().map(|d| d.to_json()),
+            timings: report.timings,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- E3 ----
@@ -245,35 +258,39 @@ pub fn e3_variants(n_waiters: u32, polls: u32) -> Vec<E3Row> {
         ),
         (Box::new(QueueSignaling), "O(1) amortized (FAA)"),
     ];
-    let mut rows = Vec::new();
-    for (algo, paper_bound) in &algos {
+    let mut jobs = Vec::new();
+    for k in 0..algos.len() {
+        for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
+            jobs.push((k, label, model));
+        }
+    }
+    let algos = &algos;
+    map_indexed(shm_pool::threads(), jobs, move |_, (k, label, model)| {
+        let (algo, paper_bound) = &algos[k];
         // SingleWaiter is only specified for one waiter.
         let waiters = if algo.name() == "single-waiter" {
             1
         } else {
             n_waiters
         };
-        for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
-            let sim = run_poll_heavy(algo.as_ref(), waiters, polls, model);
-            let max_waiter = (0..waiters)
-                .map(|i| sim.proc_stats(ProcId(i)).rmrs)
-                .max()
-                .unwrap_or(0);
-            let participants = (0..=waiters)
-                .filter(|&i| sim.proc_stats(ProcId(i)).steps > 0)
-                .count()
-                .max(1);
-            rows.push(E3Row {
-                algorithm: algo.name().to_owned(),
-                model: label,
-                max_waiter_rmrs: max_waiter,
-                signaler_rmrs: sim.proc_stats(ProcId(waiters)).rmrs,
-                amortized: sim.totals().rmrs as f64 / participants as f64,
-                paper_bound,
-            });
+        let sim = run_poll_heavy(algo.as_ref(), waiters, polls, model);
+        let max_waiter = (0..waiters)
+            .map(|i| sim.proc_stats(ProcId(i)).rmrs)
+            .max()
+            .unwrap_or(0);
+        let participants = (0..=waiters)
+            .filter(|&i| sim.proc_stats(ProcId(i)).steps > 0)
+            .count()
+            .max(1);
+        E3Row {
+            algorithm: algo.name().to_owned(),
+            model: label,
+            max_waiter_rmrs: max_waiter,
+            signaler_rmrs: sim.proc_stats(ProcId(waiters)).rmrs,
+            amortized: sim.totals().rmrs as f64 / participants as f64,
+            paper_bound,
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------- E4 ----
@@ -297,19 +314,16 @@ pub struct E4Row {
 /// stays flat, because erasure certification fails on FAA dependencies.
 #[must_use]
 pub fn e4_primitives(sizes: &[usize]) -> Vec<E4Row> {
-    sizes
-        .iter()
-        .map(|&n| {
-            let b = run_lower_bound(&Broadcast, LowerBoundConfig::for_n(n));
-            let q = run_lower_bound(&QueueSignaling, LowerBoundConfig::for_n(n));
-            E4Row {
-                n,
-                broadcast_amortized: b.worst_amortized(),
-                queue_amortized: q.worst_amortized(),
-                queue_blocked: q.chase.as_ref().map_or(0, |c| c.blocked),
-            }
-        })
-        .collect()
+    map_indexed(shm_pool::threads(), sizes.to_vec(), |_, n| {
+        let b = run_lower_bound(&Broadcast, LowerBoundConfig::for_n(n));
+        let q = run_lower_bound(&QueueSignaling, LowerBoundConfig::for_n(n));
+        E4Row {
+            n,
+            broadcast_amortized: b.worst_amortized(),
+            queue_amortized: q.worst_amortized(),
+            queue_blocked: q.chase.as_ref().map_or(0, |c| c.blocked),
+        }
+    })
 }
 
 // ---------------------------------------------------------------- E5 ----
@@ -342,44 +356,49 @@ pub fn e5_messages(n: u32) -> Vec<E5Row> {
         ("ideal-directory", Interconnect::IdealDirectory),
         ("stateless-broadcast", Interconnect::StatelessBroadcast),
     ];
-    let mut rows = Vec::new();
-    for (ic_label, ic) in interconnects {
-        let model = CostModel::Cc(CcConfig {
-            interconnect: ic,
-            ..Default::default()
-        });
-        // Workload 1: signaling, poll-heavy.
-        let sim = run_poll_heavy(&CcFlag, n, 20, model);
-        let t = sim.totals();
-        rows.push(E5Row {
-            workload: "signaling(cc-flag)",
-            interconnect: ic_label,
-            rmrs: t.rmrs,
-            messages: t.messages,
-            invalidations: t.invalidations,
-            messages_per_rmr: t.messages as f64 / t.rmrs.max(1) as f64,
-        });
-        // Workload 2: contended TTAS lock (write-heavy, invalidation storms).
-        let r = run_lock_workload(
-            &shm_mutex::TtasLock,
-            &LockWorkloadConfig {
-                n: n as usize,
-                cycles: 4,
-                seed: 5,
-                model,
-            },
-        );
-        let t = r.totals;
-        rows.push(E5Row {
-            workload: "mutex(ttas)",
-            interconnect: ic_label,
-            rmrs: t.rmrs,
-            messages: t.messages,
-            invalidations: t.invalidations,
-            messages_per_rmr: t.messages as f64 / t.rmrs.max(1) as f64,
-        });
-    }
-    rows
+    let rows = map_indexed(
+        shm_pool::threads(),
+        interconnects.to_vec(),
+        |_, (ic_label, ic)| {
+            let model = CostModel::Cc(CcConfig {
+                interconnect: ic,
+                ..Default::default()
+            });
+            // Workload 1: signaling, poll-heavy.
+            let sim = run_poll_heavy(&CcFlag, n, 20, model);
+            let t = sim.totals();
+            let signaling = E5Row {
+                workload: "signaling(cc-flag)",
+                interconnect: ic_label,
+                rmrs: t.rmrs,
+                messages: t.messages,
+                invalidations: t.invalidations,
+                messages_per_rmr: t.messages as f64 / t.rmrs.max(1) as f64,
+            };
+            // Workload 2: contended TTAS lock (write-heavy, invalidation
+            // storms).
+            let r = run_lock_workload(
+                &shm_mutex::TtasLock,
+                &LockWorkloadConfig {
+                    n: n as usize,
+                    cycles: 4,
+                    seed: 5,
+                    model,
+                },
+            );
+            let t = r.totals;
+            let mutex = E5Row {
+                workload: "mutex(ttas)",
+                interconnect: ic_label,
+                rmrs: t.rmrs,
+                messages: t.messages,
+                invalidations: t.invalidations,
+                messages_per_rmr: t.messages as f64 / t.rmrs.max(1) as f64,
+            };
+            [signaling, mutex]
+        },
+    );
+    rows.into_iter().flatten().collect()
 }
 
 // ---------------------------------------------------------------- E6 ----
@@ -410,31 +429,35 @@ pub fn e6_mutex(sizes: &[usize], cycles: u64) -> Vec<E6Row> {
         Box::new(shm_mutex::McsLock),
         Box::new(shm_mutex::TournamentLock),
     ];
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in sizes {
-        for lock in &locks {
+        for k in 0..locks.len() {
             for (label, model) in [("cc", CostModel::cc_default()), ("dsm", CostModel::Dsm)] {
-                let r = run_lock_workload(
-                    lock.as_ref(),
-                    &LockWorkloadConfig {
-                        n,
-                        cycles,
-                        seed: 42,
-                        model,
-                    },
-                );
-                assert!(r.completed, "{} n={n} {label}", lock.name());
-                assert_eq!(r.violations, Vec::new(), "{} n={n} {label}", lock.name());
-                rows.push(E6Row {
-                    lock: lock.name().to_owned(),
-                    model: label,
-                    n,
-                    rmrs_per_passage: r.rmrs_per_passage(),
-                });
+                jobs.push((n, k, label, model));
             }
         }
     }
-    rows
+    let locks = &locks;
+    map_indexed(shm_pool::threads(), jobs, move |_, (n, k, label, model)| {
+        let lock = &locks[k];
+        let r = run_lock_workload(
+            lock.as_ref(),
+            &LockWorkloadConfig {
+                n,
+                cycles,
+                seed: 42,
+                model,
+            },
+        );
+        assert!(r.completed, "{} n={n} {label}", lock.name());
+        assert_eq!(r.violations, Vec::new(), "{} n={n} {label}", lock.name());
+        E6Row {
+            lock: lock.name().to_owned(),
+            model: label,
+            n,
+            rmrs_per_passage: r.rmrs_per_passage(),
+        }
+    })
 }
 
 // ---------------------------------------------------------------- E7 ----
@@ -457,27 +480,29 @@ pub struct E7Row {
 /// bound with small constants.
 #[must_use]
 pub fn e7_fixed_w(sizes: &[usize]) -> Vec<E7Row> {
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &w in sizes {
-        let fixed: Vec<ProcId> = (0..w as u32).map(ProcId).collect();
-        let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
-            Box::new(FixedWaiters::eager(fixed.clone())),
-            Box::new(FixedWaiters::awaiting(fixed, ProcId(w as u32))),
-            Box::new(Broadcast),
-            Box::new(QueueSignaling),
-        ];
-        for algo in &algos {
-            let cost = fixed_waiters_signaler_cost(algo.as_ref(), w);
-            assert_eq!(cost.post_spec, Ok(()), "{} w={w}", algo.name());
-            rows.push(E7Row {
-                algorithm: algo.name().to_owned(),
-                w,
-                signaler_rmrs: cost.signaler_rmrs,
-                amortized: cost.amortized,
-            });
+        for k in 0..4 {
+            jobs.push((w, k));
         }
     }
-    rows
+    map_indexed(shm_pool::threads(), jobs, |_, (w, k)| {
+        let fixed: Vec<ProcId> = (0..w as u32).map(ProcId).collect();
+        let algo: Box<dyn SignalingAlgorithm> = match k {
+            0 => Box::new(FixedWaiters::eager(fixed)),
+            1 => Box::new(FixedWaiters::awaiting(fixed, ProcId(w as u32))),
+            2 => Box::new(Broadcast),
+            _ => Box::new(QueueSignaling),
+        };
+        let cost = fixed_waiters_signaler_cost(algo.as_ref(), w);
+        assert_eq!(cost.post_spec, Ok(()), "{} w={w}", algo.name());
+        E7Row {
+            algorithm: algo.name().to_owned(),
+            w,
+            signaler_rmrs: cost.signaler_rmrs,
+            amortized: cost.amortized,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -566,8 +591,13 @@ pub fn e8_transformation(sizes: &[usize]) -> Vec<E8Row> {
 pub fn e8_transformation_with(sizes: &[usize], audit: bool) -> Vec<E8Row> {
     use rmr_adversary::{Part1Config, ReadWriteTransformed};
     use signaling::algorithms::CasList;
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in sizes {
+        for k in 0..3 {
+            jobs.push((n, k));
+        }
+    }
+    map_indexed(shm_pool::threads(), jobs, |_, (n, k)| {
         let mut cfg = LowerBoundConfig::for_n(n);
         cfg.part1 = Part1Config {
             n,
@@ -575,30 +605,27 @@ pub fn e8_transformation_with(sizes: &[usize], audit: bool) -> Vec<E8Row> {
             audit,
             ..Part1Config::default()
         };
-        let variants: Vec<(String, Box<dyn SignalingAlgorithm>)> = vec![
-            ("cas-list".into(), Box::new(CasList)),
-            (
+        let (variant, algo): (String, Box<dyn SignalingAlgorithm>) = match k {
+            0 => ("cas-list".into(), Box::new(CasList)),
+            1 => (
                 "cas-list+rw".into(),
                 Box::new(ReadWriteTransformed::new(Box::new(CasList))),
             ),
-            ("queue-faa".into(), Box::new(QueueSignaling)),
-        ];
-        for (variant, algo) in variants {
-            let r = run_lower_bound(algo.as_ref(), cfg);
-            let signal_stuck = r.chase.as_ref().is_some_and(|c| !c.signal_completed)
-                || r.discovery.as_ref().is_some_and(|d| !d.signal_completed);
-            rows.push(E8Row {
-                variant,
-                n,
-                stabilized: r.part1.stabilized,
-                stable: r.part1.stable.len(),
-                amortized: r.worst_amortized(),
-                blocked: r.part1.blocked_erasures + r.chase.as_ref().map_or(0, |c| c.blocked),
-                signal_stuck,
-                audit_clean: r.audit_clean(),
-                timings: r.timings,
-            });
+            _ => ("queue-faa".into(), Box::new(QueueSignaling)),
+        };
+        let r = run_lower_bound(algo.as_ref(), cfg);
+        let signal_stuck = r.chase.as_ref().is_some_and(|c| !c.signal_completed)
+            || r.discovery.as_ref().is_some_and(|d| !d.signal_completed);
+        E8Row {
+            variant,
+            n,
+            stabilized: r.part1.stabilized,
+            stable: r.part1.stable.len(),
+            amortized: r.worst_amortized(),
+            blocked: r.part1.blocked_erasures + r.chase.as_ref().map_or(0, |c| c.blocked),
+            signal_stuck,
+            audit_clean: r.audit_clean(),
+            timings: r.timings,
         }
-    }
-    rows
+    })
 }

@@ -22,12 +22,25 @@
 //! the differential RMR audit ([`shm_sim::Simulator::audit`]) over every
 //! phase; the `exp_e2_dsm_lower` / `exp_e8_transformation` binaries expose
 //! this as `--audit` and exit nonzero on any divergence.
+//!
+//! Sweeps fan their rows out over the in-tree work-stealing pool
+//! (re-exported as [`pool`]) and merge results by submission index, so
+//! tables and JSON are byte-identical at every thread count. Thread count:
+//! `--threads N` on the binaries, the `CC_DSM_THREADS` environment variable,
+//! or available parallelism, in that precedence; `1` is the exact serial
+//! path. [`canon`] renders rows as canonical (timing-free) JSON for
+//! byte-equality checks across thread counts.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod canon;
+pub mod cli;
 pub mod experiments;
 pub mod table;
 pub mod timing;
+
+/// The dependency-free scoped work-stealing pool the sweeps run on.
+pub use shm_pool as pool;
 
 pub use experiments::*;

@@ -1,0 +1,209 @@
+//! Dependency-free scoped work-stealing thread pool with deterministic,
+//! index-ordered result merging.
+//!
+//! The workspace is offline (no rayon), so parallel fan-outs are built on
+//! [`std::thread::scope`]. The one primitive exported here, [`map_indexed`],
+//! runs `f(i, item)` for every item of a `Vec` on a small crew of scoped
+//! workers and returns the results **in submission order** — so callers that
+//! build tables or JSON from the result vector produce byte-identical output
+//! regardless of thread count or scheduling.
+//!
+//! Design points:
+//!
+//! - **Work stealing.** Job indices are dealt round-robin into per-worker
+//!   deques; a worker pops its own queue from the front and, when empty,
+//!   steals from the back of the others. This keeps big jobs (large `n`
+//!   adversary rows) from serializing behind a single worker while remaining
+//!   simple enough to audit.
+//! - **Exact serial path.** `threads <= 1` (or a single item) runs the plain
+//!   `for` loop inline on the caller's thread: no spawns, no mutexes, no
+//!   behavioural difference from the pre-pool code.
+//! - **No nested oversubscription.** A `map_indexed` issued from inside a
+//!   pool worker runs serially: the outermost parallel construct owns the
+//!   cores. (E.g. an audited E2 row parallelizes across rows; the audit's own
+//!   shards then run inline within that row's worker.)
+//! - **Thread-count resolution.** [`threads`] resolves, in order: an explicit
+//!   [`set_threads`] call, the `CC_DSM_THREADS` environment variable, then
+//!   [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Explicit thread-count override; 0 means "not set" (fall back to env/HW).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is a pool worker; nested `map_indexed`
+    /// calls observe this and degrade to the serial path.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Set the process-wide thread count used by [`threads`]. `0` clears the
+/// override (reverting to `CC_DSM_THREADS` / available parallelism).
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Resolve the effective thread count: [`set_threads`] override, else the
+/// `CC_DSM_THREADS` environment variable, else available parallelism, else 1.
+pub fn threads() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("CC_DSM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run `f(i, item)` over every item on up to `threads` scoped workers and
+/// return the results in submission (index) order.
+///
+/// With `threads <= 1`, a single item, or when called from inside another
+/// `map_indexed` worker, this is exactly the serial loop on the current
+/// thread. Panics in `f` propagate to the caller (via scope join).
+pub fn map_indexed<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let nested = IN_WORKER.with(|w| w.get());
+    let nworkers = threads.min(items.len());
+    if nworkers <= 1 || nested {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    let njobs = items.len();
+    // Job payloads, taken by index exactly once.
+    let payloads: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    // Result slots, filled by index; unwrapped in order afterwards.
+    let results: Vec<Mutex<Option<R>>> = (0..njobs).map(|_| Mutex::new(None)).collect();
+    // Per-worker deques of job indices, dealt round-robin.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..nworkers)
+        .map(|w| Mutex::new((w..njobs).step_by(nworkers).collect()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..nworkers {
+            let queues = &queues;
+            let payloads = &payloads;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                loop {
+                    // Own queue first (front), then steal from others (back).
+                    let mut job = queues[w].lock().unwrap().pop_front();
+                    if job.is_none() {
+                        for v in 1..nworkers {
+                            let victim = (w + v) % nworkers;
+                            job = queues[victim].lock().unwrap().pop_back();
+                            if job.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some(i) = job else { break };
+                    let item = payloads[i].lock().unwrap().take().expect("job taken twice");
+                    let r = f(i, item);
+                    *results[i].lock().unwrap() = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("job not run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn results_are_in_submission_order() {
+        for threads in [1, 2, 4, 7] {
+            let items: Vec<usize> = (0..37).collect();
+            let out = map_indexed(threads, items, |i, x| {
+                assert_eq!(i, x);
+                x * 10 + 1
+            });
+            let expect: Vec<usize> = (0..37).map(|x| x * 10 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_nontrivial_work() {
+        let work = |_, seed: u64| {
+            // Deterministic per-item computation (xorshift-style mix).
+            let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let items: Vec<u64> = (0..64).collect();
+        let serial = map_indexed(1, items.clone(), work);
+        let parallel = map_indexed(4, items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = map_indexed(16, vec![5usize, 6], |_, x| x + 1);
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = map_indexed(4, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_map_runs_serially_in_worker() {
+        let saw_nested_parallelism = AtomicBool::new(false);
+        let out = map_indexed(4, (0..8).collect::<Vec<usize>>(), |_, x| {
+            // Inside a worker: this inner call must take the serial path, so
+            // the inner closure always runs on the current (worker) thread.
+            let outer_thread = std::thread::current().id();
+            let inner: Vec<usize> = map_indexed(4, (0..4).collect(), |_, y| {
+                if std::thread::current().id() != outer_thread {
+                    saw_nested_parallelism.store(true, Ordering::SeqCst);
+                }
+                y + x
+            });
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        assert!(!saw_nested_parallelism.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn set_threads_overrides_env_and_hw() {
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

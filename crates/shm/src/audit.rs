@@ -22,14 +22,29 @@
 //! [`AuditDivergence`] naming the schedule step, the process, the memory
 //! location (by label) and the expected vs. actual value — renderable as
 //! JSON for machine consumption by `--audit` drivers.
+//!
+//! # Parallel sharding
+//!
+//! The audit's work — four independent model walks, and within the full walk
+//! a linear scan of the schedule — is sharded across the `shm_pool` workers:
+//! one shard per cross-check model, plus one shard per checkpoint-delimited
+//! schedule chunk of the full walk (chunks seed their naive state from the
+//! recording's own [`Checkpoint`]s and re-verify the observable state —
+//! memory image, reservations, cache validity, stats, totals — at the next
+//! checkpoint boundary). The shard list is fixed by the recording alone, every
+//! shard runs to its own completion or first divergence, and the canonical
+//! divergence is chosen by fixed shard order (full-walk chunks in ascending
+//! schedule order — i.e. lowest step — then cross models in standard order),
+//! so the report is identical for every thread count, including `threads=1`.
 
 use crate::event::Event;
 use crate::history_label::Labels;
 use crate::ids::{Addr, ProcId, Word};
 use crate::machine::{Call, CallKind, Step};
+use crate::mem::Memory;
 use crate::model::{AccessCost, CcConfig, CostModel, CostState, Interconnect, Protocol};
 use crate::op::{Applied, Op};
-use crate::sim::{ProcStats, SimSpec, Simulator, Totals};
+use crate::sim::{Checkpoint, ProcStats, SimSpec, Simulator, Status, Totals};
 use crate::source::CallSource;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -342,7 +357,8 @@ struct ShadowProc {
     stats: ProcStats,
 }
 
-/// One shadow walk of the recorded schedule under one cost model.
+/// One shadow walk of a schedule range under one cost model — either the
+/// whole recording, or one checkpoint-delimited chunk of the full walk.
 struct Walk<'a> {
     sim: &'a Simulator,
     spec: &'a SimSpec,
@@ -351,8 +367,16 @@ struct Walk<'a> {
     mlabel: String,
     /// Full diff (events + charges + end state) vs. charge-only cross-check.
     full: bool,
+    /// First schedule index this walk covers.
+    sched_start: usize,
+    /// One past the last schedule index this walk covers.
+    sched_end: usize,
+    /// One past the last recorded-event index this walk may consume.
+    event_end: usize,
     cursor: usize,
     step: usize,
+    /// Schedule steps actually shadow-executed by this walk.
+    steps_walked: usize,
     events_checked: usize,
     cells: Vec<NaiveCell>,
     valid: Vec<BTreeSet<ProcId>>,
@@ -392,8 +416,12 @@ impl<'a> Walk<'a> {
             model,
             mlabel: model_label(model),
             full,
+            sched_start: 0,
+            sched_end: sim.schedule().len(),
+            event_end: sim.history().events().len(),
             cursor: 0,
             step: 0,
+            steps_walked: 0,
             events_checked: 0,
             cells,
             valid: vec![BTreeSet::new(); spec.layout.len()],
@@ -401,6 +429,61 @@ impl<'a> Walk<'a> {
             procs,
             totals: Totals::default(),
         }
+    }
+
+    /// A walk over one chunk of the full walk: schedule `[range.0, range.1)`,
+    /// events `[range.2, range.3)`, state seeded from `seed` (the checkpoint
+    /// closing the previous chunk) or fresh for the first chunk.
+    fn chunk(
+        sim: &'a Simulator,
+        spec: &'a SimSpec,
+        model: CostModel,
+        full: bool,
+        range: (usize, usize, usize, usize),
+        seed: Option<&Checkpoint>,
+    ) -> Self {
+        let mut w = Walk::new(sim, spec, model, full);
+        w.sched_start = range.0;
+        w.sched_end = range.1;
+        w.cursor = range.2;
+        w.event_end = range.3;
+        w.step = range.0;
+        if let Some(c) = seed {
+            w.seed_from(c);
+        }
+        w
+    }
+
+    /// Seeds the naive shadow state from a recorded checkpoint. The seed is
+    /// not taken on faith: the chunk that *ends* at this checkpoint
+    /// re-derived the same observable state independently and diffed it via
+    /// [`Walk::check_boundary`], so trust chains inductively from the fresh
+    /// first chunk.
+    fn seed_from(&mut self, ckpt: &Checkpoint) {
+        let mem = ckpt.memory();
+        for a in 0..self.spec.layout.len() {
+            let addr = Addr(a as u32);
+            self.cells[a] = NaiveCell {
+                value: mem.peek(addr),
+                last_writer: mem.last_writer(addr),
+                reserved: mem.reservations(addr).iter().copied().collect(),
+            };
+            self.valid[a] = ckpt.cost().holders(addr).iter().copied().collect();
+        }
+        self.fast = ckpt.cost().clone();
+        self.procs = ckpt
+            .procs()
+            .iter()
+            .map(|p| ShadowProc {
+                source: p.source.clone(),
+                current: p.current.clone(),
+                last_op_result: p.last_op_result,
+                last_return: p.last_return,
+                runnable: p.status == Status::Runnable,
+                stats: p.stats,
+            })
+            .collect();
+        self.totals = ckpt.totals();
     }
 
     fn diverge(
@@ -424,12 +507,13 @@ impl<'a> Walk<'a> {
         }
     }
 
-    /// Consumes and returns the next recorded event, skipping `Crash` events
-    /// (crashes are external actions with no schedule entry, outside the
-    /// audit's re-execution scope). `None` when the recording is exhausted.
+    /// Consumes and returns the next recorded event within this walk's event
+    /// range, skipping `Crash` events (crashes are external actions with no
+    /// schedule entry, outside the audit's re-execution scope). `None` when
+    /// the range is exhausted.
     fn take_recorded(&mut self) -> Option<(usize, Event)> {
         let events = self.sim.history().events();
-        while self.cursor < events.len() {
+        while self.cursor < self.event_end {
             let idx = self.cursor;
             self.cursor += 1;
             if matches!(events[idx], Event::Crash { .. }) {
@@ -443,7 +527,7 @@ impl<'a> Walk<'a> {
 
     fn recording_exhausted(&self, pid: ProcId, wanted: &str) -> AuditDivergence {
         self.diverge(
-            self.sim.history().events().len(),
+            self.event_end,
             Some(pid),
             "-",
             "events",
@@ -784,7 +868,49 @@ impl<'a> Walk<'a> {
     /// image and cache-validity table.
     fn check_end_state(&mut self) -> Option<AuditDivergence> {
         let evlen = self.sim.history().events().len();
-        let t = self.sim.totals();
+        let totals = self.sim.totals();
+        let stats: Vec<ProcStats> = (0..self.spec.n())
+            .map(|i| self.sim.proc_stats(ProcId(i as u32)))
+            .collect();
+        self.diff_state(
+            evlen,
+            totals,
+            &stats,
+            self.sim.memory(),
+            self.sim.cost_state(),
+            false,
+        )
+    }
+
+    /// Boundary diff for a non-final chunk: the naive state re-derived over
+    /// `[sched_start, sched_end)` must match the checkpoint that closes the
+    /// chunk — the same snapshot the *next* chunk seeds from. Reservations
+    /// are included (the end-state diff skips them only because nothing is
+    /// seeded from the final state).
+    fn check_boundary(&mut self, ckpt: &Checkpoint) -> Option<AuditDivergence> {
+        self.step = ckpt.schedule_len();
+        let stats: Vec<ProcStats> = ckpt.procs().iter().map(|p| p.stats).collect();
+        self.diff_state(
+            ckpt.history_len(),
+            ckpt.totals(),
+            &stats,
+            ckpt.memory(),
+            ckpt.cost(),
+            true,
+        )
+    }
+
+    /// Diffs the walk's naive shadow state against an expected observable
+    /// state (the live simulator's final state, or a checkpoint's).
+    fn diff_state(
+        &self,
+        evlen: usize,
+        t: Totals,
+        stats: &[ProcStats],
+        mem: &Memory,
+        cost: &CostState,
+        check_reservations: bool,
+    ) -> Option<AuditDivergence> {
         if t.steps != self.totals.steps {
             return Some(self.diverge(
                 evlen,
@@ -828,10 +954,9 @@ impl<'a> Walk<'a> {
                 t.invalidations,
             ));
         }
-        for i in 0..self.spec.n() {
+        for (i, &got) in stats.iter().enumerate() {
             let p = ProcId(i as u32);
             let want = self.procs[i].stats;
-            let got = self.sim.proc_stats(p);
             if want != got {
                 return Some(self.diverge(
                     evlen,
@@ -847,27 +972,40 @@ impl<'a> Walk<'a> {
             let addr = Addr(a as u32);
             let loc = self.labels.name(addr);
             let cell = &self.cells[a];
-            if self.sim.memory().peek(addr) != cell.value {
+            if mem.peek(addr) != cell.value {
                 return Some(self.diverge(
                     evlen,
                     None,
                     &loc,
                     "memory.value",
                     cell.value,
-                    self.sim.memory().peek(addr),
+                    mem.peek(addr),
                 ));
             }
-            if self.sim.memory().last_writer(addr) != cell.last_writer {
+            if mem.last_writer(addr) != cell.last_writer {
                 return Some(self.diverge(
                     evlen,
                     None,
                     &loc,
                     "memory.last_writer",
                     format!("{:?}", cell.last_writer),
-                    format!("{:?}", self.sim.memory().last_writer(addr)),
+                    format!("{:?}", mem.last_writer(addr)),
                 ));
             }
-            let live_holders = self.sim.cost_state().holders(addr);
+            if check_reservations {
+                let live_rsv: BTreeSet<ProcId> = mem.reservations(addr).iter().copied().collect();
+                if live_rsv != cell.reserved {
+                    return Some(self.diverge(
+                        evlen,
+                        None,
+                        &loc,
+                        "memory.reservations",
+                        format!("{:?}", cell.reserved),
+                        format!("{live_rsv:?}"),
+                    ));
+                }
+            }
+            let live_holders = cost.holders(addr);
             let naive_holders: Vec<ProcId> = self.valid[a].iter().copied().collect();
             if live_holders != naive_holders {
                 return Some(self.diverge(
@@ -883,16 +1021,22 @@ impl<'a> Walk<'a> {
         None
     }
 
-    /// Walks the whole recorded schedule, re-applying injections at their
+    /// Walks this walk's schedule range, re-applying injections at their
     /// recorded positions (same loop as the replay engine's `run_filtered`,
-    /// but with no erasure, no checkpoints and no fingerprints).
-    fn run(&mut self) -> Option<AuditDivergence> {
-        let schedule_len = self.sim.schedule().len();
-        let mut next_inj = 0usize;
-        for i in 0..schedule_len {
+    /// but with no erasure and no fingerprints).
+    ///
+    /// `end_ckpt` is `Some` for a non-final chunk: instead of the end-of-run
+    /// checks, the chunk verifies its re-derived state against the closing
+    /// checkpoint. Injections with `at == sched_end` belong to the next chunk
+    /// (they were recorded after the closing checkpoint was taken, and apply
+    /// before that chunk's first step).
+    fn run(&mut self, end_ckpt: Option<&Checkpoint>) -> Option<AuditDivergence> {
+        let injections = self.sim.injections();
+        let mut next_inj = injections.partition_point(|inj| inj.at < self.sched_start);
+        for i in self.sched_start..self.sched_end {
             self.step = i;
             loop {
-                let inj = match self.sim.injections().get(next_inj) {
+                let inj = match injections.get(next_inj) {
                     Some(inj) if inj.at <= i => (inj.pid, inj.call.clone()),
                     _ => break,
                 };
@@ -902,12 +1046,28 @@ impl<'a> Walk<'a> {
                 }
             }
             let pid = self.sim.schedule()[i];
+            self.steps_walked += 1;
             if let Some(d) = self.shadow_step(pid) {
                 return Some(d);
             }
         }
-        self.step = schedule_len;
-        while let Some(inj) = self.sim.injections().get(next_inj) {
+        self.step = self.sched_end;
+        if let Some(ckpt) = end_ckpt {
+            // Non-final chunk: nothing but crashes may remain in the chunk's
+            // event range, and the state must match the closing checkpoint.
+            if let Some((idx, ev)) = self.take_recorded() {
+                return Some(self.diverge(
+                    idx,
+                    Some(ev.pid()),
+                    "-",
+                    "events",
+                    "checkpoint boundary",
+                    format!("{ev:?} beyond chunk"),
+                ));
+            }
+            return self.check_boundary(ckpt);
+        }
+        while let Some(inj) = injections.get(next_inj) {
             let (ipid, icall) = (inj.pid, inj.call.clone());
             next_inj += 1;
             if let Some(d) = self.apply_injection(ipid, icall) {
@@ -934,29 +1094,113 @@ impl<'a> Walk<'a> {
     }
 }
 
-/// Runs the full differential audit for [`Simulator::audit`].
-pub(crate) fn run_audit(sim: &Simulator, spec: &SimSpec) -> AuditReport {
-    let mut report = AuditReport {
-        models_checked: 0,
-        steps_checked: 0,
-        events_checked: 0,
-        divergence: None,
-    };
+/// One unit of parallel audit work: a chunk of the full walk, or a whole
+/// cross-model walk. The shard list is a pure function of the recording, so
+/// it is identical for every thread count.
+struct ShardSpec {
+    model: CostModel,
+    full: bool,
+    sched_start: usize,
+    sched_end: usize,
+    event_start: usize,
+    event_end: usize,
+    /// Checkpoint index to seed the chunk's state from (`None` = fresh).
+    seed: Option<usize>,
+    /// Checkpoint index closing a non-final chunk (`None` = run to the end).
+    end_ckpt: Option<usize>,
+}
+
+/// Runs the full differential audit for [`Simulator::audit`] on up to
+/// `threads` pool workers. The report — counts and canonical divergence — is
+/// deterministic and thread-count independent: shards are fixed by the
+/// recording, every shard runs to its own completion or first divergence, and
+/// the canonical divergence is the first one in fixed shard order (full-walk
+/// chunks ascending by schedule position, so the lowest step wins, then the
+/// cross-check models in standard order).
+pub(crate) fn run_audit(sim: &Simulator, spec: &SimSpec, threads: usize) -> AuditReport {
     let mut models = vec![spec.model];
     for m in standard_models() {
         if m != spec.model {
             models.push(m);
         }
     }
-    for (k, model) in models.into_iter().enumerate() {
-        let mut walk = Walk::new(sim, spec, model, k == 0);
-        let d = walk.run();
-        report.models_checked += 1;
-        report.steps_checked += walk.step;
-        report.events_checked += walk.events_checked;
-        if d.is_some() {
+    let schedule_len = sim.schedule().len();
+    let event_len = sim.history().events().len();
+    let ckpts = sim.checkpoints();
+    // Chunk boundaries for the full walk: interior checkpoints, in schedule
+    // order. (Checkpoints are recorded in increasing schedule_len order;
+    // dedup defensively in case of repeats.)
+    let mut interior: Vec<usize> = (0..ckpts.len())
+        .filter(|&c| ckpts[c].schedule_len() > 0 && ckpts[c].schedule_len() < schedule_len)
+        .collect();
+    interior.sort_by_key(|&c| ckpts[c].schedule_len());
+    interior.dedup_by_key(|c| ckpts[*c].schedule_len());
+
+    let mut shards = Vec::with_capacity(interior.len() + models.len());
+    let full_model = models[0];
+    let (mut sched_start, mut event_start, mut seed) = (0usize, 0usize, None);
+    for &c in &interior {
+        shards.push(ShardSpec {
+            model: full_model,
+            full: true,
+            sched_start,
+            sched_end: ckpts[c].schedule_len(),
+            event_start,
+            event_end: ckpts[c].history_len(),
+            seed,
+            end_ckpt: Some(c),
+        });
+        sched_start = ckpts[c].schedule_len();
+        event_start = ckpts[c].history_len();
+        seed = Some(c);
+    }
+    shards.push(ShardSpec {
+        model: full_model,
+        full: true,
+        sched_start,
+        sched_end: schedule_len,
+        event_start,
+        event_end: event_len,
+        seed,
+        end_ckpt: None,
+    });
+    for &model in &models[1..] {
+        shards.push(ShardSpec {
+            model,
+            full: false,
+            sched_start: 0,
+            sched_end: schedule_len,
+            event_start: 0,
+            event_end: event_len,
+            seed: None,
+            end_ckpt: None,
+        });
+    }
+
+    let results = shm_pool::map_indexed(threads, shards, |_, s| {
+        let mut walk = Walk::chunk(
+            sim,
+            spec,
+            s.model,
+            s.full,
+            (s.sched_start, s.sched_end, s.event_start, s.event_end),
+            s.seed.map(|c| ckpts[c].as_ref()),
+        );
+        let d = walk.run(s.end_ckpt.map(|c| ckpts[c].as_ref()));
+        (walk.steps_walked, walk.events_checked, d)
+    });
+
+    let mut report = AuditReport {
+        models_checked: models.len(),
+        steps_checked: 0,
+        events_checked: 0,
+        divergence: None,
+    };
+    for (steps, events, d) in results {
+        report.steps_checked += steps;
+        report.events_checked += events;
+        if report.divergence.is_none() {
             report.divergence = d;
-            break;
         }
     }
     report

@@ -59,7 +59,7 @@ pub enum Step {
 ///     fn clone_call(&self) -> Box<dyn ProcedureCall> { Box::new(self.clone()) }
 /// }
 /// ```
-pub trait ProcedureCall: Send {
+pub trait ProcedureCall: Send + Sync {
     /// Advances the call by one step. See the trait-level contract.
     fn step(&mut self, last: Option<Word>) -> Step;
 

@@ -241,6 +241,12 @@ impl Memory {
         &self.cells[addr.index()].writers
     }
 
+    /// Processes currently holding an LL reservation on `addr`. The audit
+    /// layer seeds and boundary-checks its naive shadow cells with these.
+    pub(crate) fn reservations(&self, addr: Addr) -> &[ProcId] {
+        &self.cells[addr.index()].reservations
+    }
+
     /// Drops the LL reservations of the processes marked in `gone` (indexed
     /// by pid) from every cell. Used when erasing processes in place: an
     /// erased process's reservation is observable only by its own SC, but

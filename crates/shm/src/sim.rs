@@ -9,7 +9,7 @@ use crate::model::{AccessCost, CostModel, CostState};
 use crate::op::Op;
 use crate::source::CallSource;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Everything needed to (re)start an execution from the initial state.
 ///
@@ -134,13 +134,13 @@ pub enum Peek {
 }
 
 #[derive(Clone, Debug)]
-struct ProcState {
-    source: Box<dyn CallSource>,
-    current: Option<Call>,
-    last_op_result: Option<Word>,
-    last_return: Option<Word>,
-    status: Status,
-    stats: ProcStats,
+pub(crate) struct ProcState {
+    pub(crate) source: Box<dyn CallSource>,
+    pub(crate) current: Option<Call>,
+    pub(crate) last_op_result: Option<Word>,
+    pub(crate) last_return: Option<Word>,
+    pub(crate) status: Status,
+    pub(crate) stats: ProcStats,
 }
 
 /// An injected call, recorded so filtered replay can re-apply it.
@@ -171,7 +171,7 @@ pub struct Checkpoint {
     history_len: usize,
     memory: Memory,
     cost: CostState,
-    procs: Vec<Rc<ProcState>>,
+    procs: Vec<Arc<ProcState>>,
     totals: Totals,
     injected: u64,
     proj_hash: Vec<u128>,
@@ -191,6 +191,26 @@ impl Checkpoint {
     #[must_use]
     pub fn history_len(&self) -> usize {
         self.history_len
+    }
+
+    /// The snapshotted memory image (audit chunk seeding).
+    pub(crate) fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The snapshotted cost-model state (audit chunk seeding).
+    pub(crate) fn cost(&self) -> &CostState {
+        &self.cost
+    }
+
+    /// The snapshotted per-process machines (audit chunk seeding).
+    pub(crate) fn procs(&self) -> &[Arc<ProcState>] {
+        &self.procs
+    }
+
+    /// The snapshotted aggregate totals (audit chunk seeding).
+    pub(crate) fn totals(&self) -> Totals {
+        self.totals
     }
 }
 
@@ -227,11 +247,11 @@ pub struct Simulator {
     memory: Memory,
     cost: CostState,
     /// Per-process machines, copy-on-write: snapshots and replays share
-    /// them by refcount, and [`Rc::make_mut`] clones a process's state
+    /// them by refcount, and [`Arc::make_mut`] clones a process's state
     /// only when it actually steps. An early-aborting certification replay
     /// therefore deep-clones just the processes that move before the
     /// divergence, not all `n`.
-    procs: Vec<Rc<ProcState>>,
+    procs: Vec<Arc<ProcState>>,
     history: History,
     schedule: Vec<ProcId>,
     totals: Totals,
@@ -248,7 +268,7 @@ pub struct Simulator {
     /// Periodic snapshots in increasing `schedule_len` order. `Rc` so
     /// replayed simulators can carry the prefix checkpoints by reference
     /// instead of deep-cloning O(checkpoints x live state) per erasure.
-    checkpoints: Vec<Rc<Checkpoint>>,
+    checkpoints: Vec<Arc<Checkpoint>>,
     /// Steps between snapshots; 0 = checkpointing disabled.
     ckpt_interval: usize,
 }
@@ -267,7 +287,7 @@ impl Simulator {
             .sources
             .iter()
             .map(|s| {
-                Rc::new(ProcState {
+                Arc::new(ProcState {
                     source: s.clone(),
                     current: None,
                     last_op_result: None,
@@ -330,7 +350,7 @@ impl Simulator {
         self.ckpt_interval = interval;
         if interval > 0 && self.checkpoints.is_empty() {
             let snap = self.snapshot();
-            self.checkpoints.push(Rc::new(snap));
+            self.checkpoints.push(Arc::new(snap));
         }
     }
 
@@ -424,7 +444,7 @@ impl Simulator {
             }
         }
         let snap = self.snapshot();
-        self.checkpoints.push(Rc::new(snap));
+        self.checkpoints.push(Arc::new(snap));
     }
 
     /// Builds a simulator resuming from `ckpt`, with this simulator's
@@ -518,11 +538,11 @@ impl Simulator {
                 .rev()
                 .find(|c| c.schedule_len <= wsplice);
             if wbase.map_or(0, |c| c.schedule_len) > base.map_or(0, |c| c.schedule_len) {
-                self.run_filtered(spec, wbase.map(Rc::as_ref), erased, true, true)?;
-                return self.run_filtered(spec, base.map(Rc::as_ref), erased, false, false);
+                self.run_filtered(spec, wbase.map(Arc::as_ref), erased, true, true)?;
+                return self.run_filtered(spec, base.map(Arc::as_ref), erased, false, false);
             }
         }
-        self.run_filtered(spec, base.map(Rc::as_ref), erased, certify, false)
+        self.run_filtered(spec, base.map(Arc::as_ref), erased, certify, false)
     }
 
     /// The filtered-replay loop behind [`Simulator::replay_tail`]: replays
@@ -708,7 +728,7 @@ impl Simulator {
     fn rebase_suffix_checkpoints(sim: &mut Simulator, start: usize, prefix_events: usize) {
         for c in &mut sim.checkpoints {
             if c.schedule_len > start {
-                Rc::make_mut(c).history_len += prefix_events;
+                Arc::make_mut(c).history_len += prefix_events;
             }
         }
     }
@@ -873,7 +893,7 @@ impl Simulator {
             self.totals.accesses -= st.accesses;
             self.totals.rmrs -= st.rmrs;
             self.totals.messages -= st.messages;
-            self.procs[pid.index()] = Rc::new(ProcState {
+            self.procs[pid.index()] = Arc::new(ProcState {
                 source: spec.sources[pid.index()].clone(),
                 current: None,
                 last_op_result: None,
@@ -1150,6 +1170,12 @@ impl Simulator {
         &self.cost
     }
 
+    /// The recorded checkpoints, in increasing `schedule_len` order. The
+    /// audit layer uses them as shard boundaries for parallel re-pricing.
+    pub(crate) fn checkpoints(&self) -> &[Arc<Checkpoint>] {
+        &self.checkpoints
+    }
+
     /// Mutable access to the recorded event log, bypassing fingerprint
     /// maintenance. For audit-layer tamper tests only.
     #[cfg(test)]
@@ -1170,7 +1196,17 @@ impl Simulator {
     /// read-only and returns on the *first* divergence found.
     #[must_use]
     pub fn audit(&self, spec: &SimSpec) -> crate::audit::AuditReport {
-        crate::audit::run_audit(self, spec)
+        crate::audit::run_audit(self, spec, shm_pool::threads())
+    }
+
+    /// [`Simulator::audit`] with an explicit worker-thread count instead of
+    /// the process-wide `shm_pool` default. `threads == 1` is the exact
+    /// serial audit; any thread count yields an identical report (shards are
+    /// fixed by the recording, and the canonical divergence is the one with
+    /// the lowest step regardless of completion order).
+    #[must_use]
+    pub fn audit_with_threads(&self, spec: &SimSpec, threads: usize) -> crate::audit::AuditReport {
+        crate::audit::run_audit(self, spec, threads)
     }
 
     /// Advances `pid` by one step.
@@ -1188,7 +1224,7 @@ impl Simulator {
         }
         self.schedule.push(pid);
         self.totals.steps += 1;
-        Rc::make_mut(&mut self.procs[pid.index()]).stats.steps += 1;
+        Arc::make_mut(&mut self.procs[pid.index()]).stats.steps += 1;
         let report = self.transition(pid);
         self.maybe_checkpoint();
         report
@@ -1199,7 +1235,7 @@ impl Simulator {
     fn transition(&mut self, pid: ProcId) -> StepReport {
         // Fetch the next call if none is in progress.
         if self.procs[pid.index()].current.is_none() {
-            let p = Rc::make_mut(&mut self.procs[pid.index()]);
+            let p = Arc::make_mut(&mut self.procs[pid.index()]);
             let prev = p.last_return;
             match p.source.next_call(prev) {
                 None => {
@@ -1220,7 +1256,7 @@ impl Simulator {
         }
 
         // One machine transition.
-        let p = Rc::make_mut(&mut self.procs[pid.index()]);
+        let p = Arc::make_mut(&mut self.procs[pid.index()]);
         let last = p.last_op_result;
         let step = p
             .current
@@ -1231,11 +1267,11 @@ impl Simulator {
         match step {
             Step::Op(op) => {
                 let (result, cost) = self.apply_access(pid, op);
-                Rc::make_mut(&mut self.procs[pid.index()]).last_op_result = Some(result);
+                Arc::make_mut(&mut self.procs[pid.index()]).last_op_result = Some(result);
                 StepReport::Access { op, result, cost }
             }
             Step::Return(value) => {
-                let p = Rc::make_mut(&mut self.procs[pid.index()]);
+                let p = Arc::make_mut(&mut self.procs[pid.index()]);
                 let call = p.current.take().expect("current call");
                 self.history.push(Event::Return {
                     pid,
@@ -1270,7 +1306,7 @@ impl Simulator {
         let cost = self
             .cost
             .charge(pid, addr, self.memory.owner(addr), &applied);
-        let st = &mut Rc::make_mut(&mut self.procs[pid.index()]).stats;
+        let st = &mut Arc::make_mut(&mut self.procs[pid.index()]).stats;
         st.accesses += 1;
         st.rmrs += u64::from(cost.rmr);
         st.messages += cost.messages;
@@ -1423,7 +1459,7 @@ impl Simulator {
     ///
     /// Panics if the process currently has a call in progress or crashed.
     pub fn inject_call(&mut self, pid: ProcId, call: Call) {
-        let p = Rc::make_mut(&mut self.procs[pid.index()]);
+        let p = Arc::make_mut(&mut self.procs[pid.index()]);
         assert!(
             p.current.is_none(),
             "inject_call: {pid} has a call in progress"
@@ -1456,7 +1492,7 @@ impl Simulator {
     /// Models the paper's crash (§2: a process crashes if it terminates while
     /// performing a procedure call). Used for failure-injection tests.
     pub fn crash(&mut self, pid: ProcId) {
-        let p = Rc::make_mut(&mut self.procs[pid.index()]);
+        let p = Arc::make_mut(&mut self.procs[pid.index()]);
         if p.status == Status::Runnable {
             p.status = Status::Crashed;
             self.history.push(Event::Crash { pid });
@@ -1490,6 +1526,16 @@ mod tests {
     use crate::source::{RepeatUntil, Script, ScriptedCall};
     use std::collections::BTreeSet;
     use std::sync::Arc;
+
+    /// The parallel orchestration (pool-sharded audits, row fan-outs)
+    /// depends on whole simulators being shareable across scoped workers.
+    #[test]
+    fn simulator_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimSpec>();
+        assert_send_sync::<Simulator>();
+        assert_send_sync::<Checkpoint>();
+    }
 
     fn write_then_read_spec() -> (SimSpec, crate::ids::Addr) {
         let mut layout = MemLayout::new();

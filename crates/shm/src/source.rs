@@ -17,7 +17,10 @@ use std::sync::Arc;
 pub type CallFactory = Arc<dyn Fn() -> Box<dyn ProcedureCall> + Send + Sync>;
 
 /// Deterministic generator of a process's procedure-call sequence.
-pub trait CallSource: Send {
+///
+/// `Send + Sync` so whole [`crate::SimSpec`]s (and simulators built from
+/// them) can be fanned out across the `shm_pool` workers.
+pub trait CallSource: Send + Sync {
     /// The next call to make, given the return value of the previous call
     /// (`None` before the first call). Returning `None` terminates the
     /// process.

@@ -143,7 +143,7 @@ fn blank_memory() -> Memory {
 /// interleavings of all eight primitives.
 #[test]
 fn memory_matches_reference() {
-    let mut rng = XorShift64::new(0xA11C_E55);
+    let mut rng = XorShift64::new(0x0A11_CE55);
     for _case in 0..256 {
         let ops = gen_ops(&mut rng, 60);
         let mut mem = blank_memory();
