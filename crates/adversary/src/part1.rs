@@ -342,6 +342,8 @@ impl Part1Runner {
     /// Runs one round. Returns its report; `pending == 0` means everything
     /// active is stable and the construction is complete.
     pub fn run_round(&mut self, index: usize) -> RoundReport {
+        let _span = shm_obs::Span::enter("part1.round");
+        shm_obs::counter!("part1.rounds");
         let mut report = RoundReport {
             index,
             ..RoundReport::default()
@@ -355,6 +357,7 @@ impl Part1Runner {
         // after the erased process's first step) short. Any fair order is a
         // legal adversary schedule; the reference path uses the same one.
         let advance_start = std::time::Instant::now();
+        let advance_span = shm_obs::Span::enter("part1.advance");
         let mut pending: BTreeMap<ProcId, Op> = BTreeMap::new();
         for p in self.active().into_iter().rev() {
             if self.stable.contains(&p) {
@@ -378,6 +381,7 @@ impl Part1Runner {
                 }
             }
         }
+        drop(advance_span);
         self.record_nanos += advance_start.elapsed().as_nanos();
         report.pending = pending.len();
         if pending.is_empty() {
@@ -554,6 +558,8 @@ impl Part1Runner {
     /// certified) any active process it is about to see or touch. Returns
     /// the processes erased along the way.
     fn roll_forward(&mut self, r: ProcId, report: &mut RoundReport) -> BTreeSet<ProcId> {
+        let _span = shm_obs::Span::enter("part1.rollforward");
+        shm_obs::counter!("part1.rollforward");
         let mut erased_here = BTreeSet::new();
         let mut guard = 0u64;
         while self.sim.has_pending_call(r) && self.sim.is_runnable(r) {
@@ -620,6 +626,9 @@ impl Part1Runner {
             .is_empty();
         self.parked
             .retain(|p| self.stable.contains(p) && !self.erased.contains(p));
+        // Attribute the surviving history's access costs to the part1 phase
+        // (no-op unless an shm-obs recorder is installed).
+        self.sim.obs_flush("part1");
         let audit = self.cfg.audit.then(|| self.sim.audit(&self.spec));
         Part1Outcome {
             rounds,

@@ -275,6 +275,12 @@ fn run_signal_phase(
     erase_on_sight: bool,
     max_steps: u64,
 ) -> SignalRun {
+    let scope: &'static str = if erase_on_sight { "chase" } else { "discovery" };
+    let _span = shm_obs::Span::enter(if erase_on_sight {
+        "adv.chase"
+    } else {
+        "adv.discovery"
+    });
     let incremental = runner.config().incremental;
     let base: Vec<ProcId> = runner.sim.schedule().to_vec();
     let mut erased = runner.erased.clone();
@@ -398,6 +404,24 @@ fn run_signal_phase(
         .map(ProcId)
         .filter(|&p| sim.proc_stats(p).steps > 0)
         .count();
+    if shm_obs::enabled() {
+        // Final-history RMR attribution for this phase: per-process cells
+        // (sim.rmr/sim.local/sim.inval) plus the signaler-vs-waiters split.
+        // `part2.rmr.signaler` is the signaler's own erase-chase delta (the
+        // quantity the lower bound argues about, = `chase_signaler_rmrs` in
+        // the bench rows); `part2.rmr.waiters` is everything the surviving
+        // history charges to other processes.
+        sim.obs_flush(scope);
+        shm_obs::counter!("part2.rmr.signaler", signaler_rmrs, scope: scope, pid: s.0);
+        shm_obs::counter!(
+            "part2.rmr.waiters",
+            sim.totals().rmrs - sim.proc_stats(s).rmrs,
+            scope: scope
+        );
+        let newly_erased = erased.difference(&runner.erased).count() as u64;
+        shm_obs::counter!("part2.erased", newly_erased, scope: scope);
+        shm_obs::counter!("part2.blocked", blocked_set.len() as u64, scope: scope);
+    }
     let audit = runner.config().audit.then(|| sim.audit(&runner.spec));
     SignalRun {
         signaler: s,

@@ -8,7 +8,10 @@
 //! per-experiment wall times to `BENCH_experiments.json` — the repo's
 //! wall-time trajectory. Pass `--canon-dir DIR` to have E1/E2/E8 write
 //! canonical (timing-free) row JSON into `DIR` for byte-equality
-//! determinism diffs between thread counts.
+//! determinism diffs between thread counts. Pass `--obs-dir DIR` to have
+//! every child write `DIR/<bin>.metrics.json` and `DIR/<bin>.trace.json`
+//! (its deterministic metrics report and Chrome trace); `--obs-summary`
+//! and `--trace-wall` are forwarded to every child as-is.
 
 use bench::cli;
 use std::process::Command;
@@ -19,7 +22,8 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let threads = cli::value_of(&args, "--threads");
     let canon_dir = cli::value_of(&args, "--canon-dir");
-    if let Some(dir) = &canon_dir {
+    let obs_dir = cli::value_of(&args, "--obs-dir");
+    for dir in canon_dir.iter().chain(&obs_dir) {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {dir}: {e}"));
     }
     let bins = [
@@ -54,6 +58,17 @@ fn main() {
         if let (Some(cdir), Some(name)) = (&canon_dir, canon_name(bin)) {
             cmd.arg("--canon").arg(format!("{cdir}/{name}"));
         }
+        if let Some(odir) = &obs_dir {
+            cmd.arg("--metrics")
+                .arg(format!("{odir}/{bin}.metrics.json"));
+            cmd.arg("--trace-chrome")
+                .arg(format!("{odir}/{bin}.trace.json"));
+            for flag in ["--obs-summary", "--trace-wall"] {
+                if args.iter().any(|a| a == flag) {
+                    cmd.arg(flag);
+                }
+            }
+        }
         let t = Instant::now();
         let status = cmd
             .status()
@@ -68,7 +83,7 @@ fn main() {
         let mut out = format!("{{\"threads\": {threads_json}, \"experiments\": [\n");
         for (i, (bin, wall_ms)) in walls.iter().enumerate() {
             out.push_str(&format!(
-                "  {{\"experiment\": \"{bin}\", \"wall_ms\": {wall_ms:.3}}}{}",
+                "  {{\"experiment\": \"{bin}\", \"iters\": 1, \"wall_ms\": {wall_ms:.3}}}{}",
                 if i + 1 < walls.len() { ",\n" } else { "\n" },
             ));
         }

@@ -4,7 +4,9 @@
 //!
 //! Pass `--threads N` to set the pool size (1 = exact serial path) and
 //! `--canon FILE` to write the canonical row JSON for byte-equality
-//! determinism checks.
+//! determinism checks. Observability: `--metrics` / `--trace-chrome` /
+//! `--trace-jsonl` / `--obs-summary` / `--trace-wall` (see
+//! [`bench::cli::ObsFlags`]).
 
 use bench::table::{header, row};
 use bench::{canon, cli, e1_cc_upper};
@@ -13,6 +15,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let _threads = cli::apply_threads(&args);
     let canon_path = cli::value_of(&args, "--canon");
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E1: the single-Boolean algorithm (§5), waiters poll 25x before the signal\n");
     let widths = [18, 10, 8, 18, 12];
     header(&[
@@ -40,6 +44,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("\nwrote {path}");
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper: O(1) RMRs/process, wait-free, reads+writes, O(1) space (CC).");
     println!("shape check: CC rows stay at <= 3 RMRs/process for every N; the DSM rows");
     println!("grow linearly with the poll count — the gap the rest of the paper makes rigorous.");

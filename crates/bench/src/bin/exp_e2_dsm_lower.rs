@@ -13,6 +13,15 @@
 //! `--speedup` to re-run the sweep at `--threads 1` and record per-phase
 //! parallel speedups, and `--canon FILE` to write the canonical
 //! (timing-free) row JSON for byte-equality determinism checks.
+//!
+//! Observability: `--metrics out.json`, `--trace-chrome out.json`,
+//! `--trace-jsonl out.jsonl`, `--obs-summary`, `--trace-wall` (see
+//! [`bench::cli::ObsFlags`]). With a collector installed each row also
+//! carries a compact `obs` block of its deterministic counter totals, in
+//! both `--canon` and `BENCH_adversary.json` output. Under `--speedup` the
+//! collector is cleared before the serial re-run, so the sink files cover
+//! exactly one sweep (the serial one — byte-identical to the parallel
+//! sweep's recording by determinism).
 
 use bench::table::{f2, header, row};
 use bench::{canon, cli, e2_dsm_lower_with, E2Row};
@@ -33,13 +42,15 @@ fn row_json(r: &E2Row, threads: usize, serial: Option<&E2Row>) -> String {
         .map_or_else(|| "null".to_string(), |c| c.to_string());
     // The divergence is already a JSON object; embed it verbatim.
     let audit_divergence = r.audit_divergence.clone().unwrap_or_else(|| "null".into());
+    // So is the obs block (deterministic counter totals for this row).
+    let obs = r.obs.clone().unwrap_or_else(|| "null".into());
     format!(
         concat!(
             "  {{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
             "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
             "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
             "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}, ",
-            "\"threads\": {}, ",
+            "\"obs\": {}, \"threads\": {}, \"iters\": 1, ",
             "\"record_ms\": {:.3}, \"rounds_ms\": {:.3}, \"chase_ms\": {:.3}, ",
             "\"discovery_ms\": {:.3}, \"total_ms\": {:.3}, ",
             "\"record_speedup\": {}, \"rounds_speedup\": {}, \"chase_speedup\": {}, ",
@@ -57,6 +68,7 @@ fn row_json(r: &E2Row, threads: usize, serial: Option<&E2Row>) -> String {
         r.out_of_contract,
         audit_clean,
         audit_divergence,
+        obs,
         threads,
         r.timings.record_ms,
         r.timings.rounds_ms,
@@ -114,8 +126,10 @@ fn main() {
     let audit = args.iter().any(|a| a == "--audit");
     let speedup = args.iter().any(|a| a == "--speedup");
     let canon_path = cli::value_of(&args, "--canon");
+    let obs = cli::obs_flags(&args);
     let sizes = cli::sizes_of(&args, &[32, 64, 128, 256]);
     let threads = cli::apply_threads(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E2: the §6 adversary (erase / roll forward / wild goose chase), DSM model\n");
     let widths = [15, 6, 11, 8, 11, 8, 8, 10, 10, 9, 7, 10, 10, 10];
     header(&[
@@ -161,6 +175,12 @@ fn main() {
     }
     let serial = speedup.then(|| {
         println!("\n--speedup: re-running the sweep at --threads 1 ...");
+        // Start the recording over: the sink files should cover one sweep,
+        // not the parallel run plus this re-run. Determinism makes the
+        // serial recording byte-identical to the parallel one anyway.
+        if let Some(c) = &obs_col {
+            c.clear();
+        }
         shm_pool::set_threads(1);
         let t = Instant::now();
         let serial_rows = e2_dsm_lower_with(&sizes, audit);
@@ -194,6 +214,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper: for any c there is a history with k participants and > c*k RMRs");
     println!("(reads/writes/CAS/LLSC). shape check: broadcast's amortized column grows");
     println!("~linearly with N; cc-flag never stabilizes (waiters pay); single-waiter's");

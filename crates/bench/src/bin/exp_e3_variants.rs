@@ -1,11 +1,19 @@
 //! E3 — §7 variant upper bounds, measured in both models.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e3_variants`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path).
+//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
+//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
 
-use bench::e3_variants;
 use bench::table::{f2, header, row};
+use bench::{cli, e3_variants};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E3: §7 signaling variants, 32 waiters (1 for single-waiter), 25 polls each\n");
     let widths = [22, 5, 14, 13, 10, 30];
     header(&[
@@ -29,6 +37,7 @@ fn main() {
             &widths,
         );
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\nshape check: every variant is O(1) per waiter in DSM except cc-flag;");
     println!("signaler cost is O(1) (single-waiter), O(W) (fixed/broadcast-style), or");
     println!("O(registered) (fixed-signaler, queue-faa) — matching the §7 catalogue.");

@@ -2,11 +2,19 @@
 //! do not.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e4_primitives`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path).
+//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
+//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
 
-use bench::e4_primitives;
 use bench::table::{f2, header, row};
+use bench::{cli, e4_primitives};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E4: adversarial amortized RMRs vs N — broadcast (reads/writes) vs queue (FAA)\n");
     let widths = [6, 22, 18, 15];
     header(&[
@@ -26,6 +34,7 @@ fn main() {
             &widths,
         );
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper: Corollary 6.14 covers reads/writes + CAS/LLSC; §7 closes the gap");
     println!("with Fetch-And-Add. shape check: the broadcast column grows ~N/2 while the");
     println!("queue column stays flat; 'blocked' counts erasures the certification refused");

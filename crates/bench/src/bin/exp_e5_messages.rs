@@ -1,11 +1,19 @@
 //! E5 — §8: RMRs vs interconnect messages under three coherence fabrics.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e5_messages`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path).
+//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
+//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
 
-use bench::e5_messages;
 use bench::table::{f2, header, row};
+use bench::{cli, e5_messages};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E5: message accounting (CC write-through), 16 processes\n");
     let widths = [20, 20, 10, 10, 14, 9];
     header(&[
@@ -29,6 +37,7 @@ fn main() {
             &widths,
         );
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper (§8): on a bus, CC RMRs are 'at par' with DSM RMRs (1 msg/RMR);");
     println!("an ideal directory sends one invalidation per destroyed copy, and the");
     println!("total number of invalidations is bounded by the number of RMRs (a cached");

@@ -1,11 +1,19 @@
 //! E6 — the classical mutual-exclusion RMR landscape (§3/§8 context).
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e6_mutex`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path).
+//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
+//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
 
-use bench::e6_mutex;
 use bench::table::{f2, header, row};
+use bench::{cli, e6_mutex};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E6: RMRs per lock passage, contended workload, seed 42\n");
     let widths = [12, 5, 6, 16];
     header(&[("lock", 12), ("model", 5), ("N", 6), ("RMRs/passage", 16)]);
@@ -20,6 +28,7 @@ fn main() {
             &widths,
         );
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper context (§3): reads/writes mutual exclusion is Θ(log N) in BOTH");
     println!("models (tournament); with RMW primitives it is O(1) in both (MCS);");
     println!("Anderson's array lock is O(1) in CC only; TAS/TTAS are unbounded under");

@@ -1,11 +1,19 @@
 //! E7 — Ω(W) signaler cost for fixed, fully participating waiters (§7).
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e7_fixed_w`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path).
+//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
+//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
 
-use bench::e7_fixed_w;
 use bench::table::{f2, header, row};
+use bench::{cli, e7_fixed_w};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E7: solo Signal() cost with all W fixed waiters stable and registered\n");
     let widths = [24, 6, 14, 10];
     header(&[
@@ -25,6 +33,7 @@ fn main() {
             &widths,
         );
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper (§7): 'in the worst case the signaler must perform Ω(W) RMRs if all");
     println!("W waiters participate by the time Signal() is called' — skipping a waiter");
     println!("would let its next Poll() incorrectly return false. shape check: every");

@@ -8,7 +8,9 @@
 //! exits nonzero on any divergence. Pass `--sizes 16,32` to override the
 //! default population sizes, `--threads N` to set the pool size (1 = exact
 //! serial path), and `--canon FILE` to write the canonical row JSON for
-//! byte-equality determinism checks.
+//! byte-equality determinism checks. Observability: `--metrics` /
+//! `--trace-chrome` / `--trace-jsonl` / `--obs-summary` / `--trace-wall`
+//! (see [`bench::cli::ObsFlags`]).
 
 use bench::table::{f2, header, row};
 use bench::{canon, cli, e8_transformation_with};
@@ -19,6 +21,8 @@ fn main() {
     let _threads = cli::apply_threads(&args);
     let canon_path = cli::value_of(&args, "--canon");
     let sizes = cli::sizes_of(&args, &[16, 32, 64, 128]);
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
     println!("E8: Corollary 6.14 — the primitive classes under the same adversary\n");
     let widths = [14, 6, 11, 8, 11, 9, 13, 7, 10, 10, 10];
     header(&[
@@ -59,6 +63,7 @@ fn main() {
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("\nwrote {path}");
     }
+    cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper (Cor. 6.14): the DSM lower bound holds for reads/writes plus CAS");
     println!("or LL/SC, via locally-accessible read/write implementations of those");
     println!("primitives. shape check: cas-list amortized grows ~N/2 (the CAS scan is");

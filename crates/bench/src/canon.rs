@@ -13,6 +13,14 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The trailing `, "obs": {...}` fragment for a row, or empty when no
+/// collector was installed. The block holds deterministic counter totals
+/// only (already canonical JSON), so `--canon` output stays byte-identical
+/// across thread counts even with recording enabled.
+fn obs_block(obs: Option<&String>) -> String {
+    obs.map_or_else(String::new, |o| format!(", \"obs\": {o}"))
+}
+
 fn join_rows(rows: Vec<String>) -> String {
     let mut out = String::from("[\n");
     let n = rows.len();
@@ -34,13 +42,14 @@ pub fn e1_json(rows: &[E1Row]) -> String {
                 format!(
                     concat!(
                         "{{\"model\": \"{}\", \"n_waiters\": {}, \"polls\": {}, ",
-                        "\"max_rmrs_per_proc\": {}, \"total_rmrs\": {}}}"
+                        "\"max_rmrs_per_proc\": {}, \"total_rmrs\": {}{}}}"
                     ),
                     json_escape(r.model),
                     r.n_waiters,
                     r.polls,
                     r.max_rmrs_per_proc,
                     r.total_rmrs,
+                    obs_block(r.obs.as_ref()),
                 )
             })
             .collect(),
@@ -64,7 +73,7 @@ pub fn e2_json(rows: &[E2Row]) -> String {
                         "{{\"algorithm\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
                         "\"stable\": {}, \"chase_signaler_rmrs\": {}, \"chase_erased\": {}, ",
                         "\"blocked\": {}, \"amortized\": {:.4}, \"violation\": {}, ",
-                        "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}}}"
+                        "\"out_of_contract\": {}, \"audit_clean\": {}, \"audit_divergence\": {}{}}}"
                     ),
                     json_escape(&r.algorithm),
                     r.n,
@@ -78,6 +87,7 @@ pub fn e2_json(rows: &[E2Row]) -> String {
                     r.out_of_contract,
                     audit_clean,
                     audit_divergence,
+                    obs_block(r.obs.as_ref()),
                 )
             })
             .collect(),
@@ -97,7 +107,7 @@ pub fn e8_json(rows: &[E8Row]) -> String {
                     concat!(
                         "{{\"variant\": \"{}\", \"n\": {}, \"stabilized\": {}, ",
                         "\"stable\": {}, \"amortized\": {:.4}, \"blocked\": {}, ",
-                        "\"signal_stuck\": {}, \"audit_clean\": {}}}"
+                        "\"signal_stuck\": {}, \"audit_clean\": {}{}}}"
                     ),
                     json_escape(&r.variant),
                     r.n,
@@ -107,6 +117,7 @@ pub fn e8_json(rows: &[E8Row]) -> String {
                     r.blocked,
                     r.signal_stuck,
                     audit_clean,
+                    obs_block(r.obs.as_ref()),
                 )
             })
             .collect(),

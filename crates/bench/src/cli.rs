@@ -27,6 +27,94 @@ pub fn apply_threads(args: &[String]) -> usize {
     shm_pool::threads()
 }
 
+/// Observability outputs requested on the command line (shared by every
+/// `exp_*` binary): `--metrics out.json` (deterministic counter report),
+/// `--trace-jsonl out.jsonl` (event stream), `--trace-chrome out.json`
+/// (Chrome `trace_event` timeline), `--obs-summary` (counter totals on
+/// stdout), and `--trace-wall` (adds wall-clock timestamps, lanes, and
+/// scheduling-dependent counters to the JSONL stream, giving up its
+/// byte-determinism).
+#[derive(Clone, Debug, Default)]
+pub struct ObsFlags {
+    /// `--metrics <path>`: write the deterministic metrics JSON.
+    pub metrics: Option<String>,
+    /// `--trace-chrome <path>`: write a Chrome/Perfetto trace.
+    pub trace_chrome: Option<String>,
+    /// `--trace-jsonl <path>`: write the JSONL event stream.
+    pub trace_jsonl: Option<String>,
+    /// `--obs-summary`: print deterministic counter totals on stdout.
+    pub summary: bool,
+    /// `--trace-wall`: include timestamps/lanes/nondeterministic counters
+    /// in the JSONL stream.
+    pub wall: bool,
+}
+
+impl ObsFlags {
+    /// Whether any observability output was requested (i.e. whether a
+    /// recorder needs to be installed at all).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.metrics.is_some()
+            || self.trace_chrome.is_some()
+            || self.trace_jsonl.is_some()
+            || self.summary
+    }
+}
+
+/// Parses the shared observability flags.
+#[must_use]
+pub fn obs_flags(args: &[String]) -> ObsFlags {
+    ObsFlags {
+        metrics: value_of(args, "--metrics"),
+        trace_chrome: value_of(args, "--trace-chrome"),
+        trace_jsonl: value_of(args, "--trace-jsonl"),
+        summary: args.iter().any(|a| a == "--obs-summary"),
+        wall: args.iter().any(|a| a == "--trace-wall"),
+    }
+}
+
+/// Installs an `shm-obs` collector when any observability output was
+/// requested; recording stays zero-cost-disabled otherwise.
+#[must_use]
+pub fn obs_install(flags: &ObsFlags) -> Option<std::sync::Arc<shm_obs::Collector>> {
+    flags.any().then(|| {
+        let c = shm_obs::Collector::new();
+        shm_obs::install_collector(&c);
+        c
+    })
+}
+
+/// Writes the requested sinks from the collector installed by
+/// [`obs_install`] and uninstalls the recorder. No-op when `collector` is
+/// `None`.
+pub fn obs_finish(flags: &ObsFlags, collector: Option<&std::sync::Arc<shm_obs::Collector>>) {
+    let Some(c) = collector else { return };
+    shm_obs::uninstall();
+    let snap = c.snapshot();
+    if let Some(path) = &flags.metrics {
+        let report = shm_obs::MetricsReport::from_snapshot(&snap);
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = &flags.trace_jsonl {
+        std::fs::write(path, shm_obs::jsonl(&snap, flags.wall))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = &flags.trace_chrome {
+        std::fs::write(path, shm_obs::chrome_trace(&snap))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if flags.summary {
+        let report = shm_obs::MetricsReport::from_snapshot(&snap);
+        println!("\nobs summary (deterministic counter totals):");
+        for name in report.names() {
+            println!("  {:<24} {}", name, report.total(name));
+        }
+    }
+}
+
 /// Parses a `--sizes 32,64,...` override, falling back to `default`.
 #[must_use]
 pub fn sizes_of(args: &[String], default: &[usize]) -> Vec<usize> {

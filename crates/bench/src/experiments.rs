@@ -78,6 +78,9 @@ pub struct E1Row {
     pub max_rmrs_per_proc: u64,
     /// Total RMRs.
     pub total_rmrs: u64,
+    /// Deterministic counter totals for this row (canonical JSON object),
+    /// recorded only when an `shm-obs` collector is installed.
+    pub obs: Option<String>,
 }
 
 /// E1 — §5 upper bound: the single-Boolean algorithm costs O(1) RMRs per
@@ -110,7 +113,9 @@ pub fn e1_cc_upper(sizes: &[u32], polls: u32) -> Vec<E1Row> {
         }
     }
     map_indexed(shm_pool::threads(), jobs, |_, (n, label, model)| {
+        let mark = shm_obs::totals_mark();
         let sim = run_poll_heavy(&CcFlag, n, polls, model);
+        sim.obs_flush("e1");
         let max = (0..=n)
             .map(|i| sim.proc_stats(ProcId(i)).rmrs)
             .max()
@@ -121,6 +126,7 @@ pub fn e1_cc_upper(sizes: &[u32], polls: u32) -> Vec<E1Row> {
             polls,
             max_rmrs_per_proc: max,
             total_rmrs: sim.totals().rmrs,
+            obs: mark.map(|m| m.delta_json()),
         }
     })
 }
@@ -159,6 +165,9 @@ pub struct E2Row {
     /// First audit divergence, rendered as a JSON object (present only on a
     /// failed audit).
     pub audit_divergence: Option<String>,
+    /// Deterministic counter totals for this row (canonical JSON object),
+    /// recorded only when an `shm-obs` collector is installed.
+    pub obs: Option<String>,
     /// Per-phase wall-clock (record / rounds / chase / discovery).
     pub timings: PhaseTimings,
 }
@@ -191,6 +200,7 @@ pub fn e2_dsm_lower_with(sizes: &[usize], audit: bool) -> Vec<E2Row> {
     }
     let algos = &algos;
     map_indexed(shm_pool::threads(), jobs, move |_, (n, k)| {
+        let mark = shm_obs::totals_mark();
         let mut cfg = LowerBoundConfig::for_n(n);
         cfg.part1.audit = audit;
         let report = run_lower_bound(algos[k].as_ref(), cfg);
@@ -211,6 +221,7 @@ pub fn e2_dsm_lower_with(sizes: &[usize], audit: bool) -> Vec<E2Row> {
             out_of_contract: report.out_of_contract(),
             audit_clean: report.audit_clean(),
             audit_divergence: report.first_divergence().map(|d| d.to_json()),
+            obs: mark.map(|m| m.delta_json()),
             timings: report.timings,
         }
     })
@@ -573,6 +584,9 @@ pub struct E8Row {
     /// Differential-audit verdict: `None` when auditing was off, otherwise
     /// whether every audited phase matched the naive reference executor.
     pub audit_clean: Option<bool>,
+    /// Deterministic counter totals for this row (canonical JSON object),
+    /// recorded only when an `shm-obs` collector is installed.
+    pub obs: Option<String>,
     /// Per-phase wall-clock (record / rounds / chase / discovery).
     pub timings: PhaseTimings,
 }
@@ -598,6 +612,7 @@ pub fn e8_transformation_with(sizes: &[usize], audit: bool) -> Vec<E8Row> {
         }
     }
     map_indexed(shm_pool::threads(), jobs, |_, (n, k)| {
+        let mark = shm_obs::totals_mark();
         let mut cfg = LowerBoundConfig::for_n(n);
         cfg.part1 = Part1Config {
             n,
@@ -625,6 +640,7 @@ pub fn e8_transformation_with(sizes: &[usize], audit: bool) -> Vec<E8Row> {
             blocked: r.part1.blocked_erasures + r.chase.as_ref().map_or(0, |c| c.blocked),
             signal_stuck,
             audit_clean: r.audit_clean(),
+            obs: mark.map(|m| m.delta_json()),
             timings: r.timings,
         }
     })

@@ -43,6 +43,48 @@ fn audited_e2_canonical_json_is_thread_count_independent() {
     );
 }
 
+/// The full observability pipeline is part of the determinism contract:
+/// with a collector installed, the audited E2 sweep's metrics report (every
+/// counter cell, including per-process/per-location RMR attribution), its
+/// JSONL event stream, and the canon rows' embedded `obs` blocks must all
+/// be byte-identical at `--threads 1` and `--threads 4`.
+#[test]
+fn e2_metrics_report_is_byte_identical_across_thread_counts() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let run = |threads: usize| {
+        at_threads(threads, || {
+            let c = shm_obs::Collector::new();
+            shm_obs::install_collector(&c);
+            let rows = e2_dsm_lower_with(&[8, 12], true);
+            shm_obs::uninstall();
+            let snap = c.snapshot();
+            (
+                canon::e2_json(&rows),
+                shm_obs::MetricsReport::from_snapshot(&snap).to_json(),
+                shm_obs::jsonl(&snap, false),
+            )
+        })
+    };
+    let (canon_1, metrics_1, jsonl_1) = run(1);
+    let (canon_4, metrics_4, jsonl_4) = run(4);
+    assert_eq!(
+        metrics_1, metrics_4,
+        "metrics report must not depend on scheduling"
+    );
+    assert_eq!(
+        jsonl_1, jsonl_4,
+        "JSONL stream must not depend on scheduling"
+    );
+    assert_eq!(canon_1, canon_4);
+    assert!(
+        canon_1.contains("\"obs\": {\""),
+        "canon rows must embed obs blocks when a collector is installed: {canon_1}"
+    );
+    assert!(metrics_1.contains("\"sim.rmr\""), "{metrics_1}");
+    assert!(metrics_1.contains("\"audit.rmr\""), "{metrics_1}");
+    assert!(metrics_1.contains("\"part2.rmr.signaler\""), "{metrics_1}");
+}
+
 #[test]
 fn e8_canonical_json_is_thread_count_independent() {
     let _guard = POOL_LOCK.lock().unwrap();

@@ -25,6 +25,15 @@
 //! - **Thread-count resolution.** [`threads`] resolves, in order: an explicit
 //!   [`set_threads`] call, the `CC_DSM_THREADS` environment variable, then
 //!   [`std::thread::available_parallelism`].
+//! - **Observability.** When an `shm-obs` recorder is installed, every job
+//!   runs under track segment `i` (its submission index) wrapped in a
+//!   `pool.job` span — identically on the serial and parallel paths, so the
+//!   deterministic view of the recording is thread-count independent.
+//!   Workers adopt the submitting thread's track path (nested fan-outs stay
+//!   rooted correctly), claim Chrome-trace lane `w + 1`, and additionally
+//!   emit the scheduling-dependent `pool.execute` / `pool.steal` /
+//!   `pool.idle` counters, which `shm-obs` registers as nondeterministic
+//!   and keeps out of the deterministic sinks.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -77,13 +86,22 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    // Job index as an obs track segment (saturating: tracks are labels).
+    fn seg(i: usize) -> u32 {
+        u32::try_from(i).unwrap_or(u32::MAX)
+    }
+
     let nested = IN_WORKER.with(|w| w.get());
     let nworkers = threads.min(items.len());
     if nworkers <= 1 || nested {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| {
+                let _track = shm_obs::enter_track(seg(i));
+                let _span = shm_obs::Span::enter("pool.job");
+                f(i, t)
+            })
             .collect();
     }
 
@@ -97,29 +115,49 @@ where
         .map(|w| Mutex::new((w..njobs).step_by(nworkers).collect()))
         .collect();
 
+    // Workers adopt the submitting thread's track path so the tracks they
+    // open per job (`base ++ [i]`) match the serial path exactly.
+    let base_track = shm_obs::track_path();
+
     std::thread::scope(|scope| {
         for w in 0..nworkers {
             let queues = &queues;
             let payloads = &payloads;
             let results = &results;
             let f = &f;
+            let base_track = &base_track;
             scope.spawn(move || {
                 IN_WORKER.with(|flag| flag.set(true));
+                let _adopt = shm_obs::adopt_track_path(base_track.clone());
+                let _lane = shm_obs::set_lane(seg(w + 1));
                 loop {
                     // Own queue first (front), then steal from others (back).
                     let mut job = queues[w].lock().unwrap().pop_front();
+                    let mut stolen = false;
                     if job.is_none() {
                         for v in 1..nworkers {
                             let victim = (w + v) % nworkers;
                             job = queues[victim].lock().unwrap().pop_back();
                             if job.is_some() {
+                                stolen = true;
                                 break;
                             }
                         }
                     }
-                    let Some(i) = job else { break };
+                    let Some(i) = job else {
+                        shm_obs::counter!("pool.idle", 1, pid: seg(w));
+                        break;
+                    };
+                    if stolen {
+                        shm_obs::counter!("pool.steal", 1, pid: seg(w));
+                    }
+                    shm_obs::counter!("pool.execute", 1, pid: seg(w));
                     let item = payloads[i].lock().unwrap().take().expect("job taken twice");
-                    let r = f(i, item);
+                    let r = {
+                        let _track = shm_obs::enter_track(seg(i));
+                        let _span = shm_obs::Span::enter("pool.job");
+                        f(i, item)
+                    };
                     *results[i].lock().unwrap() = Some(r);
                 }
             });
@@ -197,6 +235,51 @@ mod tests {
         });
         assert_eq!(out.len(), 8);
         assert!(!saw_nested_parallelism.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn obs_recording_is_thread_count_independent() {
+        // Deterministic view of a recorded fan-out (track set, span names,
+        // deterministic counters) must not depend on the worker count. The
+        // recorder is process-global, so scope this test's data under a
+        // unique track prefix and compare relative to it.
+        let collector = shm_obs::Collector::new();
+        shm_obs::install_collector(&collector);
+        let run = |tag: u32, threads: usize| {
+            let _base = shm_obs::adopt_track_path(vec![4242, tag]);
+            map_indexed(threads, (0..16).collect::<Vec<u64>>(), |i, x| {
+                shm_obs::counter!("sim.steps", x + 1);
+                i as u64 + x
+            })
+        };
+        assert_eq!(run(1, 1), run(2, 4));
+        shm_obs::uninstall();
+
+        let snap = collector.snapshot();
+        let view = |tag: u32| {
+            snap.tracks
+                .iter()
+                .filter(|(p, _)| p.starts_with(&[4242, tag]))
+                .map(|(p, d)| {
+                    let spans: Vec<&str> = d.spans.iter().map(|s| s.name).collect();
+                    let counters: Vec<(shm_obs::CounterKey, u64)> = d
+                        .counters
+                        .iter()
+                        .filter(|(k, _)| shm_obs::registry::is_deterministic(k.name))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    (p[2..].to_vec(), spans, counters)
+                })
+                // A track holding only nondeterministic counters (the base
+                // path, where workers count steals) is invisible to the
+                // deterministic sinks; drop it from the view too.
+                .filter(|(_, spans, counters)| !spans.is_empty() || !counters.is_empty())
+                .collect::<Vec<_>>()
+        };
+        let serial = view(1);
+        let parallel = view(2);
+        assert_eq!(serial.len(), 16, "one track per job");
+        assert_eq!(serial, parallel);
     }
 
     #[test]

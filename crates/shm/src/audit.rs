@@ -192,22 +192,7 @@ fn standard_models() -> [CostModel; 4] {
 }
 
 fn model_label(model: CostModel) -> String {
-    match model {
-        CostModel::Dsm => "dsm".to_string(),
-        CostModel::Cc(cfg) => {
-            let proto = match cfg.protocol {
-                Protocol::WriteThrough => "wt",
-                Protocol::WriteBack => "wb",
-            };
-            let ic = match cfg.interconnect {
-                Interconnect::Bus => "bus",
-                Interconnect::IdealDirectory => "dir",
-                Interconnect::StatelessBroadcast => "bcast",
-            };
-            let lfcu = if cfg.lfcu { "-lfcu" } else { "" };
-            format!("cc-{proto}{lfcu}-{ic}")
-        }
-    }
+    crate::model::model_tag(model).to_string()
 }
 
 /// One naive memory cell: value, last nontrivial writer, LL reservations.
@@ -1178,6 +1163,11 @@ pub(crate) fn run_audit(sim: &Simulator, spec: &SimSpec, threads: usize) -> Audi
     }
 
     let results = shm_pool::map_indexed(threads, shards, |_, s| {
+        let _span = shm_obs::Span::enter("audit.shard");
+        // Seeded chunks start from the checkpoint's accumulated totals; the
+        // shard's own re-priced charge is the delta past that seed.
+        let seed_rmrs = s.seed.map_or(0, |c| ckpts[c].totals().rmrs);
+        let mtag = crate::model::model_tag(s.model);
         let mut walk = Walk::chunk(
             sim,
             spec,
@@ -1187,6 +1177,10 @@ pub(crate) fn run_audit(sim: &Simulator, spec: &SimSpec, threads: usize) -> Audi
             s.seed.map(|c| ckpts[c].as_ref()),
         );
         let d = walk.run(s.end_ckpt.map(|c| ckpts[c].as_ref()));
+        shm_obs::counter!("audit.shards");
+        shm_obs::counter!("audit.steps", walk.steps_walked as u64);
+        shm_obs::counter!("audit.events", walk.events_checked as u64);
+        shm_obs::counter!("audit.rmr", walk.totals.rmrs - seed_rmrs, model: mtag);
         (walk.steps_walked, walk.events_checked, d)
     });
 

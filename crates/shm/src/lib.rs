@@ -80,7 +80,7 @@ pub use history_label::Labels;
 pub use ids::{Addr, AddrRange, ProcId, Word, NIL};
 pub use machine::{Call, CallKind, OpSequence, ProcedureCall, ReturnConst, Step};
 pub use mem::{MemLayout, Memory};
-pub use model::{AccessCost, CcConfig, CostModel, CostState, Interconnect, Protocol};
+pub use model::{model_tag, AccessCost, CcConfig, CostModel, CostState, Interconnect, Protocol};
 pub use op::{Applied, Op};
 pub use rng::XorShift64;
 pub use sched::{run, run_to_completion, RoundRobin, Scheduler, Scripted, SeededRandom, Solo};
@@ -88,3 +88,4 @@ pub use sim::{
     Checkpoint, Peek, ProcStats, SimSpec, Simulator, Status, StepReport, Totals, TransitionPeek,
 };
 pub use source::{CallFactory, CallSource, Chain, Idle, RepeatUntil, Script, ScriptedCall};
+pub use trace::{render, render_with, RenderOptions};

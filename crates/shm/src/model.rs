@@ -77,6 +77,32 @@ impl CostModel {
     }
 }
 
+/// Static label of a cost model: `dsm`, or `cc-{wt|wb}[-lfcu]-{bus|dir|bcast}`
+/// for the twelve CC configurations. `&'static str` (rather than a formatted
+/// `String`) so the label can serve as an `shm-obs` counter dimension.
+#[must_use]
+pub fn model_tag(model: CostModel) -> &'static str {
+    use Interconnect::{Bus, IdealDirectory as Dir, StatelessBroadcast as Bcast};
+    use Protocol::{WriteBack as Wb, WriteThrough as Wt};
+    match model {
+        CostModel::Dsm => "dsm",
+        CostModel::Cc(cfg) => match (cfg.protocol, cfg.lfcu, cfg.interconnect) {
+            (Wt, false, Bus) => "cc-wt-bus",
+            (Wt, false, Dir) => "cc-wt-dir",
+            (Wt, false, Bcast) => "cc-wt-bcast",
+            (Wt, true, Bus) => "cc-wt-lfcu-bus",
+            (Wt, true, Dir) => "cc-wt-lfcu-dir",
+            (Wt, true, Bcast) => "cc-wt-lfcu-bcast",
+            (Wb, false, Bus) => "cc-wb-bus",
+            (Wb, false, Dir) => "cc-wb-dir",
+            (Wb, false, Bcast) => "cc-wb-bcast",
+            (Wb, true, Bus) => "cc-wb-lfcu-bus",
+            (Wb, true, Dir) => "cc-wb-lfcu-dir",
+            (Wb, true, Bcast) => "cc-wb-lfcu-bcast",
+        },
+    }
+}
+
 /// Price of one memory access under a cost model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct AccessCost {

@@ -379,6 +379,8 @@ impl Simulator {
     /// stepping — but not the event log or schedule, which remain in `self`.
     #[must_use]
     pub fn snapshot(&self) -> Checkpoint {
+        let _span = shm_obs::Span::enter("sim.snapshot");
+        shm_obs::counter!("ckpt.snapshot");
         Checkpoint {
             schedule_len: self.schedule.len(),
             history_len: self.history.events().len(),
@@ -406,6 +408,8 @@ impl Simulator {
     /// Panics if `ckpt` is from a longer execution than `self` currently
     /// holds (i.e. it does not describe a prefix of this simulator).
     pub fn restore(&mut self, ckpt: &Checkpoint) {
+        let _span = shm_obs::Span::enter("sim.restore");
+        shm_obs::counter!("ckpt.restore");
         assert!(
             ckpt.schedule_len <= self.schedule.len()
                 && ckpt.history_len <= self.history.events().len(),
@@ -816,11 +820,16 @@ impl Simulator {
     /// CC models (where erasure changes cache-validity history) this falls
     /// back to the replay-based path.
     pub fn erase_certified_in_place(&mut self, spec: &SimSpec, batch: &BTreeSet<ProcId>) -> bool {
+        let _span = shm_obs::Span::enter("sim.erase");
         if self.cost.model() != CostModel::Dsm {
-            return self.erase_certified_in_place_replay(spec, batch);
+            let ok = self.erase_certified_in_place_replay(spec, batch);
+            shm_obs::count(if ok { "erase.replay" } else { "erase.refused" }, 1);
+            return ok;
         }
         #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         let mut shadow = self.clone();
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
+        shm_obs::counter!("fingerprint.exact_check");
 
         let n = self.n();
         let mut gone = vec![false; n];
@@ -875,10 +884,16 @@ impl Simulator {
                 let applied = mem.apply(*pid, *op);
                 if applied.result != *result {
                     #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
-                    assert!(
-                        !shadow.erase_certified_in_place_replay(spec, batch),
-                        "event-walk refused an erasure the replay path accepts"
-                    );
+                    {
+                        // Suppress recording: the shadow replay is a pure
+                        // cross-check, not part of the execution's cost.
+                        let _quiet = shm_obs::suppress();
+                        assert!(
+                            !shadow.erase_certified_in_place_replay(spec, batch),
+                            "event-walk refused an erasure the replay path accepts"
+                        );
+                    }
+                    shm_obs::counter!("erase.refused");
                     return false;
                 }
             }
@@ -952,6 +967,8 @@ impl Simulator {
 
         #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         {
+            // Suppress recording: the shadow replay is a pure cross-check.
+            let _quiet = shm_obs::suppress();
             assert!(
                 shadow.erase_certified_in_place_replay(spec, batch),
                 "event-walk accepted an erasure the replay path refuses"
@@ -993,6 +1010,7 @@ impl Simulator {
                 );
             }
         }
+        shm_obs::counter!("erase.surgery");
         true
     }
 
@@ -1007,6 +1025,8 @@ impl Simulator {
         spec: &SimSpec,
         batch: &BTreeSet<ProcId>,
     ) -> bool {
+        #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
+        shm_obs::counter!("fingerprint.exact_check");
         #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
         let before: Vec<Vec<crate::event::ProjectedEvent>> = (0..self.n())
             .map(|i| self.history.projection(ProcId(i as u32)))
@@ -1063,6 +1083,8 @@ impl Simulator {
         suffix: &[ProcId],
         erased: &BTreeSet<ProcId>,
     ) -> Simulator {
+        let _span = shm_obs::Span::enter("sim.replay_from");
+        let mut replayed = 0u64;
         let mut sim = self.resume_at(ckpt);
         let start = ckpt.schedule_len;
         let mut next_inj = self.injections.partition_point(|inj| inj.at < start);
@@ -1077,8 +1099,10 @@ impl Simulator {
             }
             if !erased.contains(&pid) {
                 let _ = sim.step(pid);
+                replayed += 1;
             }
         }
+        shm_obs::counter!("replay.steps", replayed);
         while next_inj < self.injections.len() {
             let inj = &self.injections[next_inj];
             next_inj += 1;
@@ -1209,6 +1233,40 @@ impl Simulator {
         crate::audit::run_audit(self, spec, threads)
     }
 
+    /// Flushes the **final** history's per-access cost attribution to the
+    /// installed `shm-obs` recorder under phase `scope`: `sim.rmr`,
+    /// `sim.local`, and `sim.inval` counter cells keyed by process, memory
+    /// location, and the cost-model tag.
+    ///
+    /// Counting at access time could never reconcile with
+    /// [`Simulator::totals`]: erasure subtracts erased processes'
+    /// statistics, and replay re-executes steps. Flushing the *surviving*
+    /// history once the execution is final makes the flushed totals equal
+    /// `totals()` by construction — `sim.rmr + sim.local == accesses`,
+    /// `sim.rmr == rmrs`, `sim.inval == invalidations` — which the metrics
+    /// tests pin exactly. No-op when recording is disabled.
+    pub fn obs_flush(&self, scope: &'static str) {
+        if !shm_obs::enabled() {
+            return;
+        }
+        let model = crate::model::model_tag(self.cost.model());
+        for e in self.history.events() {
+            if let Event::Access { pid, op, cost, .. } = e {
+                let (p, loc) = (pid.0, op.addr().0);
+                let name = if cost.rmr { "sim.rmr" } else { "sim.local" };
+                shm_obs::counter!(name, 1, scope: scope, model: model, pid: p, loc: loc);
+                shm_obs::counter!(
+                    "sim.inval",
+                    cost.invalidations,
+                    scope: scope,
+                    model: model,
+                    pid: p,
+                    loc: loc
+                );
+            }
+        }
+    }
+
     /// Advances `pid` by one step.
     ///
     /// One step is one state-machine transition: it performs exactly one
@@ -1224,6 +1282,7 @@ impl Simulator {
         }
         self.schedule.push(pid);
         self.totals.steps += 1;
+        shm_obs::counter!("sim.steps");
         Arc::make_mut(&mut self.procs[pid.index()]).stats.steps += 1;
         let report = self.transition(pid);
         self.maybe_checkpoint();

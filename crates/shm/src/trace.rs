@@ -33,13 +33,49 @@ fn render_word(w: crate::ids::Word) -> String {
     }
 }
 
+/// Options for [`render_with`].
+#[derive(Clone, Debug, Default)]
+pub struct RenderOptions<'a> {
+    /// Restrict output to one process.
+    pub only: Option<crate::ids::ProcId>,
+    /// Append a cumulative per-process RMR column (`[rmr k]`) to starred
+    /// and unstarred access lines, counting RMRs as the history is walked.
+    pub rmr_column: bool,
+    /// Expected per-process RMR totals, rendered as `[rmr k/T]`. Feed this
+    /// from `MetricsReport::by_process("sim.rmr")` (shm-obs) after an
+    /// [`crate::Simulator::obs_flush`], or any other per-process totals map.
+    /// Ignored unless `rmr_column` is set.
+    pub rmr_totals: Option<&'a std::collections::BTreeMap<u32, u64>>,
+}
+
 /// Renders a slice of events, one per line. `only` restricts to one
 /// process when set. RMRs are starred.
 #[must_use]
 pub fn render(events: &[Event], labels: &Labels, only: Option<crate::ids::ProcId>) -> String {
+    render_with(
+        events,
+        labels,
+        &RenderOptions {
+            only,
+            ..RenderOptions::default()
+        },
+    )
+}
+
+/// [`render`] with explicit [`RenderOptions`].
+#[must_use]
+pub fn render_with(events: &[Event], labels: &Labels, opts: &RenderOptions<'_>) -> String {
     let mut out = String::new();
+    let mut cum_rmrs: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     for e in events {
-        if only.is_some_and(|p| e.pid() != p) {
+        // Cumulative counts cover the whole slice, even when `only` hides
+        // other processes' lines (the column must not depend on filtering).
+        if let Event::Access { pid, cost, .. } = e {
+            if cost.rmr {
+                *cum_rmrs.entry(pid.0).or_default() += 1;
+            }
+        }
+        if opts.only.is_some_and(|p| e.pid() != p) {
             continue;
         }
         match e {
@@ -57,12 +93,24 @@ pub fn render(events: &[Event], labels: &Labels, only: Option<crate::ids::ProcId
                 ..
             } => {
                 let star = if cost.rmr { "*" } else { " " };
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "{pid}{star} {} -> {}",
                     render_op(op, labels),
                     render_word(*result)
                 );
+                if opts.rmr_column {
+                    let k = cum_rmrs.get(&pid.0).copied().unwrap_or(0);
+                    match opts.rmr_totals.and_then(|t| t.get(&pid.0)) {
+                        Some(total) => {
+                            let _ = write!(out, "  [rmr {k}/{total}]");
+                        }
+                        None => {
+                            let _ = write!(out, "  [rmr {k}]");
+                        }
+                    }
+                }
+                out.push('\n');
             }
             Event::Terminate { pid } => {
                 let _ = writeln!(out, "{pid} terminate");
@@ -118,6 +166,69 @@ mod tests {
         assert!(text.contains("p0 invoke Poll()"));
         assert!(text.contains("p0* read B -> 0"));
         assert!(text.contains("p0 return 0"));
+    }
+
+    #[test]
+    fn golden_render_with_cumulative_rmr_column() {
+        let access = |pid: u32, op: Op, result: u64, rmr: bool| Event::Access {
+            pid: ProcId(pid),
+            op,
+            result,
+            wrote: false,
+            cost: crate::model::AccessCost {
+                rmr,
+                messages: u64::from(rmr),
+                invalidations: 0,
+            },
+            sees: None,
+            touches: None,
+        };
+        let events = vec![
+            access(0, Op::Read(Addr(0)), 0, true),
+            access(1, Op::Read(Addr(1)), 5, false),
+            access(0, Op::Write(Addr(0), 7), 7, true),
+        ];
+        // Totals column fed from a MetricsReport, the way a bench bin
+        // would after `Simulator::obs_flush`.
+        let mut td = shm_obs::TrackData::default();
+        td.counters.insert(
+            shm_obs::CounterKey {
+                pid: Some(0),
+                ..shm_obs::CounterKey::plain("sim.rmr")
+            },
+            2,
+        );
+        let report = shm_obs::MetricsReport::from_snapshot(&shm_obs::Snapshot {
+            tracks: vec![(vec![], td)],
+        });
+        let totals = report.by_process("sim.rmr");
+        let text = render_with(
+            &events,
+            &Labels::default(),
+            &RenderOptions {
+                only: None,
+                rmr_column: true,
+                rmr_totals: Some(&totals),
+            },
+        );
+        let golden = "p0* read @0 -> 0  [rmr 1/2]\n\
+                      p1  read @1 -> 5  [rmr 0]\n\
+                      p0* @0 := 7 -> 7  [rmr 2/2]\n";
+        assert_eq!(text, golden);
+        // Filtering must not change the cumulative counts.
+        let only_p0 = render_with(
+            &events,
+            &Labels::default(),
+            &RenderOptions {
+                only: Some(ProcId(0)),
+                rmr_column: true,
+                rmr_totals: Some(&totals),
+            },
+        );
+        assert_eq!(
+            only_p0,
+            "p0* read @0 -> 0  [rmr 1/2]\np0* @0 := 7 -> 7  [rmr 2/2]\n"
+        );
     }
 
     #[test]
