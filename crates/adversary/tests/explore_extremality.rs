@@ -1,0 +1,83 @@
+//! Cross-validation of the §6 adversary against the schedule-space explorer.
+//!
+//! The wild-goose-chase adversary *constructs* one expensive schedule for
+//! the signaler; the explorer *measures* the true maximum of the signaler's
+//! RMRs over every schedule of a small scenario. The constructed cost is a
+//! lower bound on the reachable maximum, so at equal n the empirical max
+//! must dominate the chase cost — if it ever dropped below, either the
+//! adversary is fabricating charges or the explorer is missing schedules.
+
+use rmr_adversary::{run_lower_bound, LowerBoundConfig};
+use shm_explore::{check, Bounds, ScenarioSpec};
+use shm_sim::CostModel;
+use signaling::algorithms::{Broadcast, CcFlag, QueueSignaling, SingleWaiter};
+use signaling::SignalingAlgorithm;
+
+const N: usize = 3;
+
+fn explored_max_signaler_rmrs(algo: &dyn SignalingAlgorithm) -> u64 {
+    // The chase's signaler may poll before it signals (its RMRs include
+    // those polls), so the scenario space must allow a pre-poll too.
+    let scenario = ScenarioSpec {
+        algorithm: algo,
+        waiters: N - 1,
+        max_polls: 2,
+        signaler_polls_first: 1,
+        model: CostModel::Dsm,
+        seed: None,
+    };
+    let out = check(&scenario, &Bounds::exhaustive());
+    assert!(
+        out.report.exhaustive,
+        "{}: small-n exploration must be exhaustive",
+        algo.name()
+    );
+    out.max_signaler_rmrs()
+        .expect("terminal states exist: every call source is bounded")
+}
+
+fn chase_signaler_rmrs(algo: &dyn SignalingAlgorithm) -> u64 {
+    let report = run_lower_bound(algo, LowerBoundConfig::for_n(N));
+    report.chase.as_ref().map_or(0, |c| c.signaler_rmrs)
+}
+
+#[test]
+fn empirical_max_dominates_the_constructed_chase_cost() {
+    let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+        Box::new(Broadcast),
+        Box::new(CcFlag),
+        Box::new(SingleWaiter),
+        Box::new(QueueSignaling),
+    ];
+    for algo in &algos {
+        let explored = explored_max_signaler_rmrs(algo.as_ref());
+        let chase = chase_signaler_rmrs(algo.as_ref());
+        assert!(
+            explored >= chase,
+            "{}: explored max signaler RMRs {explored} < chase-constructed {chase}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn explorer_and_adversary_agree_single_waiter_fails_only_out_of_contract() {
+    // The adversary drives 2 waiters against single-waiter (contract: 1) and
+    // classifies the resulting spec failures as out-of-contract; exhaustive
+    // exploration of the same population must reach the same classification
+    // on every violating schedule.
+    let scenario = ScenarioSpec {
+        algorithm: &SingleWaiter,
+        waiters: 2,
+        max_polls: 2,
+        signaler_polls_first: 0,
+        model: CostModel::Dsm,
+        seed: None,
+    };
+    let out = check(&scenario, &Bounds::exhaustive());
+    assert!(out.report.exhaustive);
+    assert_eq!(
+        out.in_contract_violations, 0,
+        "every single-waiter violation with 2 waiters is out-of-contract"
+    );
+}

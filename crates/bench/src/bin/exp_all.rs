@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E8) in sequence — the one-command regeneration
+//! Runs every experiment (E1–E9) in sequence — the one-command regeneration
 //! of `EXPERIMENTS.md`'s tables.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_all`
@@ -6,8 +6,8 @@
 //! Pass `--threads N` to set every child's pool size (exported as
 //! `CC_DSM_THREADS`; 1 = exact serial path). Pass `--json` to write
 //! per-experiment wall times to `BENCH_experiments.json` — the repo's
-//! wall-time trajectory. Pass `--canon-dir DIR` to have E1/E2/E8 write
-//! canonical (timing-free) row JSON into `DIR` for byte-equality
+//! wall-time trajectory. Pass `--canon-dir DIR` to have E1/E2/E5/E6/E8/E9
+//! write canonical (timing-free) row JSON into `DIR` for byte-equality
 //! determinism diffs between thread counts. Pass `--obs-dir DIR` to have
 //! every child write `DIR/<bin>.metrics.json` and `DIR/<bin>.trace.json`
 //! (its deterministic metrics report and Chrome trace); `--obs-summary`
@@ -35,12 +35,16 @@ fn main() {
         "exp_e6_mutex",
         "exp_e7_fixed_w",
         "exp_e8_transformation",
+        "exp_e9_explore",
     ];
     // Which binaries accept --canon, and the canonical file each writes.
     let canon_name = |bin: &str| match bin {
         "exp_e1_cc_upper" => Some("e1.json"),
         "exp_e2_dsm_lower" => Some("e2.json"),
+        "exp_e5_messages" => Some("e5.json"),
+        "exp_e6_mutex" => Some("e6.json"),
         "exp_e8_transformation" => Some("e8.json"),
+        "exp_e9_explore" => Some("e9.json"),
         _ => None,
     };
     // When invoked via cargo, sibling binaries sit next to us.

@@ -2,16 +2,19 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e5_messages`
 //!
-//! Pass `--threads N` to set the pool size (1 = exact serial path).
-//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
-//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
+//! Pass `--threads N` to set the pool size (1 = exact serial path) and
+//! `--canon FILE` to write the canonical row JSON for byte-equality
+//! determinism checks. Observability: `--metrics` / `--trace-chrome` /
+//! `--trace-jsonl` / `--obs-summary` / `--trace-wall` (see
+//! [`bench::cli::ObsFlags`]).
 
 use bench::table::{f2, header, row};
-use bench::{cli, e5_messages};
+use bench::{canon, cli, e5_messages};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let _threads = cli::apply_threads(&args);
+    let canon_path = cli::value_of(&args, "--canon");
     let obs = cli::obs_flags(&args);
     let obs_col = cli::obs_install(&obs);
     println!("E5: message accounting (CC write-through), 16 processes\n");
@@ -24,7 +27,8 @@ fn main() {
         ("invalidations", 14),
         ("msg/RMR", 9),
     ]);
-    for r in e5_messages(16) {
+    let rows = e5_messages(16);
+    for r in &rows {
         row(
             &[
                 r.workload.into(),
@@ -36,6 +40,11 @@ fn main() {
             ],
             &widths,
         );
+    }
+    if let Some(path) = canon_path {
+        std::fs::write(&path, canon::e5_json(&rows))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
     }
     cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper (§8): on a bus, CC RMRs are 'at par' with DSM RMRs (1 msg/RMR);");

@@ -2,22 +2,26 @@
 //!
 //! Run with: `cargo run --release -p bench --bin exp_e6_mutex`
 //!
-//! Pass `--threads N` to set the pool size (1 = exact serial path).
-//! Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
-//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
+//! Pass `--threads N` to set the pool size (1 = exact serial path) and
+//! `--canon FILE` to write the canonical row JSON for byte-equality
+//! determinism checks. Observability: `--metrics` / `--trace-chrome` /
+//! `--trace-jsonl` / `--obs-summary` / `--trace-wall` (see
+//! [`bench::cli::ObsFlags`]).
 
 use bench::table::{f2, header, row};
-use bench::{cli, e6_mutex};
+use bench::{canon, cli, e6_mutex};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let _threads = cli::apply_threads(&args);
+    let canon_path = cli::value_of(&args, "--canon");
     let obs = cli::obs_flags(&args);
     let obs_col = cli::obs_install(&obs);
     println!("E6: RMRs per lock passage, contended workload, seed 42\n");
     let widths = [12, 5, 6, 16];
     header(&[("lock", 12), ("model", 5), ("N", 6), ("RMRs/passage", 16)]);
-    for r in e6_mutex(&[2, 4, 8, 16, 32], 4) {
+    let rows = e6_mutex(&[2, 4, 8, 16, 32], 4);
+    for r in &rows {
         row(
             &[
                 r.lock.clone(),
@@ -27,6 +31,11 @@ fn main() {
             ],
             &widths,
         );
+    }
+    if let Some(path) = canon_path {
+        std::fs::write(&path, canon::e6_json(&rows))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
     }
     cli::obs_finish(&obs, obs_col.as_ref());
     println!("\npaper context (§3): reads/writes mutual exclusion is Θ(log N) in BOTH");

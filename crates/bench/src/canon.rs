@@ -7,10 +7,14 @@
 //! experiment binaries compare these byte-for-byte between `--threads 1` and
 //! multi-threaded runs.
 
-use crate::{E1Row, E2Row, E8Row};
+use crate::{E1Row, E2Row, E5Row, E6Row, E8Row, E9Row};
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |x| x.to_string())
 }
 
 /// The trailing `, "obs": {...}` fragment for a row, or empty when no
@@ -94,6 +98,55 @@ pub fn e2_json(rows: &[E2Row]) -> String {
     )
 }
 
+/// Canonical JSON for E5 rows. The `seed` key records the randomized lock
+/// scheduler's seed on the mutex rows and is `null` on the scripted
+/// (seedless) signaling rows.
+#[must_use]
+pub fn e5_json(rows: &[E5Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "{{\"workload\": \"{}\", \"interconnect\": \"{}\", \"seed\": {}, ",
+                        "\"rmrs\": {}, \"messages\": {}, \"invalidations\": {}, ",
+                        "\"messages_per_rmr\": {:.4}}}"
+                    ),
+                    json_escape(r.workload),
+                    json_escape(r.interconnect),
+                    opt_u64(r.seed),
+                    r.rmrs,
+                    r.messages,
+                    r.invalidations,
+                    r.messages_per_rmr,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Canonical JSON for E6 rows, including the workload scheduler's seed.
+#[must_use]
+pub fn e6_json(rows: &[E6Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                format!(
+                    concat!(
+                        "{{\"lock\": \"{}\", \"model\": \"{}\", \"n\": {}, \"seed\": {}, ",
+                        "\"rmrs_per_passage\": {:.4}}}"
+                    ),
+                    json_escape(&r.lock),
+                    json_escape(r.model),
+                    r.n,
+                    r.seed,
+                    r.rmrs_per_passage,
+                )
+            })
+            .collect(),
+    )
+}
+
 /// Canonical JSON for E8 rows (deterministic fields only).
 #[must_use]
 pub fn e8_json(rows: &[E8Row]) -> String {
@@ -117,6 +170,42 @@ pub fn e8_json(rows: &[E8Row]) -> String {
                     r.blocked,
                     r.signal_stuck,
                     audit_clean,
+                    obs_block(r.obs.as_ref()),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Canonical JSON for E9 rows: the exploration verdicts, the empirical RMR
+/// maximum and the chase comparison, with the shrunk counterexample (already
+/// canonical JSON) embedded verbatim.
+#[must_use]
+pub fn e9_json(rows: &[E9Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                let counterexample = r.counterexample.clone().unwrap_or_else(|| "null".into());
+                format!(
+                    concat!(
+                        "{{\"algorithm\": \"{}\", \"model\": \"{}\", \"n\": {}, \"seed\": {}, ",
+                        "\"explored\": {}, \"terminals\": {}, \"exhaustive\": {}, ",
+                        "\"violations_found\": {}, \"violations_in_contract\": {}, ",
+                        "\"max_signaler_rmrs\": {}, \"chase_signaler_rmrs\": {}, ",
+                        "\"counterexample\": {}{}}}"
+                    ),
+                    json_escape(&r.algorithm),
+                    json_escape(r.model),
+                    r.n,
+                    opt_u64(r.seed),
+                    r.explored,
+                    r.terminals,
+                    r.exhaustive,
+                    r.violations_found,
+                    r.violations_in_contract,
+                    r.max_signaler_rmrs,
+                    opt_u64(r.chase_signaler_rmrs),
+                    counterexample,
                     obs_block(r.obs.as_ref()),
                 )
             })

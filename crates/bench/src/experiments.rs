@@ -346,6 +346,9 @@ pub struct E5Row {
     pub workload: &'static str,
     /// Interconnect label.
     pub interconnect: &'static str,
+    /// Seed of the workload's randomized scheduler; `None` for the scripted
+    /// (seedless) signaling workload.
+    pub seed: Option<u64>,
     /// Total RMRs.
     pub rmrs: u64,
     /// Total interconnect messages.
@@ -381,6 +384,7 @@ pub fn e5_messages(n: u32) -> Vec<E5Row> {
             let signaling = E5Row {
                 workload: "signaling(cc-flag)",
                 interconnect: ic_label,
+                seed: None,
                 rmrs: t.rmrs,
                 messages: t.messages,
                 invalidations: t.invalidations,
@@ -388,12 +392,13 @@ pub fn e5_messages(n: u32) -> Vec<E5Row> {
             };
             // Workload 2: contended TTAS lock (write-heavy, invalidation
             // storms).
+            let seed = 5;
             let r = run_lock_workload(
                 &shm_mutex::TtasLock,
                 &LockWorkloadConfig {
                     n: n as usize,
                     cycles: 4,
-                    seed: 5,
+                    seed,
                     model,
                 },
             );
@@ -401,6 +406,7 @@ pub fn e5_messages(n: u32) -> Vec<E5Row> {
             let mutex = E5Row {
                 workload: "mutex(ttas)",
                 interconnect: ic_label,
+                seed: Some(seed),
                 rmrs: t.rmrs,
                 messages: t.messages,
                 invalidations: t.invalidations,
@@ -423,6 +429,8 @@ pub struct E6Row {
     pub model: &'static str,
     /// Number of contenders.
     pub n: usize,
+    /// Seed of the workload's randomized scheduler.
+    pub seed: u64,
     /// Average RMRs per passage.
     pub rmrs_per_passage: f64,
 }
@@ -451,12 +459,13 @@ pub fn e6_mutex(sizes: &[usize], cycles: u64) -> Vec<E6Row> {
     let locks = &locks;
     map_indexed(shm_pool::threads(), jobs, move |_, (n, k, label, model)| {
         let lock = &locks[k];
+        let seed = 42;
         let r = run_lock_workload(
             lock.as_ref(),
             &LockWorkloadConfig {
                 n,
                 cycles,
-                seed: 42,
+                seed,
                 model,
             },
         );
@@ -466,6 +475,7 @@ pub fn e6_mutex(sizes: &[usize], cycles: u64) -> Vec<E6Row> {
             lock: lock.name().to_owned(),
             model: label,
             n,
+            seed,
             rmrs_per_passage: r.rmrs_per_passage(),
         }
     })
@@ -560,6 +570,29 @@ mod tests {
             assert!(r.signaler_rmrs + 1 >= r.w as u64, "{r:?}");
         }
     }
+
+    #[test]
+    fn e9_certifies_shipped_algorithms_and_catches_the_control() {
+        // Small poll budget keeps the debug-mode sweep fast; the bin and the
+        // CI explore job run the full budget (and the chase dominance check)
+        // in release.
+        let rows = e9_explore(2, 1);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.exhaustive, "{r:?}");
+            assert!(r.terminals > 0, "{r:?}");
+            if r.algorithm == "seeded-buggy" {
+                assert!(
+                    r.violations_in_contract > 0,
+                    "negative control missed: {r:?}"
+                );
+                assert!(r.counterexample.is_some());
+                assert_eq!(r.seed, Some(1));
+            } else {
+                assert_eq!(r.violations_in_contract, 0, "{r:?}");
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------- E8 ----
@@ -642,6 +675,115 @@ pub fn e8_transformation_with(sizes: &[usize], audit: bool) -> Vec<E8Row> {
             audit_clean: r.audit_clean(),
             obs: mark.map(|m| m.delta_json()),
             timings: r.timings,
+        }
+    })
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+/// One row of E9: exhaustive schedule-space exploration of one algorithm
+/// under one cost model at small n.
+#[derive(Clone, Debug)]
+pub struct E9Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Cost-model label.
+    pub model: &'static str,
+    /// Number of processes (waiters + the signaler).
+    pub n: usize,
+    /// Seed of the seeded component of the scenario (the seeded-buggy
+    /// negative control); `None` for the deterministic shipped algorithms —
+    /// exploration itself is seedless.
+    pub seed: Option<u64>,
+    /// States expanded.
+    pub explored: u64,
+    /// Terminal (all-processes-done) states reached.
+    pub terminals: u64,
+    /// Whether no bound cut any branch — a clean verdict is then a proof at
+    /// this scenario size.
+    pub exhaustive: bool,
+    /// Violating states found (per reaching path).
+    pub violations_found: u64,
+    /// Violations within the algorithm's participation contract.
+    pub violations_in_contract: u64,
+    /// Empirical maximum of the signaler's RMRs over all complete schedules.
+    pub max_signaler_rmrs: u64,
+    /// The §6 adversary's constructed chase cost at the same n (DSM rows of
+    /// the E2 algorithms only). The chase is one reachable schedule, so the
+    /// explored maximum must dominate this.
+    pub chase_signaler_rmrs: Option<u64>,
+    /// The first violation, shrunk and audited, as a canonical JSON object.
+    pub counterexample: Option<String>,
+    /// Deterministic counter totals for this row (canonical JSON object),
+    /// recorded only when an `shm-obs` collector is installed.
+    pub obs: Option<String>,
+}
+
+/// E9 — bounded model checking as an experiment: exhaustively explores every
+/// schedule of each shipped signaling algorithm (plus the seeded-buggy
+/// negative control) at n = `waiters`+1 under both cost models, certifying
+/// Specification 4.1 within each algorithm's participation contract and
+/// measuring the true maximum of the signaler's RMRs. On the DSM rows of the
+/// E2 algorithms the row also runs the §6 wild-goose-chase adversary at the
+/// same n: its constructed cost is a lower bound on the reachable maximum,
+/// so `max_signaler_rmrs >= chase_signaler_rmrs` cross-validates both layers.
+#[must_use]
+pub fn e9_explore(waiters: usize, max_polls: u64) -> Vec<E9Row> {
+    use shm_explore::{check, Bounds, ScenarioSpec};
+    use signaling::algorithms::{CasList, SeededBuggy};
+    let algos: Vec<(Box<dyn SignalingAlgorithm>, Option<u64>)> = vec![
+        (Box::new(Broadcast), None),
+        (Box::new(CcFlag), None),
+        (Box::new(SingleWaiter), None),
+        (Box::new(QueueSignaling), None),
+        (Box::new(CasList), None),
+        (Box::new(SeededBuggy::new(1)), Some(1)),
+    ];
+    // Where the §6 adversary runs: the four E2 algorithms, under DSM.
+    let chase_algos = ["broadcast", "cc-flag", "single-waiter", "queue-faa"];
+    let mut jobs = Vec::new();
+    for k in 0..algos.len() {
+        for (label, model) in [("dsm", CostModel::Dsm), ("cc", CostModel::cc_default())] {
+            jobs.push((k, label, model));
+        }
+    }
+    let algos = &algos;
+    map_indexed(shm_pool::threads(), jobs, move |_, (k, label, model)| {
+        let mark = shm_obs::totals_mark();
+        let (algo, seed) = &algos[k];
+        let scenario = ScenarioSpec {
+            algorithm: algo.as_ref(),
+            waiters,
+            max_polls,
+            // The chase's signaler polls before it signals (those polls count
+            // toward its RMRs), so the explored space must admit the same
+            // pre-poll for the maxima to be comparable.
+            signaler_polls_first: 1,
+            model,
+            seed: *seed,
+        };
+        let out = check(&scenario, &Bounds::exhaustive());
+        let chase = (label == "dsm" && chase_algos.contains(&algo.name())).then(|| {
+            let r = run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(scenario.n()));
+            r.chase.as_ref().map_or(0, |c| c.signaler_rmrs)
+        });
+        E9Row {
+            algorithm: algo.name().to_owned(),
+            model: label,
+            n: scenario.n(),
+            seed: *seed,
+            explored: out.report.explored,
+            terminals: out.report.terminals,
+            exhaustive: out.report.exhaustive,
+            violations_found: out.report.violations_found,
+            violations_in_contract: out.in_contract_violations,
+            max_signaler_rmrs: out.max_signaler_rmrs().unwrap_or(0),
+            chase_signaler_rmrs: chase,
+            counterexample: out
+                .counterexample
+                .as_ref()
+                .map(shm_explore::Counterexample::to_json),
+            obs: mark.map(|m| m.delta_json()),
         }
     })
 }

@@ -15,6 +15,7 @@
 //! | E6 | §3/§8 context: mutual exclusion RMRs agree across models | [`e6_mutex`] |
 //! | E7 | §7: Ω(W) signaler cost for fixed waiters | [`e7_fixed_w`] |
 //! | E8 | Corollary 6.14: CAS (native or transformed to reads/writes) stays bounded by the adversary; FAA escapes | [`e8_transformation`] |
+//! | E9 | Spec 4.1 certified over *every* schedule at small n; explored RMR maximum dominates the §6 chase cost | [`e9_explore`] |
 //!
 //! Every function returns structured rows (so the integration tests assert
 //! on them) and the `exp_*` binaries print them as tables. The adversary

@@ -6,7 +6,7 @@
 //! `shm_pool::set_threads` is process-global, so the tests serialize on a
 //! mutex and restore the default afterwards.
 
-use bench::{canon, e1_cc_upper, e2_dsm_lower_with, e8_transformation_with};
+use bench::{canon, e1_cc_upper, e2_dsm_lower_with, e8_transformation_with, e9_explore};
 use std::sync::Mutex;
 
 static POOL_LOCK: Mutex<()> = Mutex::new(());
@@ -83,6 +83,26 @@ fn e2_metrics_report_is_byte_identical_across_thread_counts() {
     assert!(metrics_1.contains("\"sim.rmr\""), "{metrics_1}");
     assert!(metrics_1.contains("\"audit.rmr\""), "{metrics_1}");
     assert!(metrics_1.contains("\"part2.rmr.signaler\""), "{metrics_1}");
+}
+
+/// E9 nests the explorer's own frontier fan-out inside the row sweep's pool
+/// jobs, so this exercises determinism of both layers at once — including
+/// the embedded (shrunk) counterexample JSON of the seeded-buggy row.
+#[test]
+fn e9_canonical_json_is_thread_count_independent() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let serial = at_threads(1, || canon::e9_json(&e9_explore(2, 1)));
+    let parallel = at_threads(4, || canon::e9_json(&e9_explore(2, 1)));
+    assert_eq!(serial, parallel);
+    assert!(serial.contains("\"max_signaler_rmrs\""));
+    assert!(
+        serial.contains("\"algorithm\": \"seeded-buggy\""),
+        "negative control row present: {serial}"
+    );
+    assert!(
+        serial.contains("\"schedule\":["),
+        "embedded counterexample present: {serial}"
+    );
 }
 
 #[test]

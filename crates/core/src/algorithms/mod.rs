@@ -15,6 +15,7 @@ mod common;
 mod fixed_signaler;
 mod fixed_waiters;
 mod queue;
+mod seeded_buggy;
 mod single_waiter;
 
 pub use broadcast::Broadcast;
@@ -24,4 +25,5 @@ pub use common::SpinUntil;
 pub use fixed_signaler::FixedSignaler;
 pub use fixed_waiters::{FixedWaiters, FixedWaitersMode};
 pub use queue::QueueSignaling;
+pub use seeded_buggy::SeededBuggy;
 pub use single_waiter::SingleWaiter;

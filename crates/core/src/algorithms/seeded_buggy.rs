@@ -1,0 +1,180 @@
+//! A deliberately broken signaling algorithm — the model checker's negative
+//! control.
+//!
+//! Each seed selects one of three injected bug families. All of them violate
+//! Specification 4.1 *within* the participation contract (the algorithm
+//! claims to support arbitrarily many waiters), so a checker that cannot
+//! find a schedule exposing them is broken. The buggy behavior is
+//! deterministic — the seed picks the variant at construction time, not a
+//! coin flipped during execution — which keeps the step-machine contract
+//! (and hence replay and shrinking) intact.
+
+use crate::algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
+use shm_sim::{Addr, MemLayout, Op, OpSequence, ProcId, ProcedureCall, ReturnConst, Step, Word};
+use std::sync::Arc;
+
+/// The seeded negative control. `seed % 3` picks the bug:
+///
+/// * `0` — **impatient waiter**: `Poll()` counts its own invocations in
+///   shared memory and returns true once it has polled twice, signal or not
+///   (`TrueWithoutSignalBegun`, needs two polls by one process to surface).
+/// * `1` — **lost signal**: `Signal()` writes a scratch cell instead of the
+///   flag, so polls keep returning false after the signal completes
+///   (`FalseAfterSignalCompleted`).
+/// * `2` — **trigger-happy poll**: `Poll()` returns true unconditionally
+///   (`TrueWithoutSignalBegun` on the very first poll).
+#[derive(Clone, Copy, Debug)]
+pub struct SeededBuggy {
+    /// Bug-family selector (taken mod 3).
+    pub seed: u64,
+}
+
+impl SeededBuggy {
+    /// Creates the negative control with the given bug-family seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededBuggy { seed }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Inst {
+    variant: u64,
+    flag: Addr,
+    scratch: Addr,
+    counters: shm_sim::AddrRange,
+}
+
+impl SignalingAlgorithm for SeededBuggy {
+    fn name(&self) -> &'static str {
+        "seeded-buggy"
+    }
+
+    fn primitive_class(&self) -> PrimitiveClass {
+        PrimitiveClass::ReadWrite
+    }
+
+    fn instantiate(&self, layout: &mut MemLayout, n: usize) -> Arc<dyn AlgorithmInstance> {
+        let flag = layout.alloc_global(0);
+        layout.set_label(flag, "B");
+        let scratch = layout.alloc_global(0);
+        layout.set_label(scratch, "SCRATCH");
+        let counters = layout.alloc_global_array(n, 0);
+        Arc::new(Inst {
+            variant: self.seed % 3,
+            flag,
+            scratch,
+            counters,
+        })
+    }
+}
+
+/// Variant 0's poll: read own counter, bump it, read the flag, and return
+/// true if the flag is set *or* this was the second poll.
+#[derive(Clone, Debug)]
+struct ImpatientPoll {
+    cnt: Addr,
+    flag: Addr,
+    state: u8,
+    polls: Word,
+}
+
+impl ProcedureCall for ImpatientPoll {
+    fn step(&mut self, last: Option<Word>) -> Step {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Step::Op(Op::Read(self.cnt))
+            }
+            1 => {
+                self.polls = last.expect("counter read") + 1;
+                self.state = 2;
+                Step::Op(Op::Write(self.cnt, self.polls))
+            }
+            2 => {
+                self.state = 3;
+                Step::Op(Op::Read(self.flag))
+            }
+            _ => {
+                let flag = last.expect("flag read");
+                Step::Return(u64::from(flag == 1 || self.polls >= 2))
+            }
+        }
+    }
+
+    fn clone_call(&self) -> Box<dyn ProcedureCall> {
+        Box::new(self.clone())
+    }
+}
+
+impl AlgorithmInstance for Inst {
+    fn signal_call(&self, _pid: ProcId) -> Box<dyn ProcedureCall> {
+        let target = if self.variant == 1 {
+            // Lost signal: the write lands in the wrong cell.
+            self.scratch
+        } else {
+            self.flag
+        };
+        Box::new(OpSequence::new(vec![Op::Write(target, 1)]))
+    }
+
+    fn poll_call(&self, pid: ProcId) -> Box<dyn ProcedureCall> {
+        match self.variant {
+            0 => Box::new(ImpatientPoll {
+                cnt: self.counters.at(pid.index()),
+                flag: self.flag,
+                state: 0,
+                polls: 0,
+            }),
+            1 => Box::new(OpSequence::new(vec![Op::Read(self.flag)])),
+            _ => Box::new(ReturnConst(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, Role, Scenario};
+    use shm_sim::{CostModel, RoundRobin};
+
+    #[test]
+    fn every_variant_violates_the_polling_spec() {
+        for seed in 0..3 {
+            let algo = SeededBuggy::new(seed);
+            // Variants 0 and 2 return true with no signal in sight, so the
+            // exposing scenario has no signaler at all; variant 1 needs the
+            // (lost) signal to complete before the damning poll, which
+            // round-robin with an immediate signaler provides.
+            let roles = if seed == 1 {
+                vec![
+                    Role::Waiter { max_polls: Some(3) },
+                    Role::Waiter { max_polls: Some(3) },
+                    Role::Signaler { polls_first: 0 },
+                ]
+            } else {
+                vec![
+                    Role::Waiter { max_polls: Some(3) },
+                    Role::Waiter { max_polls: Some(3) },
+                    Role::Bystander,
+                ]
+            };
+            let scenario = Scenario {
+                algorithm: &algo,
+                roles,
+                model: CostModel::Dsm,
+            };
+            let out = run_scenario(&scenario, &mut RoundRobin::new(), 100_000);
+            assert!(out.completed, "seed {seed}");
+            assert!(
+                out.polling_spec.is_err(),
+                "seed {seed} should violate Spec 4.1"
+            );
+        }
+    }
+
+    #[test]
+    fn contract_is_unbounded_so_violations_are_in_contract() {
+        assert_eq!(SeededBuggy::new(0).max_concurrent_waiters(), None);
+    }
+}

@@ -1,0 +1,552 @@
+//! The bounded exhaustive scheduler: sleep-set DPOR over the simulator's
+//! enabled steps, fingerprint deduplication, CHESS-style bounds, and a
+//! deterministic parallel frontier fan-out.
+
+use crate::bounds::Bounds;
+use crate::oracle::{Objective, Oracle};
+use shm_pool::map_indexed;
+use shm_sim::{Op, ProcId, SimSpec, Simulator, TransitionPeek};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// One violation found during exploration.
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// Name of the oracle that rejected the state.
+    pub oracle: &'static str,
+    /// Human-readable violation description.
+    pub description: String,
+    /// Whether the violating history was within the algorithm's
+    /// participation contract (PR 2's classification — out-of-contract
+    /// violations say nothing about the algorithm).
+    pub in_contract: bool,
+    /// The schedule that reached the violating state.
+    pub schedule: Vec<ProcId>,
+}
+
+/// The argmax schedule for an objective.
+#[derive(Clone, Debug)]
+pub struct ObjectiveResult {
+    /// Objective label.
+    pub name: String,
+    /// Maximum value over all explored terminal states.
+    pub value: u64,
+    /// A schedule reaching that value (the first one in deterministic
+    /// exploration order).
+    pub schedule: Vec<ProcId>,
+}
+
+/// The outcome of one exploration. All counts and retained schedules are
+/// byte-deterministic at any thread count: the frontier is fixed serially
+/// and per-frontier results merge by submission index.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// States expanded (distinct under dedup; per-subtree distinct when the
+    /// frontier fan-out splits the space).
+    pub explored: u64,
+    /// Child states pruned because their dedup key was already visited.
+    pub deduped: u64,
+    /// Transitions skipped by sleep sets (redundant orders of commuting
+    /// steps).
+    pub sleep_pruned: u64,
+    /// Transitions cut by the depth or preemption bound.
+    pub bound_pruned: u64,
+    /// Terminal states reached (every process terminated).
+    pub terminals: u64,
+    /// Total violating states found. States are judged on their own path
+    /// *before* deduplication (a verdict can depend on the event order, not
+    /// just the state), so a violating state reachable along several
+    /// non-commuting paths counts once per path.
+    pub violations_found: u64,
+    /// How many of [`ExploreReport::violations_found`] were within the
+    /// algorithm's participation contract. Counted at find time for *every*
+    /// violation (not just the retained records), so "zero in-contract
+    /// violations" claims are exact.
+    pub violations_in_contract: u64,
+    /// Retained violation records, in deterministic exploration order
+    /// (capped at [`Bounds::keep_violations`]).
+    pub violations: Vec<FoundViolation>,
+    /// Maximum objective value over terminal states, with its schedule.
+    pub max_objective: Option<ObjectiveResult>,
+    /// Number of frontier nodes handed to the pool (0 = the serial phase
+    /// covered the whole space).
+    pub frontier: usize,
+    /// `true` iff no bound (depth, preemptions, or state cap) cut any
+    /// branch: the report covers the entire schedule space and a clean
+    /// verdict is a proof at this scenario size, not an under-approximation.
+    pub exhaustive: bool,
+}
+
+impl ExploreReport {
+    /// Violations found *outside* the participation contract — recorded but
+    /// not held against the algorithm (PR 2's classification).
+    #[must_use]
+    pub fn out_of_contract_violations(&self) -> u64 {
+        self.violations_found - self.violations_in_contract
+    }
+}
+
+/// What one `step(pid)` would do, reduced to the facts the dependency
+/// relation needs: call-boundary-ness and the memory footprint.
+#[derive(Clone, Copy, Debug)]
+struct Class {
+    /// The step emits an `Invoke` or `Return` event (call boundary). The
+    /// spec checkers judge cross-process invoke/return order, so boundary
+    /// steps of different processes never commute.
+    boundary: bool,
+    /// The step terminates the process (no event the oracles observe; no
+    /// memory access) — independent of everything.
+    terminate: bool,
+    /// The memory access the step performs, if any.
+    op: Option<Op>,
+}
+
+fn classify(sim: &Simulator, pid: ProcId) -> Option<Class> {
+    match sim.peek_transition(pid) {
+        TransitionPeek::NotRunnable => None,
+        TransitionPeek::WillTerminate => Some(Class {
+            boundary: false,
+            terminate: true,
+            op: None,
+        }),
+        TransitionPeek::Return { .. } => Some(Class {
+            boundary: true,
+            terminate: false,
+            op: None,
+        }),
+        TransitionPeek::Access(op) => Some(Class {
+            // A step on a process with no open call fetches the next call
+            // (emitting Invoke) before its first access, within the same
+            // step.
+            boundary: !sim.has_pending_call(pid),
+            terminate: false,
+            op: Some(op),
+        }),
+    }
+}
+
+/// Two steps commute iff they touch disjoint locations or are both plain
+/// reads, and they are not both call boundaries. Valid independence for both
+/// cost models: per-location validity means disjoint-location and read-read
+/// reorders leave every charge unchanged, and one process's step never
+/// changes what another's next transition is (machine state is process-
+/// local) nor whether it is enabled.
+fn independent(a: Class, b: Class) -> bool {
+    if a.terminate || b.terminate {
+        return true;
+    }
+    if a.boundary && b.boundary {
+        return false;
+    }
+    match (a.op, b.op) {
+        (Some(x), Some(y)) => {
+            x.addr() != y.addr() || (matches!(x, Op::Read(_)) && matches!(y, Op::Read(_)))
+        }
+        _ => true,
+    }
+}
+
+/// A node of the exploration tree: a simulator state plus the path-dependent
+/// context (sleep set, preemptions used so far).
+struct Node {
+    sim: Simulator,
+    /// Bitmask of sleeping process IDs.
+    sleep: u64,
+    /// Preemptive context switches on the path to this node.
+    preempts: u32,
+}
+
+/// Dedup key: state fingerprint + sleep set + (when preemption bounding is
+/// active) the last-scheduled pid and the used budget, which then also
+/// affect a node's continuations + the oracles' order-witness context
+/// ([`Oracle::dedup_context`]) — two histories may only merge when every
+/// past order fact that can sway a future verdict agrees.
+type Key = (u128, u64, u64, u64);
+
+struct Walker<'a> {
+    oracles: &'a [&'a dyn Oracle],
+    objective: Option<&'a dyn Objective>,
+    bounds: &'a Bounds,
+    visited: HashSet<Key>,
+    /// Exact-state fallback: fingerprint collisions would silently merge
+    /// distinct states, so debug builds (and the `exact-fingerprints`
+    /// feature of shm-sim builds, via the same cfg) keep the full word
+    /// encodings and assert every dedup hit.
+    #[cfg(debug_assertions)]
+    exact: std::collections::HashMap<Key, Vec<u64>>,
+    rep: ExploreReport,
+    stopped: bool,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        oracles: &'a [&'a dyn Oracle],
+        objective: Option<&'a dyn Objective>,
+        bounds: &'a Bounds,
+    ) -> Self {
+        Walker {
+            oracles,
+            objective,
+            bounds,
+            visited: HashSet::new(),
+            #[cfg(debug_assertions)]
+            exact: std::collections::HashMap::new(),
+            rep: ExploreReport {
+                exhaustive: true,
+                ..ExploreReport::default()
+            },
+            stopped: false,
+        }
+    }
+
+    fn key_of(&self, sim: &Simulator, sleep: u64, last: ProcId, preempts: u32) -> Key {
+        let aux = if self.bounds.max_preemptions.is_some() {
+            (u64::from(last.0) + 1) << 32 | u64::from(preempts)
+        } else {
+            0
+        };
+        let mut ctx = 0u64;
+        for oracle in self.oracles {
+            ctx = ctx.rotate_left(7) ^ oracle.dedup_context(sim);
+        }
+        (sim.state_fingerprint(), sleep, aux, ctx)
+    }
+
+    /// Marks `key` visited; returns `false` (and counts a dedup hit) when it
+    /// already was.
+    fn visit(&mut self, key: Key, _sim: &Simulator) -> bool {
+        if !self.visited.insert(key) {
+            self.rep.deduped += 1;
+            shm_obs::counter!("explore.dedup");
+            #[cfg(debug_assertions)]
+            {
+                let words = _sim.state_words();
+                assert_eq!(
+                    self.exact.get(&key),
+                    Some(&words),
+                    "state-fingerprint collision: distinct states share a dedup key"
+                );
+            }
+            return false;
+        }
+        #[cfg(debug_assertions)]
+        self.exact.insert(key, _sim.state_words());
+        true
+    }
+
+    /// Expands one node: counts it, measures terminals, and yields the
+    /// children to descend into (in deterministic ascending-pid order).
+    /// Bound-pruned, sleeping, deduped, and violating children are consumed
+    /// here and not yielded.
+    fn expand_children(&mut self, node: &Node) -> Vec<Node> {
+        self.rep.explored += 1;
+        shm_obs::counter!("explore.states");
+        if let Some(cap) = self.bounds.max_states {
+            if self.rep.explored > cap {
+                self.rep.exhaustive = false;
+                self.stopped = true;
+                return Vec::new();
+            }
+        }
+        let n = node.sim.n();
+        let classes: Vec<(ProcId, Class)> = (0..n)
+            .filter_map(|i| {
+                let pid = ProcId(i as u32);
+                classify(&node.sim, pid).map(|c| (pid, c))
+            })
+            .collect();
+        if classes.is_empty() {
+            self.rep.terminals += 1;
+            shm_obs::counter!("explore.terminals");
+            if let Some(obj) = self.objective {
+                let value = obj.measure(&node.sim);
+                let better = self
+                    .rep
+                    .max_objective
+                    .as_ref()
+                    .is_none_or(|m| value > m.value);
+                if better {
+                    self.rep.max_objective = Some(ObjectiveResult {
+                        name: obj.name(),
+                        value,
+                        schedule: node.sim.schedule().to_vec(),
+                    });
+                }
+            }
+            return Vec::new();
+        }
+        let last = node.sim.schedule().last().copied();
+        let depth = node.sim.schedule().len();
+        let mut children = Vec::new();
+        // Pids already covered from this node (executed, deduped, or judged
+        // violating): sleep-set candidates for later siblings.
+        let mut done: u64 = 0;
+        for &(pid, class) in &classes {
+            if node.sleep >> pid.0 & 1 == 1 {
+                self.rep.sleep_pruned += 1;
+                shm_obs::counter!("explore.sleep_pruned");
+                continue;
+            }
+            if self.bounds.max_depth.is_some_and(|d| depth + 1 > d) {
+                self.rep.bound_pruned += 1;
+                self.rep.exhaustive = false;
+                shm_obs::counter!("explore.bound_pruned");
+                continue;
+            }
+            let preempt = last.is_some_and(|l| l != pid && node.sim.is_runnable(l));
+            let preempts = node.preempts + u32::from(preempt);
+            if self
+                .bounds
+                .max_preemptions
+                .is_some_and(|m| preempts as usize > m)
+            {
+                self.rep.bound_pruned += 1;
+                self.rep.exhaustive = false;
+                shm_obs::counter!("explore.bound_pruned");
+                continue;
+            }
+            // The child's sleep set: everything covered so far that commutes
+            // with the step being taken (classic sleep-set propagation).
+            let sleep = if self.bounds.dpor {
+                let mut s = 0u64;
+                for &(q, qc) in &classes {
+                    let covered = (node.sleep | done) >> q.0 & 1 == 1;
+                    if covered && independent(qc, class) {
+                        s |= 1 << q.0;
+                    }
+                }
+                s
+            } else {
+                0
+            };
+            let mut sim = node.sim.clone();
+            let _ = sim.step(pid);
+            // Judge *before* the dedup check: a verdict can depend on the
+            // event order of the path, so a violating state must never be
+            // skipped because a clean reordering of it was visited first.
+            if let Some(v) = self.judge(&sim) {
+                // A violating state is a leaf: every extension carries the
+                // same first violation, so descending would only re-report.
+                self.rep.violations_found += 1;
+                self.rep.violations_in_contract += u64::from(v.in_contract);
+                shm_obs::counter!("explore.violations");
+                if self.rep.violations.len() < self.bounds.keep_violations {
+                    self.rep.violations.push(v);
+                }
+                done |= 1 << pid.0;
+                continue;
+            }
+            if self.bounds.dedup {
+                let key = self.key_of(&sim, sleep, pid, preempts);
+                if !self.visit(key, &sim) {
+                    done |= 1 << pid.0;
+                    continue;
+                }
+            }
+            done |= 1 << pid.0;
+            children.push(Node {
+                sim,
+                sleep,
+                preempts,
+            });
+        }
+        children
+    }
+
+    fn judge(&self, sim: &Simulator) -> Option<FoundViolation> {
+        for oracle in self.oracles {
+            if let Err(description) = oracle.check(sim) {
+                return Some(FoundViolation {
+                    oracle: oracle.name(),
+                    description,
+                    in_contract: oracle.in_contract(sim),
+                    schedule: sim.schedule().to_vec(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Depth-first exploration of the whole subtree under `node`.
+    fn dfs(&mut self, node: &Node) {
+        if self.stopped {
+            return;
+        }
+        let children = self.expand_children(node);
+        for child in children {
+            self.dfs(&child);
+        }
+    }
+}
+
+/// Merges sub-reports in submission-index order.
+fn merge(into: &mut ExploreReport, part: ExploreReport, keep_violations: usize) {
+    into.explored += part.explored;
+    into.deduped += part.deduped;
+    into.sleep_pruned += part.sleep_pruned;
+    into.bound_pruned += part.bound_pruned;
+    into.terminals += part.terminals;
+    into.violations_found += part.violations_found;
+    into.violations_in_contract += part.violations_in_contract;
+    into.exhaustive &= part.exhaustive;
+    for v in part.violations {
+        if into.violations.len() < keep_violations {
+            into.violations.push(v);
+        }
+    }
+    // Strict `>` keeps the earliest (lowest submission index) argmax.
+    if part.max_objective.as_ref().is_some_and(|p| {
+        into.max_objective
+            .as_ref()
+            .is_none_or(|m| p.value > m.value)
+    }) {
+        into.max_objective = part.max_objective;
+    }
+}
+
+/// Explores the schedule space of `spec` under `bounds`, checking `oracles`
+/// on every reached state and maximizing `objective` over terminal states.
+///
+/// A serial breadth-first phase expands the root until [`Bounds::frontier`]
+/// open nodes exist (or the space is exhausted); the frontier then fans out
+/// across [`shm_pool`] workers, one job per node, and the sub-reports merge
+/// by submission index — so every count, verdict, and retained schedule is
+/// byte-identical at any thread count (`threads = 1` runs the identical
+/// two-phase structure serially).
+#[must_use]
+pub fn explore(
+    spec: &SimSpec,
+    oracles: &[&dyn Oracle],
+    objective: Option<&dyn Objective>,
+    bounds: &Bounds,
+) -> ExploreReport {
+    let _span = shm_obs::Span::enter("explore.run");
+    let target = bounds.frontier.max(1);
+    let root = Node {
+        sim: Simulator::new(spec),
+        sleep: 0,
+        preempts: 0,
+    };
+    let mut phase1 = Walker::new(oracles, objective, bounds);
+    let mut queue: VecDeque<Node> = VecDeque::new();
+    queue.push_back(root);
+    while queue.len() < target && !phase1.stopped {
+        let Some(node) = queue.pop_front() else { break };
+        for child in phase1.expand_children(&node) {
+            queue.push_back(child);
+        }
+    }
+    let mut report = phase1.rep;
+    report.frontier = queue.len();
+    if queue.is_empty() || phase1.stopped {
+        return report;
+    }
+    let frontier: Vec<Node> = queue.into_iter().collect();
+    let parts = map_indexed(shm_pool::threads(), frontier, |_, node| {
+        let _span = shm_obs::Span::enter("explore.subtree");
+        let mut w = Walker::new(oracles, objective, bounds);
+        w.dfs(&node);
+        w.rep
+    });
+    for part in parts {
+        merge(&mut report, part, bounds.keep_violations);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FnOracle, TotalRmrs};
+    use shm_sim::{CallKind, CostModel, MemLayout, OpSequence, Script, ScriptedCall};
+    use std::sync::Arc;
+
+    /// `n` writers each write their pid to a private slot of a global array:
+    /// all steps commute, so DPOR should collapse the n! orders.
+    fn disjoint_writers(n: usize) -> SimSpec {
+        let mut layout = MemLayout::new();
+        let cells = layout.alloc_global_array(n, 0);
+        let sources = (0..n)
+            .map(|i| {
+                let a = cells.at(i);
+                let call = ScriptedCall::new(
+                    CallKind(0),
+                    "write",
+                    Arc::new(move || {
+                        Box::new(OpSequence::new(vec![Op::Write(a, 1)]))
+                            as Box<dyn shm_sim::ProcedureCall>
+                    }),
+                );
+                Box::new(Script::new(vec![call])) as Box<dyn shm_sim::CallSource>
+            })
+            .collect();
+        SimSpec {
+            layout,
+            sources,
+            model: CostModel::Dsm,
+        }
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_two_writers() {
+        let spec = disjoint_writers(2);
+        let rep = explore(&spec, &[], Some(&TotalRmrs), &Bounds::naive());
+        assert!(rep.exhaustive);
+        assert_eq!(rep.violations_found, 0);
+        assert!(rep.terminals >= 2, "{rep:?}");
+        assert!(rep.max_objective.is_some());
+    }
+
+    #[test]
+    fn dpor_explores_fewer_states_than_naive_on_commuting_writers() {
+        let spec = disjoint_writers(3);
+        let naive = explore(&spec, &[], None, &Bounds::naive());
+        let dpor = explore(&spec, &[], None, &Bounds::exhaustive());
+        assert!(naive.exhaustive && dpor.exhaustive);
+        assert!(
+            dpor.explored + dpor.deduped < naive.explored,
+            "dpor {dpor:?} vs naive {naive:?}"
+        );
+    }
+
+    #[test]
+    fn fn_oracle_violations_are_found_and_counted() {
+        let spec = disjoint_writers(2);
+        // "Nobody may ever complete a call": violated as soon as any write
+        // call returns.
+        let oracle = FnOracle::new("no-completions", |sim: &Simulator| {
+            if sim.history().calls().iter().any(|c| c.is_complete()) {
+                Err("a call completed".to_owned())
+            } else {
+                Ok(())
+            }
+        });
+        let rep = explore(&spec, &[&oracle], None, &Bounds::exhaustive());
+        assert!(rep.violations_found > 0);
+        assert!(!rep.violations.is_empty());
+        assert_eq!(rep.violations[0].oracle, "no-completions");
+        assert!(rep.violations[0].in_contract);
+    }
+
+    #[test]
+    fn depth_bound_marks_report_non_exhaustive() {
+        let spec = disjoint_writers(3);
+        let rep = explore(&spec, &[], None, &Bounds::bounded(2, None));
+        assert!(!rep.exhaustive);
+        assert!(rep.bound_pruned > 0);
+    }
+
+    #[test]
+    fn preemption_bound_zero_allows_only_run_to_completion_orders() {
+        let spec = disjoint_writers(3);
+        let mut b = Bounds::exhaustive();
+        b.max_preemptions = Some(0);
+        b.dpor = false;
+        b.dedup = false;
+        let rep = explore(&spec, &[], None, &b);
+        // With zero preemptions each process runs to termination once
+        // scheduled: 3! = 6 complete orders.
+        assert_eq!(rep.terminals, 6, "{rep:?}");
+        assert!(!rep.exhaustive);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the explorer: DPOR agrees with naive enumeration,
+//! shrinking preserves classification, the negative control is caught, and
+//! reports are byte-identical at any thread count.
+
+use shm_explore::{check, explore, Bounds, PollingSpecOracle, ProcRmrs, ScenarioSpec};
+use shm_sim::{CostModel, ProcId};
+use signaling::algorithms::{Broadcast, CcFlag, SeededBuggy, SingleWaiter};
+use signaling::SignalingAlgorithm;
+use std::sync::Mutex;
+
+/// Thread-count changes are process-global; serialize the tests that touch
+/// them.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn scenario<'a>(
+    algo: &'a dyn SignalingAlgorithm,
+    waiters: usize,
+    max_polls: u64,
+) -> ScenarioSpec<'a> {
+    ScenarioSpec {
+        algorithm: algo,
+        waiters,
+        max_polls,
+        signaler_polls_first: 0,
+        model: CostModel::Dsm,
+        seed: None,
+    }
+}
+
+/// DPOR + dedup must reach the same verdict and the same RMR maximum as the
+/// naive full enumeration, while exploring strictly fewer states.
+#[test]
+fn dpor_matches_naive_verdict_and_maximum_with_fewer_states() {
+    let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+        Box::new(Broadcast),
+        Box::new(CcFlag),
+        Box::new(SingleWaiter),
+        Box::new(SeededBuggy::new(2)),
+    ];
+    for algo in &algos {
+        let s = scenario(algo.as_ref(), 2, 1);
+        let spec = s.build();
+        let oracle = PollingSpecOracle {
+            max_concurrent_waiters: algo.max_concurrent_waiters(),
+        };
+        let objective = ProcRmrs(s.signaler());
+        let naive = explore(&spec, &[&oracle], Some(&objective), &Bounds::naive());
+        let dpor = explore(&spec, &[&oracle], Some(&objective), &Bounds::exhaustive());
+        assert!(naive.exhaustive && dpor.exhaustive, "{}", algo.name());
+        // Same verdict (violation existence and its contract classification)…
+        assert_eq!(
+            naive.violations_found > 0,
+            dpor.violations_found > 0,
+            "{}: naive {naive:?} vs dpor {dpor:?}",
+            algo.name()
+        );
+        assert_eq!(
+            naive.violations_in_contract > 0,
+            dpor.violations_in_contract > 0,
+            "{}",
+            algo.name()
+        );
+        // …same empirical RMR maximum…
+        assert_eq!(
+            naive.max_objective.as_ref().map(|m| m.value),
+            dpor.max_objective.as_ref().map(|m| m.value),
+            "{}",
+            algo.name()
+        );
+        // …strictly fewer explored states (the point of the reductions).
+        assert!(
+            dpor.explored < naive.explored,
+            "{}: dpor explored {} vs naive {}",
+            algo.name(),
+            dpor.explored,
+            naive.explored
+        );
+    }
+}
+
+/// Regression (satellite 2): shrinking a SingleWaiter violation found with
+/// 2 concurrent waiters must preserve the out-of-contract classification —
+/// the shrunk schedule must never be reported as an in-contract violation
+/// of the algorithm.
+#[test]
+fn shrinking_single_waiter_violation_stays_out_of_contract() {
+    let s = scenario(&SingleWaiter, 2, 2);
+    let out = check(&s, &Bounds::exhaustive());
+    assert!(out.report.exhaustive);
+    assert_eq!(
+        out.in_contract_violations, 0,
+        "single-waiter must be clean within its contract"
+    );
+    assert!(
+        out.out_of_contract_violations > 0,
+        "2 waiters against a 1-waiter contract must violate somewhere"
+    );
+    let cx = out.counterexample.expect("violations ⇒ counterexample");
+    assert!(
+        !cx.in_contract,
+        "shrunk counterexample flipped to in-contract"
+    );
+    assert!(cx.audit_clean);
+    assert!(cx.schedule.len() <= cx.shrunk_from);
+    // Independent re-validation: replay the shrunk schedule and re-judge it
+    // from scratch with a fresh oracle.
+    let spec = s.build();
+    let sim = shm_explore::replay(&spec, &cx.schedule);
+    let oracle = PollingSpecOracle {
+        max_concurrent_waiters: SingleWaiter.max_concurrent_waiters(),
+    };
+    use shm_explore::Oracle as _;
+    assert!(
+        oracle.check(&sim).is_err(),
+        "shrunk schedule must still violate"
+    );
+    assert!(
+        !oracle.in_contract(&sim),
+        "shrunk schedule must still exceed the 1-waiter contract"
+    );
+}
+
+/// Negative control (every seeded bug family): exploration finds an
+/// in-contract violation, shrinks it, and the shrunk replay passes the
+/// differential audit.
+#[test]
+fn seeded_buggy_variants_are_found_shrunk_and_audited() {
+    for seed in 0..3 {
+        let algo = SeededBuggy::new(seed);
+        let s = scenario(&algo, 2, 2);
+        let out = check(&s, &Bounds::exhaustive());
+        assert!(out.report.exhaustive, "seed {seed}");
+        assert!(
+            out.in_contract_violations > 0,
+            "seed {seed}: the injected bug must be found in contract"
+        );
+        let cx = out.counterexample.expect("violations ⇒ counterexample");
+        assert!(cx.in_contract, "seed {seed}");
+        assert!(cx.audit_clean, "seed {seed}");
+        assert!(
+            cx.schedule.len() <= cx.shrunk_from,
+            "seed {seed}: shrinking must never grow the schedule"
+        );
+        assert_eq!(cx.algorithm, "seeded-buggy");
+        // The JSON form round-trips the schedule digits faithfully.
+        let json = cx.to_json();
+        let digits: Vec<String> = cx.schedule.iter().map(|p| p.0.to_string()).collect();
+        assert!(json.contains(&format!("\"schedule\":[{}]", digits.join(","))));
+    }
+}
+
+/// The full report — counts, retained schedules, argmax — is identical
+/// whether the frontier fan-out runs on 1 worker or 4.
+#[test]
+fn reports_are_identical_at_any_thread_count() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let algos: Vec<Box<dyn SignalingAlgorithm>> = vec![
+        Box::new(Broadcast),
+        Box::new(SingleWaiter),
+        Box::new(SeededBuggy::new(0)),
+    ];
+    for algo in &algos {
+        let s = scenario(algo.as_ref(), 2, 2);
+        let spec = s.build();
+        let oracle = PollingSpecOracle {
+            max_concurrent_waiters: algo.max_concurrent_waiters(),
+        };
+        let objective = ProcRmrs(ProcId(2));
+        shm_pool::set_threads(1);
+        let one = explore(&spec, &[&oracle], Some(&objective), &Bounds::exhaustive());
+        shm_pool::set_threads(4);
+        let four = explore(&spec, &[&oracle], Some(&objective), &Bounds::exhaustive());
+        shm_pool::set_threads(0);
+        assert_eq!(
+            format!("{one:?}"),
+            format!("{four:?}"),
+            "{}: report differs across thread counts",
+            algo.name()
+        );
+    }
+}

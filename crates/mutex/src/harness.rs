@@ -91,13 +91,13 @@ pub fn check_mutual_exclusion(history: &shm_sim::History) -> Vec<MutexViolation>
     violations
 }
 
-/// Builds and runs the workload: `n` processes each perform `cycles`
-/// passages of acquire → critical section → release under a seeded random
-/// scheduler.
-pub fn run_lock_workload(
-    algo: &dyn MutexAlgorithm,
-    cfg: &LockWorkloadConfig,
-) -> LockWorkloadResult {
+/// Builds the workload's executable spec without running it: `n` processes
+/// each scripted with `cycles` passages of acquire → critical section →
+/// release. Shared by [`run_lock_workload`] and the schedule-space explorer
+/// (which drives the same spec over *all* interleavings instead of one
+/// seeded one).
+#[must_use]
+pub fn workload_spec(algo: &dyn MutexAlgorithm, cfg: &LockWorkloadConfig) -> SimSpec {
     let mut layout = MemLayout::new();
     let inst = algo.instantiate(&mut layout, cfg.n);
     let scratch = layout.alloc_global(0);
@@ -132,11 +132,21 @@ pub fn run_lock_workload(
             Box::new(Script::new(calls)) as Box<dyn CallSource>
         })
         .collect();
-    let spec = SimSpec {
+    SimSpec {
         layout,
         sources,
         model: cfg.model,
-    };
+    }
+}
+
+/// Builds and runs the workload: `n` processes each perform `cycles`
+/// passages of acquire → critical section → release under a seeded random
+/// scheduler.
+pub fn run_lock_workload(
+    algo: &dyn MutexAlgorithm,
+    cfg: &LockWorkloadConfig,
+) -> LockWorkloadResult {
+    let spec = workload_spec(algo, cfg);
     let mut sim = Simulator::new(&spec);
     let budget = 4_000_000 + cfg.n as u64 * cfg.cycles * 50_000;
     let completed = run_to_completion(&mut sim, &mut SeededRandom::new(cfg.seed), budget);

@@ -35,8 +35,8 @@ pub use gme::{
     GmeWorkloadResult, MutexBackedGme,
 };
 pub use harness::{
-    check_mutual_exclusion, run_lock_workload, LockWorkloadConfig, LockWorkloadResult,
-    MutexViolation,
+    check_mutual_exclusion, run_lock_workload, workload_spec, LockWorkloadConfig,
+    LockWorkloadResult, MutexViolation,
 };
 pub use lock::{kinds, MutexAlgorithm, MutexInstance};
 pub use mcs::McsLock;

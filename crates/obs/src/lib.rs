@@ -234,6 +234,41 @@ pub mod registry {
             help: "chase erasures blocked by certification",
         },
         CounterDef {
+            name: "explore.states",
+            deterministic: true,
+            help: "schedule-space states expanded by the explorer",
+        },
+        CounterDef {
+            name: "explore.dedup",
+            deterministic: true,
+            help: "child states pruned by state-fingerprint deduplication",
+        },
+        CounterDef {
+            name: "explore.sleep_pruned",
+            deterministic: true,
+            help: "transitions skipped by sleep-set partial-order reduction",
+        },
+        CounterDef {
+            name: "explore.bound_pruned",
+            deterministic: true,
+            help: "transitions cut by the depth or preemption bound",
+        },
+        CounterDef {
+            name: "explore.terminals",
+            deterministic: true,
+            help: "terminal (all-processes-done) states reached by the explorer",
+        },
+        CounterDef {
+            name: "explore.violations",
+            deterministic: true,
+            help: "oracle-violating states found by the explorer",
+        },
+        CounterDef {
+            name: "explore.shrink_replays",
+            deterministic: true,
+            help: "candidate replays tried by counterexample shrinking",
+        },
+        CounterDef {
             name: "pool.execute",
             deterministic: false,
             help: "jobs executed per worker lane",

@@ -175,6 +175,20 @@ fn fp_absorb(h: u128, word: u64) -> u128 {
         .wrapping_add(u128::from(crate::rng::mix64(word)))
 }
 
+/// Folds an arbitrary word sequence into a 128-bit fingerprint of the same
+/// polynomial family as the projection fingerprints. The length is absorbed
+/// first, so sequences of different lengths never trivially collide. Used by
+/// [`crate::sim::Simulator::state_fingerprint`] to hash whole-machine states
+/// for the schedule-space explorer's deduplication.
+#[must_use]
+pub fn fingerprint_words(words: &[u64]) -> u128 {
+    let mut h = fp_absorb(FP_EMPTY, words.len() as u64);
+    for &w in words {
+        h = fp_absorb(h, w);
+    }
+    h
+}
+
 /// Encodes an operation as fixed-width words for fingerprinting. The leading
 /// tag makes the encoding prefix-free across variants.
 #[inline]

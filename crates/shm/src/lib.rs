@@ -75,7 +75,9 @@ pub mod source;
 pub mod trace;
 
 pub use audit::{AuditDivergence, AuditReport};
-pub use event::{CallRecord, Event, History, ProjectedEvent, RegularityViolation};
+pub use event::{
+    fingerprint_words, CallRecord, Event, History, ProjectedEvent, RegularityViolation,
+};
 pub use history_label::Labels;
 pub use ids::{Addr, AddrRange, ProcId, Word, NIL};
 pub use machine::{Call, CallKind, OpSequence, ProcedureCall, ReturnConst, Step};
@@ -83,7 +85,9 @@ pub use mem::{MemLayout, Memory};
 pub use model::{model_tag, AccessCost, CcConfig, CostModel, CostState, Interconnect, Protocol};
 pub use op::{Applied, Op};
 pub use rng::XorShift64;
-pub use sched::{run, run_to_completion, RoundRobin, Scheduler, Scripted, SeededRandom, Solo};
+pub use sched::{
+    run, run_exact, run_to_completion, RoundRobin, Scheduler, Scripted, SeededRandom, Solo,
+};
 pub use sim::{
     Checkpoint, Peek, ProcStats, SimSpec, Simulator, Status, StepReport, Totals, TransitionPeek,
 };

@@ -214,6 +214,22 @@ impl CostState {
             .unwrap_or_default()
     }
 
+    /// Appends a canonical word encoding of the pricing state to `out`:
+    /// nothing under DSM (which is stateless), and for CC each cell's
+    /// valid-copy holder set (member count followed by ascending IDs).
+    ///
+    /// Two cost states with equal encodings price every future access
+    /// identically; the schedule-space explorer folds this into its state
+    /// fingerprints so deduplication never merges states that would charge
+    /// differently.
+    pub fn encode_state(&self, out: &mut Vec<u64>) {
+        for set in &self.valid {
+            let members = set.members();
+            out.push(members.len() as u64);
+            out.extend(members.iter().map(|p| u64::from(p.0)));
+        }
+    }
+
     /// Prices the access `applied` performed by `pid` on `addr` (whose module
     /// owner is `owner`), updating cache state for the CC model.
     ///

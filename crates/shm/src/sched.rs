@@ -111,6 +111,26 @@ impl Scheduler for Scripted {
     }
 }
 
+/// Replays an explicit pid sequence exactly: each entry is stepped once, and
+/// entries naming a non-runnable process are dropped silently (they record
+/// nothing, matching [`Scripted`]'s skip semantics). Returns the number of
+/// steps actually taken.
+///
+/// This is the schedule-space explorer's replay hook: a serialized
+/// counterexample schedule — possibly with entries deleted by shrinking —
+/// re-executes through here, and the steps that survive are exactly the
+/// recorded [`Simulator::schedule`] of the replayed run.
+pub fn run_exact(sim: &mut Simulator, order: &[ProcId]) -> u64 {
+    let mut taken = 0;
+    for &pid in order {
+        match sim.step(pid) {
+            StepReport::NotRunnable => {}
+            _ => taken += 1,
+        }
+    }
+    taken
+}
+
 /// Drives `sim` under `sched` until the scheduler stops or `max_steps` steps
 /// have been taken. Returns the number of steps taken.
 pub fn run(sim: &mut Simulator, sched: &mut dyn Scheduler, max_steps: u64) -> u64 {

@@ -1546,6 +1546,69 @@ impl Simulator {
         self.procs[pid.index()].current.is_some()
     }
 
+    /// A canonical word encoding of everything that determines this
+    /// simulator's *future* behavior and pricing: per-process projection
+    /// fingerprints (which pin each process's local history — call sequence,
+    /// operations, and results — and therefore its opaque machine state),
+    /// statuses, pending-call flags, last results, per-process stats, the
+    /// memory image with last-writer attribution, and the cost-model state.
+    ///
+    /// Two simulators with equal encodings are behaviorally identical from
+    /// here on (every continuation produces the same events, charges, and
+    /// verdicts), because a step machine's state is a deterministic function
+    /// of its local history. The schedule-space explorer deduplicates on
+    /// [`Simulator::state_fingerprint`] and uses this encoding as the exact
+    /// fallback that rules out hash collisions in debug builds.
+    #[must_use]
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(16 * self.procs.len() + 2 * self.memory.len());
+        for (i, p) in self.procs.iter().enumerate() {
+            let pid = ProcId(i as u32);
+            let fp = self.history.fingerprint(pid);
+            out.push((fp >> 64) as u64);
+            out.push(fp as u64);
+            out.push(match p.status {
+                Status::Runnable => 0,
+                Status::Terminated => 1,
+                Status::Crashed => 2,
+            });
+            out.push(u64::from(p.current.is_some()));
+            // Option<Word> as (presence, value) pairs: Word is the full u64
+            // range (NIL = u64::MAX), so a +1 offset encoding would overflow.
+            out.push(u64::from(p.last_op_result.is_some()));
+            out.push(p.last_op_result.unwrap_or(0));
+            out.push(u64::from(p.last_return.is_some()));
+            out.push(p.last_return.unwrap_or(0));
+            out.extend([
+                p.stats.steps,
+                p.stats.accesses,
+                p.stats.rmrs,
+                p.stats.messages,
+                p.stats.calls_completed,
+            ]);
+        }
+        for a in 0..self.memory.len() {
+            let addr = crate::ids::Addr(a as u32);
+            out.push(self.memory.peek(addr));
+            out.push(
+                self.memory
+                    .last_writer(addr)
+                    .map_or(0, |p| 1 + u64::from(p.0)),
+            );
+        }
+        self.cost.encode_state(&mut out);
+        out
+    }
+
+    /// A 128-bit fingerprint of [`Simulator::state_words`] (same polynomial
+    /// family as the history projection fingerprints). Equal fingerprints
+    /// certify behaviorally identical simulator states up to hash collision;
+    /// the explorer's debug fallback compares the full word encodings.
+    #[must_use]
+    pub fn state_fingerprint(&self) -> u128 {
+        crate::event::fingerprint_words(&self.state_words())
+    }
+
     /// Crashes `pid`: it stops taking steps, mid-call or not.
     ///
     /// Models the paper's crash (§2: a process crashes if it terminates while
