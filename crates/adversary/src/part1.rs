@@ -517,7 +517,7 @@ impl Part1Runner {
             let mut graph = ConflictGraph::new(kept.iter().copied());
             for &p in &kept {
                 let addr = pending[&p].addr();
-                for &q in self.sim.memory().writers(addr) {
+                for q in self.sim.memory().writers(addr) {
                     if q != p && self.is_active(q) {
                         if kept.contains(&q) {
                             graph.add_edge(p, q);

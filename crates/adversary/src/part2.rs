@@ -223,7 +223,7 @@ fn choose_signaler(runner: &Part1Runner, n: usize) -> Option<ProcId> {
             // Only writes by *other* processes disqualify a module: the
             // lemma needs "p has never written memory local to s", and a
             // process writing its own module is harmless.
-            if mem.writers(a).iter().any(|&w| w != owner) {
+            if mem.writers(a).any(|w| w != owner) {
                 written_modules.insert(owner);
             }
         }

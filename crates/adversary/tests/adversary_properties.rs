@@ -89,7 +89,7 @@ fn final_state_is_a_filtered_replay() {
         let _ = runner.run();
         let replayed =
             shm_sim::Simulator::replay(&runner.spec, runner.sim.schedule(), &BTreeSet::new());
-        assert_eq!(replayed.history().events(), runner.sim.history().events());
+        assert_eq!(replayed.history().to_vec(), runner.sim.history().to_vec());
     }
 }
 

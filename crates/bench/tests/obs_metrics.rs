@@ -60,7 +60,6 @@ fn flushed_rmr_metrics_match_simulator_totals_exactly() {
     let accesses = sim
         .history()
         .events()
-        .iter()
         .filter(|e| matches!(e, shm_sim::Event::Access { .. }))
         .count() as u64;
     assert_eq!(

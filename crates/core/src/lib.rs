@@ -51,5 +51,6 @@ pub use algorithm::{AlgorithmInstance, PrimitiveClass, SignalingAlgorithm};
 pub use progress::{call_steps, max_accesses_per_call, worst_poll, worst_signal, CallSteps};
 pub use scenario::{run_scenario, Role, RunOutcome, Scenario};
 pub use spec::{
-    check_blocking, check_polling, peak_concurrent_waiters, waiter_processes, SpecViolation,
+    check_blocking, check_blocking_calls, check_polling, check_polling_calls,
+    peak_concurrent_waiters, waiter_processes, SpecViolation,
 };

@@ -70,8 +70,19 @@ fn signal_calls(calls: &[CallRecord]) -> (Option<usize>, Option<usize>) {
 ///
 /// Returns the first violation found, scanning calls in invocation order.
 pub fn check_polling(history: &History) -> Result<(), SpecViolation> {
-    let calls = history.calls();
-    let (first_signal_begin, first_signal_complete) = signal_calls(&calls);
+    check_polling_calls(&history.calls())
+}
+
+/// [`check_polling`] over pre-reconstructed call records
+/// ([`History::calls`]), so callers that need the records for several
+/// checks (the explorer judges and dedup-contexts every generated state)
+/// reconstruct them once.
+///
+/// # Errors
+///
+/// Returns the first violation found, scanning calls in invocation order.
+pub fn check_polling_calls(calls: &[CallRecord]) -> Result<(), SpecViolation> {
+    let (first_signal_begin, first_signal_complete) = signal_calls(calls);
     for c in calls.iter().filter(|c| c.kind == kinds::POLL) {
         let Some(returned_at) = c.returned_at else {
             continue;
@@ -125,7 +136,6 @@ pub fn check_polling(history: &History) -> Result<(), SpecViolation> {
 pub fn waiter_processes(history: &History) -> std::collections::BTreeSet<ProcId> {
     history
         .events()
-        .iter()
         .filter_map(|e| match *e {
             shm_sim::Event::Invoke { pid, kind, .. }
                 if kind == kinds::POLL || kind == kinds::WAIT =>
@@ -168,8 +178,17 @@ pub fn peak_concurrent_waiters(history: &History) -> usize {
 ///
 /// Returns the first violation found.
 pub fn check_blocking(history: &History) -> Result<(), SpecViolation> {
-    let calls = history.calls();
-    let (first_signal_begin, _) = signal_calls(&calls);
+    check_blocking_calls(&history.calls())
+}
+
+/// [`check_blocking`] over pre-reconstructed call records (see
+/// [`check_polling_calls`]).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_blocking_calls(calls: &[CallRecord]) -> Result<(), SpecViolation> {
+    let (first_signal_begin, _) = signal_calls(calls);
     for c in calls.iter().filter(|c| c.kind == kinds::WAIT) {
         let Some(returned_at) = c.returned_at else {
             continue;

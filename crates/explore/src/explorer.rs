@@ -5,7 +5,7 @@
 use crate::bounds::Bounds;
 use crate::oracle::{Objective, Oracle};
 use shm_pool::map_indexed;
-use shm_sim::{Op, ProcId, SimSpec, Simulator, TransitionPeek};
+use shm_sim::{CallRecord, Checkpoint, Op, ProcId, SimSpec, Simulator, TransitionPeek};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
@@ -163,11 +163,47 @@ struct Node {
 /// past order fact that can sway a future verdict agrees.
 type Key = (u128, u64, u64, u64);
 
+/// Hasher for [`Key`]s: the key already leads with a 128-bit polynomial
+/// state fingerprint, so hashing it again through SipHash (the `HashSet`
+/// default, resistant to adversarial keys these are not) only burns time in
+/// the per-claimed-child dedup probe. One multiply-fold per word is plenty.
+#[derive(Clone, Copy, Default)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Keys are fixed-width word tuples; chunks are always full words.
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(w)).wrapping_mul(0x9ddf_ea08_eb38_2d69);
+            self.0 ^= self.0 >> 32;
+        }
+    }
+}
+
+type KeyHashBuilder = std::hash::BuildHasherDefault<KeyHasher>;
+
+/// Where the claim pass left the simulator relative to the node it expanded.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SimAt {
+    /// At the node state itself (no rollback needed before stepping).
+    Node,
+    /// At the state of the *last* surviving child (the chain fast path).
+    LastChild,
+    /// At some other stepped-but-pruned state; restore before using.
+    Stale,
+}
+
 struct Walker<'a> {
     oracles: &'a [&'a dyn Oracle],
     objective: Option<&'a dyn Objective>,
     bounds: &'a Bounds,
-    visited: HashSet<Key>,
+    visited: HashSet<Key, KeyHashBuilder>,
     /// Exact-state fallback: fingerprint collisions would silently merge
     /// distinct states, so debug builds (and the `exact-fingerprints`
     /// feature of shm-sim builds, via the same cfg) keep the full word
@@ -176,6 +212,25 @@ struct Walker<'a> {
     exact: std::collections::HashMap<Key, Vec<u64>>,
     rep: ExploreReport,
     stopped: bool,
+    /// Reusable call-record buffer: every judged state reconstructs the
+    /// history's calls exactly once, shared between the oracle checks and
+    /// the dedup contexts.
+    calls_buf: Vec<CallRecord>,
+    /// Open-call map paired with [`Walker::calls_buf`].
+    open_buf: Vec<usize>,
+    /// Node-state call records, computed once per expanded node; each
+    /// claimed child copies them and applies only the events its step
+    /// appended ([`shm_sim::History::calls_extend`]).
+    node_calls: Vec<CallRecord>,
+    /// Open-call map paired with [`Walker::node_calls`].
+    node_open: Vec<usize>,
+    /// Reusable state-word buffer for dedup-key fingerprints.
+    words_buf: Vec<u64>,
+    /// Recycled node checkpoints: [`Simulator::snapshot_reuse`] makes the
+    /// per-node snapshot allocation-free at steady state.
+    ckpt_pool: Vec<Checkpoint>,
+    /// Recycled per-node class tables (see [`Walker::child_classes`]).
+    class_pool: Vec<Vec<(ProcId, Class)>>,
 }
 
 impl<'a> Walker<'a> {
@@ -188,7 +243,7 @@ impl<'a> Walker<'a> {
             oracles,
             objective,
             bounds,
-            visited: HashSet::new(),
+            visited: HashSet::default(),
             #[cfg(debug_assertions)]
             exact: std::collections::HashMap::new(),
             rep: ExploreReport {
@@ -196,10 +251,24 @@ impl<'a> Walker<'a> {
                 ..ExploreReport::default()
             },
             stopped: false,
+            calls_buf: Vec::new(),
+            open_buf: Vec::new(),
+            node_calls: Vec::new(),
+            node_open: Vec::new(),
+            words_buf: Vec::new(),
+            ckpt_pool: Vec::new(),
+            class_pool: Vec::new(),
         }
     }
 
-    fn key_of(&self, sim: &Simulator, sleep: u64, last: ProcId, preempts: u32) -> Key {
+    fn key_of(
+        &mut self,
+        sim: &Simulator,
+        sleep: u64,
+        last: ProcId,
+        preempts: u32,
+        calls: &[CallRecord],
+    ) -> Key {
         let aux = if self.bounds.max_preemptions.is_some() {
             (u64::from(last.0) + 1) << 32 | u64::from(preempts)
         } else {
@@ -207,9 +276,12 @@ impl<'a> Walker<'a> {
         };
         let mut ctx = 0u64;
         for oracle in self.oracles {
-            ctx = ctx.rotate_left(7) ^ oracle.dedup_context(sim);
+            ctx = ctx.rotate_left(7) ^ oracle.dedup_context_with(sim, calls);
         }
-        (sim.state_fingerprint(), sleep, aux, ctx)
+        let mut words = std::mem::take(&mut self.words_buf);
+        let fp = sim.state_fingerprint_with(&mut words);
+        self.words_buf = words;
+        (fp, sleep, aux, ctx)
     }
 
     /// Marks `key` visited; returns `false` (and counts a dedup hit) when it
@@ -234,32 +306,45 @@ impl<'a> Walker<'a> {
         true
     }
 
-    /// Expands one node: counts it, measures terminals, and yields the
-    /// children to descend into (in deterministic ascending-pid order).
-    /// Bound-pruned, sleeping, deduped, and violating children are consumed
-    /// here and not yielded.
-    fn expand_children(&mut self, node: &Node) -> Vec<Node> {
+    /// Expands one node *in place*: counts it, measures terminals, and
+    /// claims every candidate child in deterministic ascending-pid order —
+    /// stepping `sim`, judging and dedup-checking the stepped state, and
+    /// rolling back through the snapshot lazily (only when the next
+    /// candidate actually needs the node state). Returns the node's
+    /// checkpoint, the surviving `(pid, sleep, preempts)` children to
+    /// descend into, and whether `sim` was left sitting at the *last*
+    /// surviving child's state (the chain fast path: a single-child node
+    /// descends without a restore or a re-step); `None` when the node is
+    /// terminal or the state cap was hit.
+    ///
+    /// Claiming *all* siblings before any descent keeps the visited-set
+    /// insertion order — and with it every dedup, sleep, and bound count —
+    /// identical to the historical clone-per-child expansion, while the
+    /// snapshot/restore cycle replaces the per-candidate deep clone of the
+    /// whole simulator (history and schedule rewind in place; process
+    /// machines roll back by swapping refcounted pointers).
+    #[allow(clippy::type_complexity)]
+    fn expand(
+        &mut self,
+        sim: &mut Simulator,
+        node_sleep: u64,
+        node_preempts: u32,
+        classes: &[(ProcId, Class)],
+    ) -> Option<(Checkpoint, Vec<(ProcId, u64, u32)>, SimAt)> {
         self.rep.explored += 1;
         shm_obs::counter!("explore.states");
         if let Some(cap) = self.bounds.max_states {
             if self.rep.explored > cap {
                 self.rep.exhaustive = false;
                 self.stopped = true;
-                return Vec::new();
+                return None;
             }
         }
-        let n = node.sim.n();
-        let classes: Vec<(ProcId, Class)> = (0..n)
-            .filter_map(|i| {
-                let pid = ProcId(i as u32);
-                classify(&node.sim, pid).map(|c| (pid, c))
-            })
-            .collect();
         if classes.is_empty() {
             self.rep.terminals += 1;
             shm_obs::counter!("explore.terminals");
             if let Some(obj) = self.objective {
-                let value = obj.measure(&node.sim);
+                let value = obj.measure(sim);
                 let better = self
                     .rep
                     .max_objective
@@ -269,20 +354,30 @@ impl<'a> Walker<'a> {
                     self.rep.max_objective = Some(ObjectiveResult {
                         name: obj.name(),
                         value,
-                        schedule: node.sim.schedule().to_vec(),
+                        schedule: sim.schedule().to_vec(),
                     });
                 }
             }
-            return Vec::new();
+            return None;
         }
-        let last = node.sim.schedule().last().copied();
-        let depth = node.sim.schedule().len();
+        let last = sim.schedule().last().copied();
+        let depth = sim.schedule().len();
+        let ckpt = sim.snapshot_reuse(self.ckpt_pool.pop());
+        let node_len = sim.history().len();
+        let mut node_calls = std::mem::take(&mut self.node_calls);
+        let mut node_open = std::mem::take(&mut self.node_open);
+        sim.history()
+            .calls_into_open(&mut node_calls, &mut node_open);
         let mut children = Vec::new();
         // Pids already covered from this node (executed, deduped, or judged
         // violating): sleep-set candidates for later siblings.
         let mut done: u64 = 0;
-        for &(pid, class) in &classes {
-            if node.sleep >> pid.0 & 1 == 1 {
+        // Where `sim` currently sits relative to the checkpoint; stepped
+        // states roll back lazily, only when the next candidate needs the
+        // node state.
+        let mut at = SimAt::Node;
+        for &(pid, class) in classes {
+            if node_sleep >> pid.0 & 1 == 1 {
                 self.rep.sleep_pruned += 1;
                 shm_obs::counter!("explore.sleep_pruned");
                 continue;
@@ -293,8 +388,12 @@ impl<'a> Walker<'a> {
                 shm_obs::counter!("explore.bound_pruned");
                 continue;
             }
-            let preempt = last.is_some_and(|l| l != pid && node.sim.is_runnable(l));
-            let preempts = node.preempts + u32::from(preempt);
+            if at != SimAt::Node {
+                sim.restore(&ckpt);
+                at = SimAt::Node;
+            }
+            let preempt = last.is_some_and(|l| l != pid && sim.is_runnable(l));
+            let preempts = node_preempts + u32::from(preempt);
             if self
                 .bounds
                 .max_preemptions
@@ -309,8 +408,8 @@ impl<'a> Walker<'a> {
             // with the step being taken (classic sleep-set propagation).
             let sleep = if self.bounds.dpor {
                 let mut s = 0u64;
-                for &(q, qc) in &classes {
-                    let covered = (node.sleep | done) >> q.0 & 1 == 1;
+                for &(q, qc) in classes {
+                    let covered = (node_sleep | done) >> q.0 & 1 == 1;
                     if covered && independent(qc, class) {
                         s |= 1 << q.0;
                     }
@@ -319,12 +418,26 @@ impl<'a> Walker<'a> {
             } else {
                 0
             };
-            let mut sim = node.sim.clone();
             let _ = sim.step(pid);
+            at = SimAt::Stale;
             // Judge *before* the dedup check: a verdict can depend on the
             // event order of the path, so a violating state must never be
             // skipped because a clean reordering of it was visited first.
-            if let Some(v) = self.judge(&sim) {
+            // The call records feed both the judging oracles and the dedup
+            // contexts, so reconstruct them once per stepped state.
+            let mut calls = std::mem::take(&mut self.calls_buf);
+            let mut open = std::mem::take(&mut self.open_buf);
+            calls.clear();
+            calls.extend_from_slice(&node_calls);
+            open.clear();
+            open.extend_from_slice(&node_open);
+            sim.history().calls_extend(node_len, &mut calls, &mut open);
+            let verdict = self.judge(sim, &calls);
+            let key = (verdict.is_none() && self.bounds.dedup)
+                .then(|| self.key_of(sim, sleep, pid, preempts, &calls));
+            self.calls_buf = calls;
+            self.open_buf = open;
+            if let Some(v) = verdict {
                 // A violating state is a leaf: every extension carries the
                 // same first violation, so descending would only re-report.
                 self.rep.violations_found += 1;
@@ -336,26 +449,24 @@ impl<'a> Walker<'a> {
                 done |= 1 << pid.0;
                 continue;
             }
-            if self.bounds.dedup {
-                let key = self.key_of(&sim, sleep, pid, preempts);
-                if !self.visit(key, &sim) {
+            if let Some(key) = key {
+                if !self.visit(key, sim) {
                     done |= 1 << pid.0;
                     continue;
                 }
             }
             done |= 1 << pid.0;
-            children.push(Node {
-                sim,
-                sleep,
-                preempts,
-            });
+            children.push((pid, sleep, preempts));
+            at = SimAt::LastChild;
         }
-        children
+        self.node_calls = node_calls;
+        self.node_open = node_open;
+        Some((ckpt, children, at))
     }
 
-    fn judge(&self, sim: &Simulator) -> Option<FoundViolation> {
+    fn judge(&self, sim: &Simulator, calls: &[CallRecord]) -> Option<FoundViolation> {
         for oracle in self.oracles {
-            if let Err(description) = oracle.check(sim) {
+            if let Err(description) = oracle.check_with(sim, calls) {
                 return Some(FoundViolation {
                     oracle: oracle.name(),
                     description,
@@ -367,16 +478,95 @@ impl<'a> Walker<'a> {
         None
     }
 
-    /// Depth-first exploration of the whole subtree under `node`.
-    fn dfs(&mut self, node: &Node) {
+    /// Depth-first exploration of the whole subtree above `sim`'s current
+    /// state, mutating `sim` in place: each surviving child is re-stepped
+    /// from the node checkpoint and descended into. No simulator is ever
+    /// cloned on this path, and a single-child node (the common chain case)
+    /// descends directly into the state the claim pass left behind, with no
+    /// rollback or re-step at all.
+    ///
+    /// On return `sim` sits at or below the entry state — callers that need
+    /// the entry state back restore to their own checkpoint, which stays
+    /// valid for any descendant state.
+    fn dfs(
+        &mut self,
+        sim: &mut Simulator,
+        sleep: u64,
+        preempts: u32,
+        classes: Vec<(ProcId, Class)>,
+    ) {
         if self.stopped {
             return;
         }
-        let children = self.expand_children(node);
-        for child in children {
-            self.dfs(&child);
+        let Some((ckpt, children, at)) = self.expand(sim, sleep, preempts, &classes) else {
+            self.class_pool.push(classes);
+            return;
+        };
+        if let [(pid, child_sleep, child_preempts)] = children[..] {
+            if at == SimAt::LastChild {
+                let cc = self.child_classes(&classes, sim, pid);
+                self.dfs(sim, child_sleep, child_preempts, cc);
+                self.ckpt_pool.push(ckpt);
+                self.class_pool.push(classes);
+                return;
+            }
         }
+        let mut at_node = at == SimAt::Node;
+        for (pid, child_sleep, child_preempts) in children {
+            if self.stopped {
+                return;
+            }
+            if !at_node {
+                sim.restore(&ckpt);
+            }
+            let _ = sim.step(pid);
+            let cc = self.child_classes(&classes, sim, pid);
+            self.dfs(sim, child_sleep, child_preempts, cc);
+            at_node = false;
+        }
+        self.ckpt_pool.push(ckpt);
+        self.class_pool.push(classes);
     }
+
+    /// The class table of the child reached by stepping `stepped` from the
+    /// node whose table is `parent`. A step only mutates the stepped
+    /// process's machine — every transition peek is process-local — so the
+    /// child's table is the parent's with the one entry re-peeked (and
+    /// dropped when the process terminated), not `n` fresh peeks, each of
+    /// which deep-clones a machine.
+    fn child_classes(
+        &mut self,
+        parent: &[(ProcId, Class)],
+        sim: &Simulator,
+        stepped: ProcId,
+    ) -> Vec<(ProcId, Class)> {
+        let mut out = self.class_pool.pop().unwrap_or_default();
+        out.clear();
+        out.extend_from_slice(parent);
+        let idx = out
+            .iter()
+            .position(|&(p, _)| p == stepped)
+            .expect("stepped pid was an enabled candidate");
+        match classify(sim, stepped) {
+            Some(c) => out[idx].1 = c,
+            None => {
+                out.remove(idx);
+            }
+        }
+        out
+    }
+}
+
+/// The full class table of `sim`'s current state: one entry per enabled
+/// process, in ascending pid order. Used for exploration roots; interior
+/// nodes derive their tables incrementally ([`Walker::child_classes`]).
+fn full_classes(sim: &Simulator) -> Vec<(ProcId, Class)> {
+    (0..sim.n())
+        .filter_map(|i| {
+            let pid = ProcId(i as u32);
+            classify(sim, pid).map(|c| (pid, c))
+        })
+        .collect()
 }
 
 /// Merges sub-reports in submission-index order.
@@ -431,10 +621,32 @@ pub fn explore(
     let mut queue: VecDeque<Node> = VecDeque::new();
     queue.push_back(root);
     while queue.len() < target && !phase1.stopped {
-        let Some(node) = queue.pop_front() else { break };
-        for child in phase1.expand_children(&node) {
-            queue.push_back(child);
+        let Some(mut node) = queue.pop_front() else {
+            break;
+        };
+        let classes = full_classes(&node.sim);
+        let Some((ckpt, children, at)) =
+            phase1.expand(&mut node.sim, node.sleep, node.preempts, &classes)
+        else {
+            continue;
+        };
+        if at != SimAt::Node {
+            node.sim.restore(&ckpt);
         }
+        for (pid, sleep, preempts) in children {
+            // The breadth-first frontier needs materialized child states:
+            // re-step the claimed child and clone it off before rolling
+            // back. This phase touches at most `frontier` nodes.
+            let _ = node.sim.step(pid);
+            let sim = node.sim.clone();
+            node.sim.restore(&ckpt);
+            queue.push_back(Node {
+                sim,
+                sleep,
+                preempts,
+            });
+        }
+        phase1.ckpt_pool.push(ckpt);
     }
     let mut report = phase1.rep;
     report.frontier = queue.len();
@@ -445,7 +657,13 @@ pub fn explore(
     let parts = map_indexed(shm_pool::threads(), frontier, |_, node| {
         let _span = shm_obs::Span::enter("explore.subtree");
         let mut w = Walker::new(oracles, objective, bounds);
-        w.dfs(&node);
+        let Node {
+            mut sim,
+            sleep,
+            preempts,
+        } = node;
+        let classes = full_classes(&sim);
+        w.dfs(&mut sim, sleep, preempts, classes);
         w.rep
     });
     for part in parts {

@@ -1,8 +1,11 @@
 //! Pluggable oracles (safety checkers) and objectives (schedule-space
 //! maximization targets).
 
-use shm_sim::{ProcId, Simulator};
-use signaling::{check_blocking, check_polling, kinds, waiter_processes};
+use shm_sim::{CallRecord, ProcId, Simulator};
+use signaling::{
+    check_blocking, check_blocking_calls, check_polling, check_polling_calls, kinds,
+    waiter_processes,
+};
 use std::sync::Arc;
 
 /// A safety oracle checked on every explored state.
@@ -51,6 +54,29 @@ pub trait Oracle: Send + Sync {
     fn dedup_context(&self, _sim: &Simulator) -> u64 {
         0
     }
+
+    /// [`Oracle::check`] with the history's call records already
+    /// reconstructed. The explorer judges *and* dedup-contexts every
+    /// generated state; reconstructing [`History::calls`](shm_sim::History::calls)
+    /// once per state and sharing it across both is its hottest saving.
+    /// Defaults to the plain `check`, so record-oblivious oracles need not
+    /// care.
+    ///
+    /// Implementations must agree with `check`: the slice is exactly
+    /// `sim.history().calls()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation description.
+    fn check_with(&self, sim: &Simulator, _calls: &[CallRecord]) -> Result<(), String> {
+        self.check(sim)
+    }
+
+    /// [`Oracle::dedup_context`] with pre-reconstructed call records (see
+    /// [`Oracle::check_with`]); must agree with `dedup_context`.
+    fn dedup_context_with(&self, sim: &Simulator, _calls: &[CallRecord]) -> u64 {
+        self.dedup_context(sim)
+    }
 }
 
 /// Specification 4.1 (polling semantics), with the algorithm's
@@ -84,23 +110,36 @@ impl Oracle for PollingSpecOracle {
     /// poll. (The other clauses compare against the *return* step, which is
     /// in the future for every pending call, so they need no witness.)
     fn dedup_context(&self, sim: &Simulator) -> u64 {
-        let calls = sim.history().calls();
-        let first_signal_complete = calls
-            .iter()
-            .filter(|c| c.kind == kinds::SIGNAL)
-            .filter_map(|c| c.returned_at)
-            .min();
-        let Some(sc) = first_signal_complete else {
-            return 0;
-        };
-        let mut mask = 0u64;
-        for c in &calls {
-            if c.kind == kinds::POLL && c.returned_at.is_none() && c.invoked_at > sc {
-                mask |= 1 << (c.pid.0 % 64);
-            }
-        }
-        mask
+        polling_context(&sim.history().calls())
     }
+
+    fn check_with(&self, _sim: &Simulator, calls: &[CallRecord]) -> Result<(), String> {
+        check_polling_calls(calls).map_err(|v| format!("{v:?}"))
+    }
+
+    fn dedup_context_with(&self, _sim: &Simulator, calls: &[CallRecord]) -> u64 {
+        polling_context(calls)
+    }
+}
+
+/// The condemned-if-false pending-poll bitmask [`PollingSpecOracle`] uses as
+/// its dedup context, over pre-reconstructed call records.
+fn polling_context(calls: &[CallRecord]) -> u64 {
+    let first_signal_complete = calls
+        .iter()
+        .filter(|c| c.kind == kinds::SIGNAL)
+        .filter_map(|c| c.returned_at)
+        .min();
+    let Some(sc) = first_signal_complete else {
+        return 0;
+    };
+    let mut mask = 0u64;
+    for c in calls {
+        if c.kind == kinds::POLL && c.returned_at.is_none() && c.invoked_at > sc {
+            mask |= 1 << (c.pid.0 % 64);
+        }
+    }
+    mask
 }
 
 /// The blocking-semantics contract ("`Wait()` returns only after some
@@ -123,6 +162,10 @@ impl Oracle for BlockingSpecOracle {
     fn in_contract(&self, sim: &Simulator) -> bool {
         self.max_concurrent_waiters
             .is_none_or(|m| waiter_processes(sim.history()).len() <= m)
+    }
+
+    fn check_with(&self, _sim: &Simulator, calls: &[CallRecord]) -> Result<(), String> {
+        check_blocking_calls(calls).map_err(|v| format!("{v:?}"))
     }
 }
 

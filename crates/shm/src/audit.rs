@@ -397,13 +397,13 @@ impl<'a> Walk<'a> {
         Walk {
             sim,
             spec,
-            labels: spec.layout.labels(),
+            labels: spec.layout.labels().clone(),
             model,
             mlabel: model_label(model),
             full,
             sched_start: 0,
             sched_end: sim.schedule().len(),
-            event_end: sim.history().events().len(),
+            event_end: sim.history().len(),
             cursor: 0,
             step: 0,
             steps_walked: 0,
@@ -451,7 +451,7 @@ impl<'a> Walk<'a> {
             self.cells[a] = NaiveCell {
                 value: mem.peek(addr),
                 last_writer: mem.last_writer(addr),
-                reserved: mem.reservations(addr).iter().copied().collect(),
+                reserved: mem.reservations(addr).collect(),
             };
             self.valid[a] = ckpt.cost().holders(addr).iter().copied().collect();
         }
@@ -497,15 +497,15 @@ impl<'a> Walk<'a> {
     /// schedule entry, outside the audit's re-execution scope). `None` when
     /// the range is exhausted.
     fn take_recorded(&mut self) -> Option<(usize, Event)> {
-        let events = self.sim.history().events();
         while self.cursor < self.event_end {
             let idx = self.cursor;
             self.cursor += 1;
-            if matches!(events[idx], Event::Crash { .. }) {
+            let e = self.sim.history().event(idx);
+            if matches!(e, Event::Crash { .. }) {
                 continue;
             }
             self.events_checked += 1;
-            return Some((idx, events[idx].clone()));
+            return Some((idx, e.clone()));
         }
         None
     }
@@ -852,7 +852,7 @@ impl<'a> Walk<'a> {
     /// End-state diff (full walk only): totals, per-process stats, memory
     /// image and cache-validity table.
     fn check_end_state(&mut self) -> Option<AuditDivergence> {
-        let evlen = self.sim.history().events().len();
+        let evlen = self.sim.history().len();
         let totals = self.sim.totals();
         let stats: Vec<ProcStats> = (0..self.spec.n())
             .map(|i| self.sim.proc_stats(ProcId(i as u32)))
@@ -978,7 +978,7 @@ impl<'a> Walk<'a> {
                 ));
             }
             if check_reservations {
-                let live_rsv: BTreeSet<ProcId> = mem.reservations(addr).iter().copied().collect();
+                let live_rsv: BTreeSet<ProcId> = mem.reservations(addr).collect();
                 if live_rsv != cell.reserved {
                     return Some(self.diverge(
                         evlen,
@@ -1110,7 +1110,7 @@ pub(crate) fn run_audit(sim: &Simulator, spec: &SimSpec, threads: usize) -> Audi
         }
     }
     let schedule_len = sim.schedule().len();
-    let event_len = sim.history().events().len();
+    let event_len = sim.history().len();
     let ckpts = sim.checkpoints();
     // Chunk boundaries for the full walk: interior checkpoints, in schedule
     // order. (Checkpoints are recorded in increasing schedule_len order;

@@ -154,97 +154,230 @@ impl MemLayout {
         }
     }
 
-    /// The label registry (cloned; cheap for the handful of labelled cells).
+    /// The label registry (borrowed; clone it only if it must outlive the
+    /// layout — replay loops reuse one layout and should not copy label
+    /// maps per run).
     #[must_use]
-    pub fn labels(&self) -> crate::history_label::Labels {
-        self.labels.clone()
+    pub fn labels(&self) -> &crate::history_label::Labels {
+        &self.labels
     }
 }
 
-/// Runtime state of one memory cell.
-#[derive(Clone, Debug)]
-struct Cell {
-    value: Word,
-    owner: Option<ProcId>,
-    /// Last process that performed a nontrivial operation on the cell.
-    last_writer: Option<ProcId>,
-    /// Distinct processes that have performed nontrivial operations
-    /// (needed for regularity condition 3 of Definition 6.6). Kept sorted
-    /// and deduplicated; in practice tiny.
-    writers: Vec<ProcId>,
-    /// Processes holding an unbroken LL reservation on this cell.
-    reservations: Vec<ProcId>,
+/// A dense `(cell, pid)` bit table: one fixed-width stripe of `u64` words
+/// per cell, indexed `cell * stride + pid/64`.
+///
+/// This is the structure-of-arrays replacement for the per-cell
+/// `Vec<ProcId>` writer/reservation lists: membership tests and inserts on
+/// the step path are a shift and a mask with no heap traffic, clearing a
+/// cell's set (every nontrivial op breaks all LL reservations) is a short
+/// word fill, and cloning the whole table — which the explorer does for
+/// every snapshot — is one flat memcpy.
+///
+/// The stride starts at one word (pids 0..64, every current workload) and
+/// regrows on demand the first time a larger pid appears: [`MemLayout`]
+/// does not know the process count, so the table restrides dynamically
+/// instead of being sized up front.
+#[derive(Clone, Debug, Default)]
+struct PidTable {
+    cells: usize,
+    /// `u64` words per cell; pids `0..stride*64` are representable.
+    stride: usize,
+    bits: Vec<u64>,
 }
+
+impl PidTable {
+    fn new(cells: usize) -> Self {
+        PidTable {
+            cells,
+            stride: 1,
+            bits: vec![0; cells],
+        }
+    }
+
+    /// Copies `src`'s contents into `self`, reusing the bit buffer.
+    fn copy_from(&mut self, src: &PidTable) {
+        self.cells = src.cells;
+        self.stride = src.stride;
+        self.bits.clone_from(&src.bits);
+    }
+
+    #[inline]
+    fn contains(&self, cell: usize, pid: ProcId) -> bool {
+        let w = (pid.0 / 64) as usize;
+        w < self.stride && (self.bits[cell * self.stride + w] >> (pid.0 % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn insert(&mut self, cell: usize, pid: ProcId) {
+        let w = (pid.0 / 64) as usize;
+        if w >= self.stride {
+            self.restride(w + 1);
+        }
+        self.bits[cell * self.stride + w] |= 1 << (pid.0 % 64);
+    }
+
+    /// Cold path: widen every cell's stripe to `stride` words.
+    fn restride(&mut self, stride: usize) {
+        let mut bits = vec![0u64; self.cells * stride];
+        for c in 0..self.cells {
+            bits[c * stride..c * stride + self.stride]
+                .copy_from_slice(&self.bits[c * self.stride..(c + 1) * self.stride]);
+        }
+        self.stride = stride;
+        self.bits = bits;
+    }
+
+    #[inline]
+    fn clear_cell(&mut self, cell: usize) {
+        self.bits[cell * self.stride..(cell + 1) * self.stride].fill(0);
+    }
+
+    /// Members of `cell`'s set in ascending pid order.
+    fn iter_cell(&self, cell: usize) -> impl Iterator<Item = ProcId> + '_ {
+        let stripe = &self.bits[cell * self.stride..(cell + 1) * self.stride];
+        stripe.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w as u32 * 64;
+            BitIter(word).map(move |b| ProcId(base + b))
+        })
+    }
+
+    /// Removes every pid marked in `gone` (indexed by pid) from every cell.
+    fn remove_marked(&mut self, gone: &[bool]) {
+        let mut mask = vec![!0u64; self.stride];
+        for (pid, &g) in gone.iter().enumerate() {
+            if g && pid / 64 < self.stride {
+                mask[pid / 64] &= !(1u64 << (pid % 64));
+            }
+        }
+        for (i, word) in self.bits.iter_mut().enumerate() {
+            *word &= mask[i % self.stride];
+        }
+    }
+}
+
+/// Iterator over the set bit positions of one `u64`.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = u32;
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+/// Sentinel in the dense owner / last-writer columns: no process.
+const NO_PROC: u32 = u32::MAX;
 
 /// The flat cell array with atomic-operation semantics.
 ///
 /// `Memory` implements *functional* semantics only; cost accounting (RMRs,
 /// cache state, messages) lives in [`crate::model`]. This separation lets the
 /// same execution be priced under both the CC and DSM models.
+///
+/// The representation is structure-of-arrays: parallel dense columns
+/// indexed by [`Addr`] (values, owners, last writers) plus one
+/// [`PidTable`] each for the writer sets and the live LL reservations.
+/// A step touches a handful of adjacent flat slots instead of a 100-byte
+/// `Cell` struct with two heap vectors, and cloning — the unit of work of
+/// checkpoints and explorer snapshots — is a few flat memcpys with no
+/// per-cell allocations.
 #[derive(Clone, Debug)]
 pub struct Memory {
-    cells: Vec<Cell>,
+    values: Vec<Word>,
+    /// Module owner per cell (`NO_PROC` = global).
+    owners: Vec<u32>,
+    /// Last process that performed a nontrivial operation per cell
+    /// (`NO_PROC` = none yet).
+    last_writer: Vec<u32>,
+    /// Distinct processes that have performed nontrivial operations
+    /// (needed for regularity condition 3 of Definition 6.6).
+    writers: PidTable,
+    /// Processes holding an unbroken LL reservation per cell.
+    reservations: PidTable,
 }
 
 impl Memory {
     /// Instantiates memory in the initial state described by `layout`.
     #[must_use]
     pub fn from_layout(layout: &MemLayout) -> Self {
+        let cells = layout.cells.len();
         Memory {
-            cells: layout
+            values: layout.cells.iter().map(|spec| spec.init).collect(),
+            owners: layout
                 .cells
                 .iter()
-                .map(|spec| Cell {
-                    value: spec.init,
-                    owner: spec.owner,
-                    last_writer: None,
-                    writers: Vec::new(),
-                    reservations: Vec::new(),
-                })
+                .map(|spec| spec.owner.map_or(NO_PROC, |p| p.0))
                 .collect(),
+            last_writer: vec![NO_PROC; cells],
+            writers: PidTable::new(cells),
+            reservations: PidTable::new(cells),
         }
+    }
+
+    /// Copies `src`'s state into `self`, reusing every table's allocation —
+    /// the checkpoint-restore hot path rolls memory back without touching
+    /// the allocator.
+    pub(crate) fn copy_from(&mut self, src: &Memory) {
+        self.values.clone_from(&src.values);
+        self.owners.clone_from(&src.owners);
+        self.last_writer.clone_from(&src.last_writer);
+        self.writers.copy_from(&src.writers);
+        self.reservations.copy_from(&src.reservations);
     }
 
     /// Number of cells.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.values.len()
     }
 
     /// Whether the memory has no cells.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.values.is_empty()
     }
 
     /// Current value of `addr` (inspection only; does not count as a step).
     #[must_use]
     pub fn peek(&self, addr: Addr) -> Word {
-        self.cells[addr.index()].value
+        self.values[addr.index()]
     }
 
     /// Module owner of `addr`.
     #[must_use]
     pub fn owner(&self, addr: Addr) -> Option<ProcId> {
-        self.cells[addr.index()].owner
+        match self.owners[addr.index()] {
+            NO_PROC => None,
+            p => Some(ProcId(p)),
+        }
     }
 
     /// Last process that performed a nontrivial operation on `addr`.
     #[must_use]
     pub fn last_writer(&self, addr: Addr) -> Option<ProcId> {
-        self.cells[addr.index()].last_writer
+        match self.last_writer[addr.index()] {
+            NO_PROC => None,
+            p => Some(ProcId(p)),
+        }
     }
 
-    /// Distinct processes that have performed nontrivial operations on `addr`.
-    #[must_use]
-    pub fn writers(&self, addr: Addr) -> &[ProcId] {
-        &self.cells[addr.index()].writers
+    /// Distinct processes that have performed nontrivial operations on
+    /// `addr`, in ascending pid order.
+    pub fn writers(&self, addr: Addr) -> impl Iterator<Item = ProcId> + '_ {
+        self.writers.iter_cell(addr.index())
     }
 
-    /// Processes currently holding an LL reservation on `addr`. The audit
-    /// layer seeds and boundary-checks its naive shadow cells with these.
-    pub(crate) fn reservations(&self, addr: Addr) -> &[ProcId] {
-        &self.cells[addr.index()].reservations
+    /// Processes currently holding an LL reservation on `addr` (ascending
+    /// pid order). The audit layer seeds and boundary-checks its naive
+    /// shadow cells with these.
+    pub(crate) fn reservations(&self, addr: Addr) -> impl Iterator<Item = ProcId> + '_ {
+        self.reservations.iter_cell(addr.index())
     }
 
     /// Drops the LL reservations of the processes marked in `gone` (indexed
@@ -253,10 +386,18 @@ impl Memory {
     /// the filtered memory image should not carry state of processes that
     /// "never ran".
     pub(crate) fn purge_reservations(&mut self, gone: &[bool]) {
-        for cell in &mut self.cells {
-            cell.reservations
-                .retain(|p| !gone.get(p.index()).copied().unwrap_or(false));
-        }
+        self.reservations.remove_marked(gone);
+    }
+
+    /// Performs a nontrivial update: sets the value, records the writer, and
+    /// breaks all LL reservations (including the writer's own, per the usual
+    /// LL/SC semantics where SC consumes the reservation).
+    #[inline]
+    fn overwrite(&mut self, cell: usize, pid: ProcId, value: Word) {
+        self.values[cell] = value;
+        self.last_writer[cell] = pid.0;
+        self.writers.insert(cell, pid);
+        self.reservations.clear_cell(cell);
     }
 
     /// Atomically applies `op` on behalf of `pid`.
@@ -268,25 +409,23 @@ impl Memory {
     ///
     /// Panics if the operation addresses an unallocated cell.
     pub fn apply(&mut self, pid: ProcId, op: Op) -> Applied {
-        let cell = &mut self.cells[op.addr().index()];
+        let cell = op.addr().index();
         match op {
             Op::Read(_) => Applied {
-                result: cell.value,
+                result: self.values[cell],
                 nontrivial: false,
                 failed_comparison: false,
             },
             Op::Ll(_) => {
-                if !cell.reservations.contains(&pid) {
-                    cell.reservations.push(pid);
-                }
+                self.reservations.insert(cell, pid);
                 Applied {
-                    result: cell.value,
+                    result: self.values[cell],
                     nontrivial: false,
                     failed_comparison: false,
                 }
             }
             Op::Write(_, w) => {
-                cell.overwrite(pid, w);
+                self.overwrite(cell, pid, w);
                 Applied {
                     result: w,
                     nontrivial: true,
@@ -294,9 +433,9 @@ impl Memory {
                 }
             }
             Op::Cas(_, expected, new) => {
-                let old = cell.value;
+                let old = self.values[cell];
                 if old == expected {
-                    cell.overwrite(pid, new);
+                    self.overwrite(cell, pid, new);
                     Applied {
                         result: old,
                         nontrivial: true,
@@ -311,8 +450,8 @@ impl Memory {
                 }
             }
             Op::Sc(_, w) => {
-                if cell.reservations.contains(&pid) {
-                    cell.overwrite(pid, w);
+                if self.reservations.contains(cell, pid) {
+                    self.overwrite(cell, pid, w);
                     Applied {
                         result: 1,
                         nontrivial: true,
@@ -327,8 +466,8 @@ impl Memory {
                 }
             }
             Op::Faa(_, d) => {
-                let old = cell.value;
-                cell.overwrite(pid, old.wrapping_add(d));
+                let old = self.values[cell];
+                self.overwrite(cell, pid, old.wrapping_add(d));
                 Applied {
                     result: old,
                     nontrivial: true,
@@ -336,8 +475,8 @@ impl Memory {
                 }
             }
             Op::Fas(_, w) => {
-                let old = cell.value;
-                cell.overwrite(pid, w);
+                let old = self.values[cell];
+                self.overwrite(cell, pid, w);
                 Applied {
                     result: old,
                     nontrivial: true,
@@ -345,8 +484,8 @@ impl Memory {
                 }
             }
             Op::Tas(_) => {
-                let old = cell.value;
-                cell.overwrite(pid, 1);
+                let old = self.values[cell];
+                self.overwrite(cell, pid, 1);
                 Applied {
                     result: old,
                     nontrivial: true,
@@ -354,20 +493,6 @@ impl Memory {
                 }
             }
         }
-    }
-}
-
-impl Cell {
-    /// Performs a nontrivial update: sets the value, records the writer, and
-    /// breaks all LL reservations (including the writer's own, per the usual
-    /// LL/SC semantics where SC consumes the reservation).
-    fn overwrite(&mut self, pid: ProcId, value: Word) {
-        self.value = value;
-        self.last_writer = Some(pid);
-        if let Err(pos) = self.writers.binary_search(&pid) {
-            self.writers.insert(pos, pid);
-        }
-        self.reservations.clear();
     }
 }
 
@@ -495,7 +620,7 @@ mod tests {
         m.apply(ProcId(2), Op::Write(a, 1));
         m.apply(ProcId(0), Op::Write(a, 2));
         m.apply(ProcId(2), Op::Write(a, 3));
-        assert_eq!(m.writers(a), &[ProcId(0), ProcId(2)]);
+        assert_eq!(m.writers(a).collect::<Vec<_>>(), vec![ProcId(0), ProcId(2)]);
         assert_eq!(m.last_writer(a), Some(ProcId(2)));
     }
 
@@ -503,7 +628,7 @@ mod tests {
     fn failed_cas_does_not_record_writer() {
         let (mut m, a, _) = two_cell_memory();
         m.apply(ProcId(0), Op::Cas(a, 99, 1));
-        assert!(m.writers(a).is_empty());
+        assert_eq!(m.writers(a).count(), 0);
         assert_eq!(m.last_writer(a), None);
     }
 
@@ -517,5 +642,146 @@ mod tests {
         let g = layout.alloc_global_array(2, 3);
         assert_eq!(layout.owner(g.at(1)), None);
         assert_eq!(layout.initial_value(g.at(0)), 3);
+    }
+
+    /// Straightforward one-struct-per-cell reference semantics, against
+    /// which the dense pid-indexed tables are property-checked below.
+    #[derive(Clone, Default)]
+    struct RefCell_ {
+        value: Word,
+        last_writer: Option<ProcId>,
+        writers: std::collections::BTreeSet<u32>,
+        reservations: std::collections::BTreeSet<u32>,
+    }
+
+    impl RefCell_ {
+        fn overwrite(&mut self, pid: ProcId, value: Word) {
+            self.value = value;
+            self.last_writer = Some(pid);
+            self.writers.insert(pid.0);
+            self.reservations.clear();
+        }
+
+        fn apply(&mut self, pid: ProcId, op: Op) -> (Word, bool, bool) {
+            match op {
+                Op::Read(_) => (self.value, false, false),
+                Op::Ll(_) => {
+                    self.reservations.insert(pid.0);
+                    (self.value, false, false)
+                }
+                Op::Write(_, w) => {
+                    self.overwrite(pid, w);
+                    (w, true, false)
+                }
+                Op::Cas(_, expected, new) => {
+                    let old = self.value;
+                    if old == expected {
+                        self.overwrite(pid, new);
+                        (old, true, false)
+                    } else {
+                        (old, false, true)
+                    }
+                }
+                Op::Sc(_, w) => {
+                    if self.reservations.contains(&pid.0) {
+                        self.overwrite(pid, w);
+                        (1, true, false)
+                    } else {
+                        (0, false, true)
+                    }
+                }
+                Op::Faa(_, d) => {
+                    let old = self.value;
+                    self.overwrite(pid, old.wrapping_add(d));
+                    (old, true, false)
+                }
+                Op::Fas(_, w) => {
+                    let old = self.value;
+                    self.overwrite(pid, w);
+                    (old, true, false)
+                }
+                Op::Tas(_) => {
+                    let old = self.value;
+                    self.overwrite(pid, 1);
+                    (old, true, false)
+                }
+            }
+        }
+    }
+
+    /// Splitmix64: tiny deterministic generator for the property test.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Property: the dense pid-indexed tables ([`PidTable`]) behave exactly
+    /// like per-cell struct semantics on random operation sequences — every
+    /// applied result and every observable (value, last writer, writer set,
+    /// reservation set) agrees after every step, across several seeds.
+    #[test]
+    fn dense_tables_match_reference_cells_on_random_ops() {
+        for seed in 0..8u64 {
+            let n_procs = 5u32;
+            let n_cells = 4usize;
+            let mut layout = MemLayout::new();
+            let mut addrs = Vec::new();
+            for i in 0..n_cells {
+                addrs.push(if i % 2 == 0 {
+                    layout.alloc_global(i as Word)
+                } else {
+                    layout.alloc_local(ProcId(i as u32 % n_procs), i as Word)
+                });
+            }
+            let mut mem = Memory::from_layout(&layout);
+            let mut reference: Vec<RefCell_> = addrs
+                .iter()
+                .map(|&a| RefCell_ {
+                    value: layout.initial_value(a),
+                    ..RefCell_::default()
+                })
+                .collect();
+
+            let mut rng = seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1;
+            for _ in 0..600 {
+                let pid = ProcId(splitmix(&mut rng) as u32 % n_procs);
+                let a = addrs[splitmix(&mut rng) as usize % n_cells];
+                let w = splitmix(&mut rng) % 4;
+                let op = match splitmix(&mut rng) % 8 {
+                    0 => Op::Read(a),
+                    1 => Op::Write(a, w),
+                    2 => Op::Cas(a, splitmix(&mut rng) % 4, w),
+                    3 => Op::Ll(a),
+                    4 => Op::Sc(a, w),
+                    5 => Op::Faa(a, w),
+                    6 => Op::Fas(a, w),
+                    _ => Op::Tas(a),
+                };
+                let got = mem.apply(pid, op);
+                let want = reference[a.index()].apply(pid, op);
+                assert_eq!(
+                    (got.result, got.nontrivial, got.failed_comparison),
+                    want,
+                    "seed {seed}: result mismatch for {op:?} by {pid:?}"
+                );
+                for (&addr, cell) in addrs.iter().zip(&reference) {
+                    assert_eq!(mem.peek(addr), cell.value, "seed {seed}");
+                    assert_eq!(mem.last_writer(addr), cell.last_writer, "seed {seed}");
+                    assert_eq!(
+                        mem.writers(addr).map(|p| p.0).collect::<Vec<_>>(),
+                        cell.writers.iter().copied().collect::<Vec<_>>(),
+                        "seed {seed}"
+                    );
+                    assert_eq!(
+                        mem.reservations(addr).map(|p| p.0).collect::<Vec<_>>(),
+                        cell.reservations.iter().copied().collect::<Vec<_>>(),
+                        "seed {seed}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -116,82 +116,97 @@ pub struct AccessCost {
     pub invalidations: u64,
 }
 
-/// Compact set of process IDs (one bit per process).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
-struct ProcSet {
-    bits: Vec<u64>,
-}
+/// Helpers over one cell's validity words (a `stride`-word bitset of
+/// process IDs): `words[blk]` bit `bit` covers process `blk * 64 + bit`.
+mod procset {
+    use super::ProcId;
 
-impl ProcSet {
-    fn contains(&self, p: ProcId) -> bool {
+    pub(super) fn contains(words: &[u64], p: ProcId) -> bool {
         let (blk, bit) = (p.index() / 64, p.index() % 64);
-        self.bits.get(blk).is_some_and(|b| b >> bit & 1 == 1)
+        words.get(blk).is_some_and(|b| b >> bit & 1 == 1)
     }
 
-    fn insert(&mut self, p: ProcId) {
+    pub(super) fn insert(words: &mut [u64], p: ProcId) {
         let (blk, bit) = (p.index() / 64, p.index() % 64);
-        if self.bits.len() <= blk {
-            self.bits.resize(blk + 1, 0);
-        }
-        self.bits[blk] |= 1 << bit;
+        words[blk] |= 1 << bit;
     }
 
-    fn len(&self) -> u64 {
-        self.bits.iter().map(|b| u64::from(b.count_ones())).sum()
+    pub(super) fn len(words: &[u64]) -> u64 {
+        words.iter().map(|b| u64::from(b.count_ones())).sum()
     }
 
     /// Number of members other than `p`.
-    fn count_others(&self, p: ProcId) -> u64 {
-        self.len() - u64::from(self.contains(p))
+    pub(super) fn count_others(words: &[u64], p: ProcId) -> u64 {
+        len(words) - u64::from(contains(words, p))
     }
 
-    /// Retains only `p` (if present or not, the set becomes `{p}`).
-    fn reset_to(&mut self, p: ProcId) {
-        self.bits.iter_mut().for_each(|b| *b = 0);
-        self.insert(p);
+    /// Retains only `p` (whether present or not, the set becomes `{p}`).
+    pub(super) fn reset_to(words: &mut [u64], p: ProcId) {
+        words.iter_mut().for_each(|b| *b = 0);
+        insert(words, p);
     }
 
-    /// Members in ascending process-ID order.
-    fn members(&self) -> Vec<ProcId> {
-        let mut out = Vec::new();
-        for (blk, &bits) in self.bits.iter().enumerate() {
+    /// Visits members in ascending process-ID order.
+    pub(super) fn for_each_member(words: &[u64], mut f: impl FnMut(ProcId)) {
+        for (blk, &bits) in words.iter().enumerate() {
             let mut rest = bits;
             while rest != 0 {
                 let bit = rest.trailing_zeros() as usize;
-                out.push(ProcId((blk * 64 + bit) as u32));
+                f(ProcId((blk * 64 + bit) as u32));
                 rest &= rest - 1;
             }
         }
-        out
     }
 }
 
 /// Mutable pricing state for one execution under one cost model.
 ///
 /// For DSM this is stateless; for CC it tracks which processes hold a valid
-/// cached copy of each cell.
+/// cached copy of each cell — as one flat bitset (`stride` words per cell,
+/// cells contiguous), so checkpoint/restore is a single `memcpy` and the
+/// state encoding walks one cache-friendly buffer instead of chasing a
+/// pointer per cell.
 #[derive(Clone, Debug)]
 pub struct CostState {
     model: CostModel,
     n_procs: usize,
-    /// `valid[a]` = processes holding a valid cached copy of cell `a`
-    /// (CC only; empty vec for DSM).
-    valid: Vec<ProcSet>,
+    /// Flat cache-validity bitset: `valid[a * stride ..][..stride]` is the
+    /// set of processes holding a valid cached copy of cell `a` (CC only;
+    /// empty for DSM).
+    valid: Vec<u64>,
+    /// Words per cell: `ceil(n_procs / 64)`, minimum 1 (0 under DSM, where
+    /// `valid` stays empty).
+    stride: usize,
 }
 
 impl CostState {
     /// Creates pricing state for `n_procs` processes and `n_cells` cells.
     #[must_use]
     pub fn new(model: CostModel, n_procs: usize, n_cells: usize) -> Self {
-        let valid = match model {
-            CostModel::Dsm => Vec::new(),
-            CostModel::Cc(_) => vec![ProcSet::default(); n_cells],
+        let stride = match model {
+            CostModel::Dsm => 0,
+            CostModel::Cc(_) => n_procs.div_ceil(64).max(1),
         };
         CostState {
             model,
             n_procs,
-            valid,
+            valid: vec![0; n_cells * stride],
+            stride,
         }
+    }
+
+    /// Copies `src`'s state into `self`, reusing the flat bit buffer — the
+    /// checkpoint-restore hot path rolls pricing state back with one
+    /// `memcpy` and no allocator traffic at steady state.
+    pub(crate) fn copy_from(&mut self, src: &CostState) {
+        self.model = src.model;
+        self.n_procs = src.n_procs;
+        self.stride = src.stride;
+        self.valid.clone_from(&src.valid);
+    }
+
+    fn cell(&self, a: usize) -> &[u64] {
+        &self.valid[a * self.stride..(a + 1) * self.stride]
     }
 
     /// The model being priced.
@@ -208,10 +223,11 @@ impl CostState {
     /// audited access.
     #[must_use]
     pub fn holders(&self, addr: Addr) -> Vec<ProcId> {
-        self.valid
-            .get(addr.index())
-            .map(ProcSet::members)
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        if self.stride > 0 && (addr.index() + 1) * self.stride <= self.valid.len() {
+            procset::for_each_member(self.cell(addr.index()), |p| out.push(p));
+        }
+        out
     }
 
     /// Appends a canonical word encoding of the pricing state to `out`:
@@ -223,10 +239,12 @@ impl CostState {
     /// fingerprints so deduplication never merges states that would charge
     /// differently.
     pub fn encode_state(&self, out: &mut Vec<u64>) {
-        for set in &self.valid {
-            let members = set.members();
-            out.push(members.len() as u64);
-            out.extend(members.iter().map(|p| u64::from(p.0)));
+        if self.stride == 0 {
+            return;
+        }
+        for cell in self.valid.chunks_exact(self.stride) {
+            out.push(procset::len(cell));
+            procset::for_each_member(cell, |p| out.push(u64::from(p.0)));
         }
     }
 
@@ -261,7 +279,8 @@ impl CostState {
         addr: Addr,
         applied: &Applied,
     ) -> AccessCost {
-        let valid = &mut self.valid[addr.index()];
+        let stride = self.stride;
+        let valid = &mut self.valid[addr.index() * stride..(addr.index() + 1) * stride];
         if applied.failed_comparison && cfg.lfcu {
             // LFCU: a failed comparison primitive is applied locally.
             return AccessCost::default();
@@ -269,8 +288,8 @@ impl CostState {
         if !applied.nontrivial {
             // Read-like access (read, LL, or standard failed comparison):
             // served by the cache if a valid copy exists, otherwise one fetch.
-            let rmr = !valid.contains(pid);
-            valid.insert(pid);
+            let rmr = !procset::contains(valid, pid);
+            procset::insert(valid, pid);
             return AccessCost {
                 rmr,
                 messages: u64::from(rmr),
@@ -278,10 +297,10 @@ impl CostState {
             };
         }
         // Nontrivial operation.
-        let holders_elsewhere = valid.count_others(pid);
+        let holders_elsewhere = procset::count_others(valid, pid);
         let rmr = match cfg.protocol {
             Protocol::WriteThrough => true,
-            Protocol::WriteBack => !(valid.contains(pid) && holders_elsewhere == 0),
+            Protocol::WriteBack => !(procset::contains(valid, pid) && holders_elsewhere == 0),
         };
         let (invalidations, coherence_messages) = if cfg.lfcu {
             // Write-update: remote copies are refreshed in place, not destroyed.
@@ -312,9 +331,9 @@ impl CostState {
             (holders_elsewhere, msgs)
         };
         if cfg.lfcu {
-            valid.insert(pid);
+            procset::insert(valid, pid);
         } else {
-            valid.reset_to(pid);
+            procset::reset_to(valid, pid);
         }
         AccessCost {
             rmr,
@@ -338,13 +357,15 @@ pub fn would_be_rmr(
     match state.model {
         CostModel::Dsm => owner != Some(pid),
         CostModel::Cc(cfg) => {
-            let valid = &state.valid[addr.index()];
+            let valid = state.cell(addr.index());
             if !nontrivial_hint {
-                !valid.contains(pid)
+                !procset::contains(valid, pid)
             } else {
                 match cfg.protocol {
                     Protocol::WriteThrough => true,
-                    Protocol::WriteBack => !(valid.contains(pid) && valid.count_others(pid) == 0),
+                    Protocol::WriteBack => {
+                        !(procset::contains(valid, pid) && procset::count_others(valid, pid) == 0)
+                    }
                 }
             }
         }
@@ -557,26 +578,29 @@ mod tests {
 
     #[test]
     fn procset_operations() {
-        let mut s = ProcSet::default();
-        assert!(!s.contains(ProcId(70)));
-        s.insert(ProcId(70));
-        s.insert(ProcId(3));
-        assert!(s.contains(ProcId(70)) && s.contains(ProcId(3)));
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.count_others(ProcId(3)), 1);
-        assert_eq!(s.count_others(ProcId(9)), 2);
-        s.reset_to(ProcId(9));
-        assert_eq!(s.len(), 1);
-        assert!(s.contains(ProcId(9)) && !s.contains(ProcId(70)));
+        // Two 64-bit words cover pids past 63.
+        let mut s = [0u64; 2];
+        assert!(!procset::contains(&s, ProcId(70)));
+        procset::insert(&mut s, ProcId(70));
+        procset::insert(&mut s, ProcId(3));
+        assert!(procset::contains(&s, ProcId(70)) && procset::contains(&s, ProcId(3)));
+        assert_eq!(procset::len(&s), 2);
+        assert_eq!(procset::count_others(&s, ProcId(3)), 1);
+        assert_eq!(procset::count_others(&s, ProcId(9)), 2);
+        procset::reset_to(&mut s, ProcId(9));
+        assert_eq!(procset::len(&s), 1);
+        assert!(procset::contains(&s, ProcId(9)) && !procset::contains(&s, ProcId(70)));
     }
 
     #[test]
     fn members_and_holders_enumerate_in_order() {
-        let mut s = ProcSet::default();
-        s.insert(ProcId(70));
-        s.insert(ProcId(3));
-        s.insert(ProcId(64));
-        assert_eq!(s.members(), vec![ProcId(3), ProcId(64), ProcId(70)]);
+        let mut s = [0u64; 2];
+        procset::insert(&mut s, ProcId(70));
+        procset::insert(&mut s, ProcId(3));
+        procset::insert(&mut s, ProcId(64));
+        let mut members = Vec::new();
+        procset::for_each_member(&s, |p| members.push(p));
+        assert_eq!(members, vec![ProcId(3), ProcId(64), ProcId(70)]);
 
         let mut st = CostState::new(CostModel::cc_default(), 4, 2);
         st.charge(Q, A, None, &read_applied(0));

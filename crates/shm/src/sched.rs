@@ -50,6 +50,8 @@ impl Scheduler for RoundRobin {
 #[derive(Clone, Debug)]
 pub struct SeededRandom {
     rng: XorShift64,
+    /// Reused runnable-set buffer; cleared and refilled each step.
+    buf: Vec<ProcId>,
 }
 
 impl SeededRandom {
@@ -58,17 +60,18 @@ impl SeededRandom {
     pub fn new(seed: u64) -> Self {
         SeededRandom {
             rng: XorShift64::new(seed),
+            buf: Vec::new(),
         }
     }
 }
 
 impl Scheduler for SeededRandom {
     fn next(&mut self, sim: &Simulator) -> Option<ProcId> {
-        let runnable = sim.runnable();
-        if runnable.is_empty() {
+        sim.runnable_into(&mut self.buf);
+        if self.buf.is_empty() {
             None
         } else {
-            Some(*self.rng.choose(&runnable))
+            Some(*self.rng.choose(&self.buf))
         }
     }
 }

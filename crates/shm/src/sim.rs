@@ -383,17 +383,49 @@ impl Simulator {
         shm_obs::counter!("ckpt.snapshot");
         Checkpoint {
             schedule_len: self.schedule.len(),
-            history_len: self.history.events().len(),
+            history_len: self.history.len(),
             memory: self.memory.clone(),
             cost: self.cost.clone(),
             procs: self.procs.clone(),
             totals: self.totals,
             injected: self.injected,
-            proj_hash: self.history.fingerprints().to_vec(),
+            proj_hash: self.history.fingerprints(),
             first_touch: self.first_touch.clone(),
             first_write: self.first_write.clone(),
             injections_len: self.injections.len(),
         }
+    }
+
+    /// [`Simulator::snapshot`] recycling a previously returned checkpoint's
+    /// allocations. Exploration loops snapshot every expanded node; pooling
+    /// the checkpoints makes that allocation-free at steady state.
+    #[must_use]
+    pub fn snapshot_reuse(&self, prev: Option<Checkpoint>) -> Checkpoint {
+        let Some(mut c) = prev else {
+            return self.snapshot();
+        };
+        let _span = shm_obs::Span::enter("sim.snapshot");
+        shm_obs::counter!("ckpt.snapshot");
+        c.schedule_len = self.schedule.len();
+        c.history_len = self.history.len();
+        c.memory.copy_from(&self.memory);
+        c.cost.copy_from(&self.cost);
+        if c.procs.len() == self.procs.len() {
+            for (dst, src) in c.procs.iter_mut().zip(&self.procs) {
+                if !Arc::ptr_eq(dst, src) {
+                    *dst = Arc::clone(src);
+                }
+            }
+        } else {
+            c.procs.clone_from(&self.procs);
+        }
+        c.totals = self.totals;
+        c.injected = self.injected;
+        self.history.fingerprints_into(&mut c.proj_hash);
+        c.first_touch.clone_from(&self.first_touch);
+        c.first_write.clone_from(&self.first_write);
+        c.injections_len = self.injections.len();
+        c
     }
 
     /// Rolls this simulator back to `ckpt`, which must have been taken from
@@ -411,20 +443,30 @@ impl Simulator {
         let _span = shm_obs::Span::enter("sim.restore");
         shm_obs::counter!("ckpt.restore");
         assert!(
-            ckpt.schedule_len <= self.schedule.len()
-                && ckpt.history_len <= self.history.events().len(),
+            ckpt.schedule_len <= self.schedule.len() && ckpt.history_len <= self.history.len(),
             "restore: checkpoint does not describe a prefix of this execution"
         );
-        self.memory = ckpt.memory.clone();
-        self.cost = ckpt.cost.clone();
-        self.procs = ckpt.procs.clone();
+        self.memory.copy_from(&ckpt.memory);
+        self.cost.copy_from(&ckpt.cost);
+        if self.procs.len() == ckpt.procs.len() {
+            // Fast path for the explorer's step/rollback cycle: only the
+            // processes that actually stepped since the checkpoint hold
+            // diverged machines; everyone else still shares the snapshot's
+            // `Arc` and needs no refcount traffic at all.
+            for (dst, src) in self.procs.iter_mut().zip(&ckpt.procs) {
+                if !Arc::ptr_eq(dst, src) {
+                    *dst = Arc::clone(src);
+                }
+            }
+        } else {
+            self.procs.clone_from(&ckpt.procs);
+        }
         self.totals = ckpt.totals;
         self.injected = ckpt.injected;
         self.schedule.truncate(ckpt.schedule_len);
-        self.history
-            .rewind(ckpt.history_len, ckpt.proj_hash.clone());
-        self.first_touch = ckpt.first_touch.clone();
-        self.first_write = ckpt.first_write.clone();
+        self.history.rewind(ckpt.history_len, &ckpt.proj_hash);
+        self.first_touch.clone_from(&ckpt.first_touch);
+        self.first_write.clone_from(&ckpt.first_write);
         self.injections.truncate(ckpt.injections_len);
         self.checkpoints
             .retain(|c| c.schedule_len <= ckpt.schedule_len);
@@ -577,7 +619,7 @@ impl Simulator {
         }
         let start = sim.schedule.len();
         let prefix_events = base.map_or(0, |c| c.history_len);
-        let recorded = self.history.events();
+        let recorded = &self.history;
         // Certification cursors: `produced` into the replayed suffix log,
         // `expect` into the recorded log (skipping erased processes'
         // events, which the filtered replay must not reproduce).
@@ -599,13 +641,7 @@ impl Simulator {
                 let _ = sim.step(pid);
             }
             if certify
-                && !Self::certify_drain(
-                    recorded,
-                    erased,
-                    sim.history.events(),
-                    &mut produced,
-                    &mut expect,
-                )
+                && !Self::certify_drain(recorded, erased, &sim.history, &mut produced, &mut expect)
             {
                 return None;
             }
@@ -619,22 +655,15 @@ impl Simulator {
             }
         }
         if certify {
-            if !Self::certify_drain(
-                recorded,
-                erased,
-                sim.history.events(),
-                &mut produced,
-                &mut expect,
-            ) {
+            if !Self::certify_drain(recorded, erased, &sim.history, &mut produced, &mut expect) {
                 return None;
             }
             // The replay consumed the whole filtered schedule; any surviving
             // projected event still unmatched in the recording means the
             // replay produced *fewer* events than recorded — divergence.
             while expect < recorded.len() {
-                if !erased.contains(&recorded[expect].pid())
-                    && Self::event_projects(&recorded[expect])
-                {
+                let e = recorded.event(expect);
+                if !erased.contains(&e.pid()) && Self::event_projects(e) {
                     return None;
                 }
                 expect += 1;
@@ -699,25 +728,25 @@ impl Simulator {
     /// surviving projected event of the recording. Returns `false` on the
     /// first mismatch.
     fn certify_drain(
-        recorded: &[Event],
+        recorded: &History,
         erased: &BTreeSet<ProcId>,
-        suffix: &[Event],
+        suffix: &History,
         produced: &mut usize,
         expect: &mut usize,
     ) -> bool {
         while *produced < suffix.len() {
-            let e = &suffix[*produced];
+            let e = suffix.event(*produced);
             *produced += 1;
             if !Self::event_projects(e) {
                 continue;
             }
             while *expect < recorded.len()
-                && (erased.contains(&recorded[*expect].pid())
-                    || !Self::event_projects(&recorded[*expect]))
+                && (erased.contains(&recorded.event(*expect).pid())
+                    || !Self::event_projects(recorded.event(*expect)))
             {
                 *expect += 1;
             }
-            if *expect >= recorded.len() || !Self::same_projected(e, &recorded[*expect]) {
+            if *expect >= recorded.len() || !Self::same_projected(e, recorded.event(*expect)) {
                 return false;
             }
             *expect += 1;
@@ -753,7 +782,7 @@ impl Simulator {
             .expect("uncertified replay cannot fail");
         if prefix_events > 0 {
             let suffix = std::mem::take(&mut sim.history);
-            sim.history = History::spliced(&self.history.events()[..prefix_events], suffix);
+            sim.history = History::spliced(&self.history, prefix_events, suffix);
             Self::rebase_suffix_checkpoints(&mut sim, start, prefix_events);
         }
         sim
@@ -783,7 +812,7 @@ impl Simulator {
         let mut sim = tail;
         if prefix_events > 0 {
             let suffix = std::mem::take(&mut sim.history);
-            sim.history = History::spliced(&self.history.events()[..prefix_events], suffix);
+            sim.history = History::spliced(&self.history, prefix_events, suffix);
             Self::rebase_suffix_checkpoints(&mut sim, start, prefix_events);
         }
         #[cfg(any(debug_assertions, feature = "exact-fingerprints"))]
@@ -873,7 +902,7 @@ impl Simulator {
         // the filtered memory. Invoke/Return/Terminate events are machine-
         // internal — they cannot change while every observed result is
         // unchanged — so only Access events are checked.
-        for e in &self.history.events()[start_events..] {
+        for e in self.history.events_from(start_events) {
             if let Event::Access {
                 pid, op, result, ..
             } = e
@@ -974,8 +1003,8 @@ impl Simulator {
                 "event-walk accepted an erasure the replay path refuses"
             );
             assert_eq!(
-                shadow.history.events(),
-                self.history.events(),
+                shadow.history.to_vec(),
+                self.history.to_vec(),
                 "surgery: history mismatch"
             );
             assert_eq!(shadow.schedule, self.schedule, "surgery: schedule mismatch");
@@ -1164,10 +1193,24 @@ impl Simulator {
     /// IDs of all runnable processes.
     #[must_use]
     pub fn runnable(&self) -> Vec<ProcId> {
-        (0..self.n())
-            .map(|i| ProcId(i as u32))
-            .filter(|&p| self.is_runnable(p))
-            .collect()
+        let mut out = Vec::new();
+        self.runnable_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the IDs of all runnable processes (ascending),
+    /// reusing its allocation — the per-step form of
+    /// [`Simulator::runnable`] for schedulers and explorers that query the
+    /// runnable set on every step.
+    pub fn runnable_into(&self, out: &mut Vec<ProcId>) {
+        out.clear();
+        out.extend(
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.status == Status::Runnable)
+                .map(|(i, _)| ProcId(i as u32)),
+        );
     }
 
     /// Whether every process has terminated or crashed.
@@ -1283,7 +1326,6 @@ impl Simulator {
         self.schedule.push(pid);
         self.totals.steps += 1;
         shm_obs::counter!("sim.steps");
-        Arc::make_mut(&mut self.procs[pid.index()]).stats.steps += 1;
         let report = self.transition(pid);
         self.maybe_checkpoint();
         report
@@ -1292,18 +1334,33 @@ impl Simulator {
     /// The body of one step after schedule/stat bookkeeping: fetch a call if
     /// needed, then run exactly one machine transition.
     fn transition(&mut self, pid: ProcId) -> StepReport {
+        // Split-borrow the process entry alongside the shared state so the
+        // whole step pays exactly one COW fault (`Arc::make_mut` locks the
+        // weak count with a CAS — doing it three or four times per step was
+        // the single largest fixed cost on the hot loop).
+        let Simulator {
+            procs,
+            memory,
+            cost,
+            history,
+            totals,
+            first_write,
+            schedule,
+            ..
+        } = self;
+        let p = Arc::make_mut(&mut procs[pid.index()]);
+        p.stats.steps += 1;
+
         // Fetch the next call if none is in progress.
-        if self.procs[pid.index()].current.is_none() {
-            let p = Arc::make_mut(&mut self.procs[pid.index()]);
-            let prev = p.last_return;
-            match p.source.next_call(prev) {
+        if p.current.is_none() {
+            match p.source.next_call(p.last_return) {
                 None => {
                     p.status = Status::Terminated;
-                    self.history.push(Event::Terminate { pid });
+                    history.push(Event::Terminate { pid });
                     return StepReport::Terminated;
                 }
                 Some(call) => {
-                    self.history.push(Event::Invoke {
+                    history.push(Event::Invoke {
                         pid,
                         kind: call.kind,
                         name: call.name,
@@ -1315,7 +1372,6 @@ impl Simulator {
         }
 
         // One machine transition.
-        let p = Arc::make_mut(&mut self.procs[pid.index()]);
         let last = p.last_op_result;
         let step = p
             .current
@@ -1325,14 +1381,47 @@ impl Simulator {
             .step(last);
         match step {
             Step::Op(op) => {
-                let (result, cost) = self.apply_access(pid, op);
-                Arc::make_mut(&mut self.procs[pid.index()]).last_op_result = Some(result);
-                StepReport::Access { op, result, cost }
+                // `sees` must be computed from the cell's last writer
+                // *before* the access mutates it.
+                let addr = op.addr();
+                let observes_value = !matches!(op, Op::Write(..));
+                let sees = if observes_value {
+                    memory.last_writer(addr).filter(|&q| q != pid)
+                } else {
+                    None
+                };
+                let touches = memory.owner(addr).filter(|&q| q != pid);
+                let applied = memory.apply(pid, op);
+                if applied.nontrivial && first_write[pid.index()].is_none() {
+                    first_write[pid.index()] = Some(schedule.len() - 1);
+                }
+                let acost = cost.charge(pid, addr, memory.owner(addr), &applied);
+                p.stats.accesses += 1;
+                p.stats.rmrs += u64::from(acost.rmr);
+                p.stats.messages += acost.messages;
+                totals.accesses += 1;
+                totals.rmrs += u64::from(acost.rmr);
+                totals.messages += acost.messages;
+                totals.invalidations += acost.invalidations;
+                history.push(Event::Access {
+                    pid,
+                    op,
+                    result: applied.result,
+                    wrote: applied.nontrivial,
+                    cost: acost,
+                    sees,
+                    touches,
+                });
+                p.last_op_result = Some(applied.result);
+                StepReport::Access {
+                    op,
+                    result: applied.result,
+                    cost: acost,
+                }
             }
             Step::Return(value) => {
-                let p = Arc::make_mut(&mut self.procs[pid.index()]);
                 let call = p.current.take().expect("current call");
-                self.history.push(Event::Return {
+                history.push(Event::Return {
                     pid,
                     kind: call.kind,
                     value,
@@ -1345,44 +1434,6 @@ impl Simulator {
                 }
             }
         }
-    }
-
-    fn apply_access(&mut self, pid: ProcId, op: Op) -> (Word, AccessCost) {
-        // `sees` must be computed from the cell's last writer *before* the
-        // access mutates it.
-        let addr = op.addr();
-        let observes_value = !matches!(op, Op::Write(..));
-        let sees = if observes_value {
-            self.memory.last_writer(addr).filter(|&q| q != pid)
-        } else {
-            None
-        };
-        let touches = self.memory.owner(addr).filter(|&q| q != pid);
-        let applied = self.memory.apply(pid, op);
-        if applied.nontrivial && self.first_write[pid.index()].is_none() {
-            self.first_write[pid.index()] = Some(self.schedule.len() - 1);
-        }
-        let cost = self
-            .cost
-            .charge(pid, addr, self.memory.owner(addr), &applied);
-        let st = &mut Arc::make_mut(&mut self.procs[pid.index()]).stats;
-        st.accesses += 1;
-        st.rmrs += u64::from(cost.rmr);
-        st.messages += cost.messages;
-        self.totals.accesses += 1;
-        self.totals.rmrs += u64::from(cost.rmr);
-        self.totals.messages += cost.messages;
-        self.totals.invalidations += cost.invalidations;
-        self.history.push(Event::Access {
-            pid,
-            op,
-            result: applied.result,
-            wrote: applied.nontrivial,
-            cost,
-            sees,
-            touches,
-        });
-        (applied.result, cost)
     }
 
     /// Computes the next memory access `pid` will perform, without executing
@@ -1562,6 +1613,14 @@ impl Simulator {
     #[must_use]
     pub fn state_words(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(16 * self.procs.len() + 2 * self.memory.len());
+        self.state_words_into(&mut out);
+        out
+    }
+
+    /// [`Simulator::state_words`] into a caller-owned buffer (cleared first),
+    /// so per-state dedup keys in hot exploration loops allocate nothing.
+    pub fn state_words_into(&self, out: &mut Vec<u64>) {
+        out.clear();
         for (i, p) in self.procs.iter().enumerate() {
             let pid = ProcId(i as u32);
             let fp = self.history.fingerprint(pid);
@@ -1596,8 +1655,7 @@ impl Simulator {
                     .map_or(0, |p| 1 + u64::from(p.0)),
             );
         }
-        self.cost.encode_state(&mut out);
-        out
+        self.cost.encode_state(out);
     }
 
     /// A 128-bit fingerprint of [`Simulator::state_words`] (same polynomial
@@ -1607,6 +1665,14 @@ impl Simulator {
     #[must_use]
     pub fn state_fingerprint(&self) -> u128 {
         crate::event::fingerprint_words(&self.state_words())
+    }
+
+    /// [`Simulator::state_fingerprint`] computed through a caller-owned
+    /// scratch buffer, avoiding the per-call word-vector allocation.
+    #[must_use]
+    pub fn state_fingerprint_with(&self, scratch: &mut Vec<u64>) -> u128 {
+        self.state_words_into(scratch);
+        crate::event::fingerprint_words(scratch)
     }
 
     /// Crashes `pid`: it stops taking steps, mid-call or not.
@@ -1719,7 +1785,7 @@ mod tests {
         let _ = sim.step(ProcId(0));
         let _ = sim.step(ProcId(1));
         let replayed = Simulator::replay(&spec, sim.schedule(), &BTreeSet::new());
-        assert_eq!(replayed.history().events(), sim.history().events());
+        assert_eq!(replayed.history().to_vec(), sim.history().to_vec());
         assert_eq!(replayed.totals(), sim.totals());
     }
 

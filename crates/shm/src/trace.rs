@@ -51,7 +51,11 @@ pub struct RenderOptions<'a> {
 /// Renders a slice of events, one per line. `only` restricts to one
 /// process when set. RMRs are starred.
 #[must_use]
-pub fn render(events: &[Event], labels: &Labels, only: Option<crate::ids::ProcId>) -> String {
+pub fn render<'a>(
+    events: impl IntoIterator<Item = &'a Event>,
+    labels: &Labels,
+    only: Option<crate::ids::ProcId>,
+) -> String {
     render_with(
         events,
         labels,
@@ -64,7 +68,11 @@ pub fn render(events: &[Event], labels: &Labels, only: Option<crate::ids::ProcId
 
 /// [`render`] with explicit [`RenderOptions`].
 #[must_use]
-pub fn render_with(events: &[Event], labels: &Labels, opts: &RenderOptions<'_>) -> String {
+pub fn render_with<'a>(
+    events: impl IntoIterator<Item = &'a Event>,
+    labels: &Labels,
+    opts: &RenderOptions<'_>,
+) -> String {
     let mut out = String::new();
     let mut cum_rmrs: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     for e in events {

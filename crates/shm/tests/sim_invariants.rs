@@ -99,7 +99,6 @@ fn stats_match_history() {
             let accesses = sim
                 .history()
                 .events()
-                .iter()
                 .filter(|e| matches!(e, Event::Access { pid: p, .. } if *p == pid))
                 .count() as u64;
             assert_eq!(sim.proc_stats(pid).accesses, accesses);
@@ -127,7 +126,7 @@ fn clone_is_a_true_fork() {
         assert_eq!(snapshot.history().len(), snap_events);
         // A fresh replay of the snapshot's schedule equals the snapshot.
         let replayed = Simulator::replay(&spec, snapshot.schedule(), &BTreeSet::new());
-        assert_eq!(replayed.history().events(), snapshot.history().events());
+        assert_eq!(replayed.history().to_vec(), snapshot.history().to_vec());
         assert_eq!(replayed.totals(), snapshot.totals());
     }
 }

@@ -20,7 +20,7 @@ fn main() {
         ..Part1Config::default()
     };
     let mut runner = Part1Runner::new(&SingleWaiter, cfg);
-    let labels = runner.spec.layout.labels();
+    let labels = runner.spec.layout.labels().clone();
     let outcome = runner.run();
 
     println!("== Part 1: erase / roll forward / stabilize (N = {n}) ==\n");
@@ -79,7 +79,7 @@ fn main() {
     }
     print!(
         "{}",
-        trace::render(&runner.sim.history().events()[before..], &labels, None)
+        trace::render(runner.sim.history().events_from(before), &labels, None)
     );
     println!(
         "\nSignal() cost {s} {} RMRs; it saw only W's last writer — every other",

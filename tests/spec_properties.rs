@@ -118,7 +118,7 @@ fn replay_reproduces_history() {
         let mut sched = SeededRandom::new(seed);
         cc_dsm::shm::run_to_completion(&mut sim, &mut sched, 3_000_000);
         let replayed = Simulator::replay(&spec, sim.schedule(), &std::collections::BTreeSet::new());
-        assert_eq!(replayed.history().events(), sim.history().events());
+        assert_eq!(replayed.history().to_vec(), sim.history().to_vec());
         assert_eq!(replayed.totals(), sim.totals());
     }
 }
