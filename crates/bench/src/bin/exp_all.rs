@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E9) in sequence — the one-command regeneration
+//! Runs every experiment (E1–E10) in sequence — the one-command regeneration
 //! of `EXPERIMENTS.md`'s tables.
 //!
 //! Run with: `cargo run --release -p bench --bin exp_all`
@@ -7,8 +7,8 @@
 //! `CC_DSM_THREADS`; 1 = exact serial path). Pass `--json` to write
 //! per-experiment wall times to `BENCH_experiments.json` — the repo's
 //! wall-time trajectory — plus the `bench_step_throughput` steps/sec entry
-//! (`total_wall_ms` still sums E1–E9 only; the microbench rides along as an
-//! extra row). Pass `--canon-dir DIR` to have E1/E2/E5/E6/E8/E9
+//! (`total_wall_ms` still sums E1–E10 only; the microbench rides along as an
+//! extra row). Pass `--canon-dir DIR` to have E1/E2/E5/E6/E8/E9/E10
 //! write canonical (timing-free) row JSON into `DIR` for byte-equality
 //! determinism diffs between thread counts. Pass `--obs-dir DIR` to have
 //! every child write `DIR/<bin>.metrics.json` and `DIR/<bin>.trace.json`
@@ -38,6 +38,7 @@ fn main() {
         "exp_e7_fixed_w",
         "exp_e8_transformation",
         "exp_e9_explore",
+        "exp_e10_pct",
     ];
     // Which binaries accept --canon, and the canonical file each writes.
     let canon_name = |bin: &str| match bin {
@@ -47,6 +48,7 @@ fn main() {
         "exp_e6_mutex" => Some("e6.json"),
         "exp_e8_transformation" => Some("e8.json"),
         "exp_e9_explore" => Some("e9.json"),
+        "exp_e10_pct" => Some("e10.json"),
         _ => None,
     };
     // When invoked via cargo, sibling binaries sit next to us.
@@ -87,7 +89,7 @@ fn main() {
         // The step-throughput microbench rides along: its steps/sec entry is
         // spliced into the experiments array so the simulator hot-loop
         // trajectory is tracked PR-over-PR next to the wall times, but it is
-        // excluded from `total_wall_ms` (that figure is the E1–E9 suite).
+        // excluded from `total_wall_ms` (that figure is the E1–E10 suite).
         let tmp = std::env::temp_dir().join("bench_step_throughput.json");
         let mut cmd = Command::new(dir.join("bench_step_throughput"));
         if let Some(t) = &threads {

@@ -1,0 +1,116 @@
+//! E10 — seeded PCT exploration at adversary scale: randomized priority
+//! schedules over the shipped signaling algorithms (and the seeded-buggy
+//! negative controls) at n = 8, 16, 32 — sizes far beyond exhaustive reach —
+//! under both cost models, judged by the Specification 4.1 oracle with E9's
+//! shrink → audit counterexample pipeline.
+//!
+//! Run with: `cargo run --release -p bench --bin exp_e10_pct`
+//!
+//! Pass `--threads N` to set the pool size (1 = exact serial path),
+//! `--sizes 8,16,32` to override the waiter counts, `--seed N` to override
+//! the base sampling seed, and `--canon FILE` to write the canonical row
+//! JSON for byte-equality determinism checks. Observability: `--metrics` /
+//! `--trace-chrome` / `--trace-jsonl` / `--obs-summary` / `--trace-wall`
+//! (see [`bench::cli::ObsFlags`]).
+//!
+//! Exits nonzero when the sampling refutes the repo's claims: an
+//! in-contract Specification 4.1 violation in a shipped algorithm, a missed
+//! seeded-buggy violation (the negative control PCT must catch), or a
+//! counterexample that fails audit re-validation. Sampling is never
+//! exhaustive, so — unlike E9 — a clean row means "no violation within the
+//! documented budget", not absence of one.
+
+use bench::table::{header, row};
+use bench::{canon, cli, e10_pct, E10_DEPTH_D, E10_SCHEDULES, E10_STEPS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let _threads = cli::apply_threads(&args);
+    let canon_path = cli::value_of(&args, "--canon");
+    let sizes = cli::sizes_of(&args, &[8, 16, 32]);
+    let pct_seed =
+        cli::value_of(&args, "--seed").map_or(0xE10, |v| v.parse().expect("--seed takes a u64"));
+    let obs = cli::obs_flags(&args);
+    let obs_col = cli::obs_install(&obs);
+    println!(
+        "E10: seeded PCT exploration, {E10_SCHEDULES} schedules/row at depth d={E10_DEPTH_D} \
+         ({} change points), {E10_STEPS}-step budget, base seed {pct_seed:#x}\n",
+        E10_DEPTH_D - 1
+    );
+    let widths = [15, 5, 4, 9, 12, 12, 12, 11];
+    header(&[
+        ("algorithm", 15),
+        ("model", 5),
+        ("n", 4),
+        ("terminals", 9),
+        ("distinct fp", 12),
+        ("violations", 12),
+        ("in-contract", 12),
+        ("max sig RMR", 11),
+    ]);
+    let rows = e10_pct(&sizes, 2, pct_seed);
+    for r in &rows {
+        row(
+            &[
+                r.algorithm.clone(),
+                r.model.into(),
+                r.n.to_string(),
+                r.terminals.to_string(),
+                r.distinct_fingerprints.to_string(),
+                r.violations_found.to_string(),
+                r.violations_in_contract.to_string(),
+                r.max_signaler_rmrs.to_string(),
+            ],
+            &widths,
+        );
+    }
+    if let Some(path) = canon_path {
+        std::fs::write(&path, canon::e10_json(&rows))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+    cli::obs_finish(&obs, obs_col.as_ref());
+    let mut failures = Vec::new();
+    for r in &rows {
+        if r.algorithm == "seeded-buggy" {
+            if r.violations_in_contract == 0 {
+                failures.push(format!(
+                    "{} seed {:?} ({}, n={}): negative control not caught within {} schedules",
+                    r.algorithm, r.seed, r.model, r.n, r.schedules
+                ));
+            } else if let Some(cx) = &r.counterexample {
+                println!(
+                    "\n{} seed {:?} ({}, n={}) counterexample: {cx}",
+                    r.algorithm, r.seed, r.model, r.n
+                );
+                if !cx.contains("\"audit_clean\":true") {
+                    failures.push(format!(
+                        "{} seed {:?} ({}, n={}): shrunk counterexample failed audit",
+                        r.algorithm, r.seed, r.model, r.n
+                    ));
+                }
+            }
+        } else if r.violations_in_contract > 0 {
+            failures.push(format!(
+                "{} ({}, n={}): {} in-contract spec violation(s): {}",
+                r.algorithm,
+                r.model,
+                r.n,
+                r.violations_in_contract,
+                r.counterexample.as_deref().unwrap_or("<no counterexample>")
+            ));
+        }
+    }
+    println!("\npaper tie-in: the §6 lower-bound sweeps run at n = 8..32, far beyond");
+    println!("E9's exhaustive reach. PCT samples priority schedules with a known");
+    println!("guarantee (>= 1/(n*k^(d-1)) per d-deep bug), so every seeded fault the");
+    println!("controls plant must surface within the documented budget; shipped");
+    println!("algorithms must stay clean under the same sampling pressure.");
+    if !failures.is_empty() {
+        eprintln!("\nE10 FAILURES:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,7 @@
 //! experiment binaries compare these byte-for-byte between `--threads 1` and
 //! multi-threaded runs.
 
-use crate::{E1Row, E2Row, E5Row, E6Row, E8Row, E9Row};
+use crate::{E10Row, E1Row, E2Row, E5Row, E6Row, E8Row, E9Row};
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -170,6 +170,46 @@ pub fn e8_json(rows: &[E8Row]) -> String {
                     r.blocked,
                     r.signal_stuck,
                     audit_clean,
+                    obs_block(r.obs.as_ref()),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Canonical JSON for E10 rows: the PCT sampling parameters and verdicts,
+/// with the shrunk counterexample (already canonical JSON) embedded
+/// verbatim. Everything here is a pure function of the row's scenario and
+/// `pct_seed`, so the output is byte-identical across thread counts.
+#[must_use]
+pub fn e10_json(rows: &[E10Row]) -> String {
+    join_rows(
+        rows.iter()
+            .map(|r| {
+                let counterexample = r.counterexample.clone().unwrap_or_else(|| "null".into());
+                format!(
+                    concat!(
+                        "{{\"algorithm\": \"{}\", \"model\": \"{}\", \"n\": {}, \"seed\": {}, ",
+                        "\"pct_seed\": {}, \"schedules\": {}, \"depth_d\": {}, ",
+                        "\"steps_budget\": {}, \"terminals\": {}, ",
+                        "\"distinct_fingerprints\": {}, \"violations_found\": {}, ",
+                        "\"violations_in_contract\": {}, \"max_signaler_rmrs\": {}, ",
+                        "\"counterexample\": {}{}}}"
+                    ),
+                    json_escape(&r.algorithm),
+                    json_escape(r.model),
+                    r.n,
+                    opt_u64(r.seed),
+                    r.pct_seed,
+                    r.schedules,
+                    r.depth_d,
+                    r.steps_budget,
+                    r.terminals,
+                    r.distinct_fingerprints,
+                    r.violations_found,
+                    r.violations_in_contract,
+                    r.max_signaler_rmrs,
+                    counterexample,
                     obs_block(r.obs.as_ref()),
                 )
             })

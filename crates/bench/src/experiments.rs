@@ -572,6 +572,30 @@ mod tests {
     }
 
     #[test]
+    fn e10_catches_every_control_variant_beyond_exhaustive_reach() {
+        // One size and the full algorithm set; the bin and the CI pct job
+        // run n ∈ {8, 16, 32} in release.
+        let rows = e10_pct(&[8], 2, 0xE10);
+        assert_eq!(rows.len(), 16);
+        for r in &rows {
+            assert_eq!(r.schedules, E10_SCHEDULES, "{r:?}");
+            assert!(r.terminals > 0, "{r:?}");
+            // End-state fingerprints can all coincide (order-dependent
+            // verdicts are invisible in state), but never be absent.
+            assert!(r.distinct_fingerprints > 0, "{r:?}");
+            if r.algorithm == "seeded-buggy" {
+                assert!(
+                    r.violations_in_contract > 0,
+                    "negative control missed: {r:?}"
+                );
+                assert!(r.counterexample.is_some(), "{r:?}");
+            } else {
+                assert_eq!(r.violations_in_contract, 0, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
     fn e9_certifies_shipped_algorithms_and_catches_the_control() {
         // Small poll budget keeps the debug-mode sweep fast; the bin and the
         // CI explore job run the full budget (and the chase dominance check)
@@ -786,4 +810,125 @@ pub fn e9_explore(waiters: usize, max_polls: u64) -> Vec<E9Row> {
             obs: mark.map(|m| m.delta_json()),
         }
     })
+}
+
+// --------------------------------------------------------------- E10 ----
+
+/// One row of E10: seeded PCT sampling of one algorithm under one cost
+/// model at adversary scale.
+#[derive(Clone, Debug)]
+pub struct E10Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Cost-model label.
+    pub model: &'static str,
+    /// Number of processes (waiters + the signaler).
+    pub n: usize,
+    /// Seed of the seeded component of the scenario (the seeded-buggy
+    /// negative-control variants); `None` for the shipped algorithms.
+    pub seed: Option<u64>,
+    /// Base sampling seed (per-schedule seeds derive from it by index).
+    pub pct_seed: u64,
+    /// Schedules sampled.
+    pub schedules: u64,
+    /// PCT bug depth `d` (`d − 1` priority-change points per schedule).
+    pub depth_d: usize,
+    /// Per-schedule step budget.
+    pub steps_budget: u64,
+    /// Schedules that ran every process to termination.
+    pub terminals: u64,
+    /// Distinct end-state fingerprints across sampled schedules.
+    pub distinct_fingerprints: u64,
+    /// Schedules whose end state violated the polling spec.
+    pub violations_found: u64,
+    /// Violations within the algorithm's participation contract.
+    pub violations_in_contract: u64,
+    /// Empirical maximum of the signaler's RMRs over terminal schedules.
+    pub max_signaler_rmrs: u64,
+    /// The first violation, shrunk and audited, as a canonical JSON object.
+    pub counterexample: Option<String>,
+    /// Deterministic counter totals for this row (canonical JSON object),
+    /// recorded only when an `shm-obs` collector is installed.
+    pub obs: Option<String>,
+}
+
+/// The documented E10 budget: schedules per (algorithm, model, n) row and
+/// the PCT depth/step parameters. The negative-control guarantee tests and
+/// the CI `pct` job hold the experiment to exactly this budget.
+pub const E10_SCHEDULES: u64 = 256;
+/// PCT bug depth used by E10 (two priority-change points per schedule).
+pub const E10_DEPTH_D: usize = 3;
+/// Per-schedule step budget used by E10 (generous: give-up bounds end the
+/// sampled runs far earlier at every E10 size).
+pub const E10_STEPS: u64 = 20_000;
+
+/// E10 — seeded PCT exploration at adversary scale: samples
+/// [`E10_SCHEDULES`] priority schedules per row for every shipped signaling
+/// algorithm (plus all three seeded-buggy negative-control variants) at
+/// n = `waiters`+1 for each entry of `sizes`, under both cost models —
+/// sizes far beyond exhaustive reach, where the §6 sweeps actually run.
+/// Each end state is judged by the Specification 4.1 oracle and violations
+/// go through the same shrink → audit pipeline as E9's. Deterministic at
+/// any thread count for a fixed `pct_seed`.
+#[must_use]
+pub fn e10_pct(sizes: &[usize], max_polls: u64, pct_seed: u64) -> Vec<E10Row> {
+    use shm_explore::{check_random, RandomBounds, ScenarioSpec};
+    use signaling::algorithms::{CasList, SeededBuggy};
+    let algos: Vec<(Box<dyn SignalingAlgorithm>, Option<u64>)> = vec![
+        (Box::new(Broadcast), None),
+        (Box::new(CcFlag), None),
+        (Box::new(SingleWaiter), None),
+        (Box::new(QueueSignaling), None),
+        (Box::new(CasList), None),
+        (Box::new(SeededBuggy::new(0)), Some(0)),
+        (Box::new(SeededBuggy::new(1)), Some(1)),
+        (Box::new(SeededBuggy::new(2)), Some(2)),
+    ];
+    let mut jobs = Vec::new();
+    for &waiters in sizes {
+        for k in 0..algos.len() {
+            for (label, model) in [("dsm", CostModel::Dsm), ("cc", CostModel::cc_default())] {
+                jobs.push((waiters, k, label, model));
+            }
+        }
+    }
+    let algos = &algos;
+    map_indexed(
+        shm_pool::threads(),
+        jobs,
+        move |_, (waiters, k, label, model)| {
+            let mark = shm_obs::totals_mark();
+            let (algo, seed) = &algos[k];
+            let scenario = ScenarioSpec {
+                algorithm: algo.as_ref(),
+                waiters,
+                max_polls,
+                signaler_polls_first: 1,
+                model,
+                seed: *seed,
+            };
+            let bounds = RandomBounds::pct(pct_seed, E10_SCHEDULES, E10_DEPTH_D, E10_STEPS);
+            let out = check_random(&scenario, &bounds);
+            E10Row {
+                algorithm: algo.name().to_owned(),
+                model: label,
+                n: scenario.n(),
+                seed: *seed,
+                pct_seed,
+                schedules: out.report.schedules_run,
+                depth_d: bounds.depth_d,
+                steps_budget: bounds.steps,
+                terminals: out.report.terminals,
+                distinct_fingerprints: out.report.distinct_fingerprints,
+                violations_found: out.report.violations_found,
+                violations_in_contract: out.in_contract_violations,
+                max_signaler_rmrs: out.max_signaler_rmrs().unwrap_or(0),
+                counterexample: out
+                    .counterexample
+                    .as_ref()
+                    .map(shm_explore::Counterexample::to_json),
+                obs: mark.map(|m| m.delta_json()),
+            }
+        },
+    )
 }

@@ -48,6 +48,11 @@
 //! RMR-extremal schedule) serializes as a JSON [`Counterexample`], shrinks
 //! by greedy step-deletion against the replay engine, and re-validates
 //! through [`shm_sim::Simulator::audit`].
+//!
+//! Beyond the exhaustive regime, [`check_random`] samples seeded PCT
+//! priority schedules (or plain random walks) at adversary scale — n = 8,
+//! 16, 32 and up — judging each run with the same oracles and feeding any
+//! violation through the identical shrink/audit pipeline (see [`pct`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -57,6 +62,7 @@ pub mod check;
 pub mod counterexample;
 pub mod explorer;
 pub mod oracle;
+pub mod pct;
 
 pub use bounds::Bounds;
 pub use check::{check, check_iterative, CheckOutcome, ScenarioSpec};
@@ -65,3 +71,4 @@ pub use explorer::{explore, ExploreReport, FoundViolation, ObjectiveResult};
 pub use oracle::{
     BlockingSpecOracle, FnOracle, Objective, Oracle, PollingSpecOracle, ProcRmrs, TotalRmrs,
 };
+pub use pct::{check_random, schedule_seed, RandomBounds, RandomOutcome, RandomReport};

@@ -1,0 +1,200 @@
+//! PCT guarantee smoke tests: the documented schedule budget finds every
+//! seeded fault variant at n = 8 (sizes exhaustive BFS cannot reach),
+//! reports are byte-identical at any thread count, and a shrunk
+//! counterexample replays byte-identically from its serialized JSON alone
+//! in a fresh process.
+
+use shm_explore::{check_random, PollingSpecOracle, RandomBounds, ScenarioSpec};
+use shm_sim::{CostModel, ProcId};
+use signaling::algorithms::{Broadcast, SeededBuggy};
+use signaling::SignalingAlgorithm;
+use std::sync::Mutex;
+
+/// Thread-count changes are process-global; serialize the tests that touch
+/// them.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// The documented budget: 256 PCT schedules at depth d = 3 over a
+/// 4000-step budget (see EXPERIMENTS.md §E10). Every `SeededBuggy` variant
+/// must fall within it at n = 8 for the fixed base seed below.
+const BUDGET_SCHEDULES: u64 = 256;
+const BUDGET_DEPTH: usize = 3;
+const BUDGET_STEPS: u64 = 4000;
+const BASE_SEED: u64 = 0xE10;
+
+/// The fixed scenario shape of these tests (the "manifest"): a
+/// counterexample JSON plus this shape and the `seed` field is the whole
+/// repro — nothing from the finding run's scheduler state is needed.
+const WAITERS: usize = 8;
+const MAX_POLLS: u64 = 2;
+const SIGNALER_POLLS_FIRST: u64 = 1;
+
+fn scenario<'a>(algo: &'a dyn SignalingAlgorithm, seed: Option<u64>) -> ScenarioSpec<'a> {
+    ScenarioSpec {
+        algorithm: algo,
+        waiters: WAITERS,
+        max_polls: MAX_POLLS,
+        signaler_polls_first: SIGNALER_POLLS_FIRST,
+        model: CostModel::Dsm,
+        seed,
+    }
+}
+
+/// Every seeded fault family is caught at n = 8 within the documented
+/// budget, and the counterexample comes back shrunk, in contract, and
+/// audit-clean — exactly the exhaustive checker's packaging.
+#[test]
+fn every_seeded_buggy_variant_found_within_documented_budget_at_n8() {
+    for seed in 0..3 {
+        let algo = SeededBuggy::new(seed);
+        let s = scenario(&algo, Some(seed));
+        let out = check_random(
+            &s,
+            &RandomBounds::pct(BASE_SEED, BUDGET_SCHEDULES, BUDGET_DEPTH, BUDGET_STEPS),
+        );
+        assert!(
+            out.in_contract_violations > 0,
+            "seed {seed}: bug not found within {BUDGET_SCHEDULES} schedules"
+        );
+        let cx = out.counterexample.expect("violations ⇒ counterexample");
+        assert!(cx.in_contract, "seed {seed}");
+        assert!(
+            cx.audit_clean,
+            "seed {seed}: shrunk replay must audit clean"
+        );
+        assert!(cx.schedule.len() <= cx.shrunk_from, "seed {seed}");
+        assert_eq!(cx.n, WAITERS + 1, "seed {seed}");
+        assert_eq!(cx.seed, Some(seed), "seed {seed}");
+    }
+}
+
+/// `check_random` is byte-deterministic across thread counts: every report
+/// field and the packaged counterexample agree between 1 and 4 workers.
+#[test]
+fn check_random_reports_are_byte_identical_at_threads_1_vs_4() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let algos: Vec<(Box<dyn SignalingAlgorithm>, Option<u64>)> = vec![
+        (Box::new(Broadcast), None),
+        (Box::new(SeededBuggy::new(1)), Some(1)),
+    ];
+    for (algo, seed) in &algos {
+        let s = scenario(algo.as_ref(), *seed);
+        let bounds = RandomBounds::pct(BASE_SEED, 64, BUDGET_DEPTH, BUDGET_STEPS);
+        let run = || {
+            let out = check_random(&s, &bounds);
+            format!(
+                "{:?} | {} {} | {:?}",
+                out.report,
+                out.in_contract_violations,
+                out.out_of_contract_violations,
+                out.counterexample.as_ref().map(|c| c.to_json()),
+            )
+        };
+        shm_pool::set_threads(1);
+        let one = run();
+        shm_pool::set_threads(4);
+        let four = run();
+        shm_pool::set_threads(0);
+        assert_eq!(
+            one,
+            four,
+            "{}: report differs across thread counts",
+            algo.name()
+        );
+    }
+}
+
+/// Walk mode (depth 0) shares the determinism guarantee.
+#[test]
+fn walk_mode_is_thread_count_independent() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    let s = scenario(&Broadcast, None);
+    let bounds = RandomBounds::walk(BASE_SEED, 32, BUDGET_STEPS);
+    let run = || format!("{:?}", check_random(&s, &bounds).report);
+    shm_pool::set_threads(1);
+    let one = run();
+    shm_pool::set_threads(4);
+    let four = run();
+    shm_pool::set_threads(0);
+    assert_eq!(one, four);
+}
+
+/// Extracts the integer array under `"schedule":[…]` from counterexample
+/// JSON. Deliberately minimal: the schema is pinned by
+/// `counterexample_json_has_stable_shape`.
+fn parse_schedule(json: &str) -> Vec<ProcId> {
+    let start = json.find("\"schedule\":[").expect("schedule key") + "\"schedule\":[".len();
+    let end = start + json[start..].find(']').expect("schedule close");
+    json[start..end]
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| ProcId(s.trim().parse().expect("pid digit")))
+        .collect()
+}
+
+/// Extracts the value of `"seed":N` from counterexample JSON.
+fn parse_seed(json: &str) -> u64 {
+    let start = json.find("\"seed\":").expect("seed key") + "\"seed\":".len();
+    let end = start + json[start..].find(',').expect("seed end");
+    json[start..end].trim().parse().expect("seed digits")
+}
+
+/// Regression (satellite: replay purity): a shrunk PCT counterexample must
+/// replay byte-identically from its JSON alone — no scheduler or
+/// exploration rng state involved. The parent finds and shrinks a
+/// violation, serializes it, and hands the JSON plus the replayed state
+/// fingerprint to a **fresh process** (re-invoking this test binary), which
+/// re-parses, re-replays, and re-judges from scratch.
+#[test]
+fn shrunk_counterexample_replays_byte_identically_in_fresh_process() {
+    use shm_explore::Oracle as _;
+
+    if let Ok(path) = std::env::var("PCT_CX_REPLAY_FILE") {
+        // Child: everything below runs with no memory of the finding run.
+        let blob = std::fs::read_to_string(&path).expect("read handoff file");
+        let (json, want_fp) = blob.split_once('\n').expect("json + fingerprint lines");
+        let schedule = parse_schedule(json);
+        let algo = SeededBuggy::new(parse_seed(json));
+        let spec = scenario(&algo, None).build();
+        let sim = shm_explore::replay(&spec, &schedule);
+        let got_fp = format!("{:032x}", sim.state_fingerprint());
+        assert_eq!(got_fp, want_fp.trim(), "replayed state fingerprint differs");
+        let oracle = PollingSpecOracle {
+            max_concurrent_waiters: algo.max_concurrent_waiters(),
+        };
+        assert!(oracle.check(&sim).is_err(), "replay must still violate");
+        assert!(oracle.in_contract(&sim), "replay must stay in contract");
+        assert!(sim.audit(&spec).is_clean(), "replay must audit clean");
+        return;
+    }
+
+    // Parent: find, shrink, serialize, and record the replayed fingerprint.
+    let algo = SeededBuggy::new(1);
+    let s = scenario(&algo, Some(1));
+    let out = check_random(
+        &s,
+        &RandomBounds::pct(BASE_SEED, BUDGET_SCHEDULES, BUDGET_DEPTH, BUDGET_STEPS),
+    );
+    let cx = out.counterexample.expect("negative control must be caught");
+    assert!(cx.in_contract && cx.audit_clean);
+    let json = cx.to_json();
+    let fp = format!(
+        "{:032x}",
+        shm_explore::replay(&s.build(), &cx.schedule).state_fingerprint()
+    );
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("pct_cx_replay_{}.json", std::process::id()));
+    std::fs::write(&path, format!("{json}\n{fp}\n")).expect("write handoff file");
+
+    let exe = std::env::current_exe().expect("current test binary");
+    let status = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "shrunk_counterexample_replays_byte_identically_in_fresh_process",
+        ])
+        .env("PCT_CX_REPLAY_FILE", &path)
+        .status()
+        .expect("spawn fresh replay process");
+    std::fs::remove_file(&path).ok();
+    assert!(status.success(), "fresh-process replay failed");
+}

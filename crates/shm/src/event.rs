@@ -144,6 +144,42 @@ pub enum ProjectedEvent {
 /// arithmetic in [`EventLog::get`] compiles to shifts and masks.
 const CHUNK: usize = 512;
 
+/// Maximum chunk buffers the thread-local recycling pool retains.
+const CHUNK_POOL_MAX: usize = 256;
+
+std::thread_local! {
+    /// Recycled chunk buffers (capacity ≥ [`CHUNK`], length 0). Sealing
+    /// pops from here instead of calling `malloc`; dropping a log pushes
+    /// its uniquely-owned chunks back. Without recycling, a simulator
+    /// teardown frees its whole history as a stream of chunk-sized blocks,
+    /// which keeps glibc's adaptive trim threshold small enough that every
+    /// teardown shrinks the heap back to the OS — kernel time that showed
+    /// up as a serial-stepping regression on rebuild-per-iteration
+    /// workloads.
+    static CHUNK_POOL: std::cell::RefCell<Vec<Vec<Event>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A cleared chunk buffer: recycled if the pool has one, fresh otherwise.
+fn chunk_buf() -> Vec<Event> {
+    CHUNK_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| Vec::with_capacity(CHUNK))
+}
+
+/// Returns a chunk buffer to the pool (dropping it if full or undersized).
+fn recycle_chunk(mut buf: Vec<Event>) {
+    if buf.capacity() >= CHUNK {
+        CHUNK_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < CHUNK_POOL_MAX {
+                buf.clear();
+                pool.push(buf);
+            }
+        });
+    }
+}
+
 /// Chunked event storage: a sequence of sealed, immutable, `Arc`-shared
 /// chunks of exactly [`CHUNK`] events each, plus an open tail the next
 /// pushes land in.
@@ -171,14 +207,19 @@ impl EventLog {
     #[inline]
     fn push(&mut self, e: Event) {
         if self.tail.len() == CHUNK {
-            let full = std::mem::replace(&mut self.tail, Vec::with_capacity(CHUNK));
-            self.sealed.push(Arc::new(full));
-        } else if self.tail.capacity() < CHUNK {
-            // One-time reservation (also after a clone, whose tail capacity
-            // shrinks to its length): every later push is in-place.
-            self.tail.reserve(CHUNK - self.tail.len());
+            self.seal_tail();
         }
         self.tail.push(e);
+    }
+
+    /// Seals the (exactly-[`CHUNK`]-event) tail into a fresh chunk. The
+    /// check runs before every push, so the tail can never grow past
+    /// `CHUNK` and sealed chunks are always exactly `CHUNK` events — the
+    /// invariant [`EventLog::get`]'s index arithmetic relies on.
+    #[cold]
+    fn seal_tail(&mut self) {
+        let full = std::mem::replace(&mut self.tail, chunk_buf());
+        self.sealed.push(Arc::new(full));
     }
 
     fn get(&self, i: usize) -> &Event {
@@ -299,6 +340,20 @@ impl EventLog {
     }
 }
 
+impl Drop for EventLog {
+    /// Harvests uniquely-owned chunk buffers back into the thread-local
+    /// pool instead of freeing them. Chunks still shared with another log
+    /// (snapshots, clones) just drop their refcount as usual.
+    fn drop(&mut self) {
+        for arc in self.sealed.drain(..) {
+            if let Ok(buf) = Arc::try_unwrap(arc) {
+                recycle_chunk(buf);
+            }
+        }
+        recycle_chunk(std::mem::take(&mut self.tail));
+    }
+}
+
 /// Maximum number of appended events the rolling-hash fold may lag behind
 /// the log; bounds what an on-demand fingerprint read has to scan.
 const PENDING_MAX: usize = 64;
@@ -320,12 +375,18 @@ const PENDING_MAX: usize = 64;
 /// adversary's survivor certification from an O(history) event comparison
 /// into an O(1) hash comparison.
 ///
-/// Fingerprint maintenance is batched: `push` does **no** hash work at all —
-/// it only appends the event — and the polynomial folds run over the log in
-/// [`PENDING_MAX`]-sized batches (or on demand at a read, which folds the
-/// at-most-`PENDING_MAX`-event lag on the fly). Reads always observe exactly
-/// the value eager per-push folding would produce: the fold is associative
-/// over the append order, which batching preserves.
+/// Fingerprint maintenance is *adaptive*. A fresh history folds each pushed
+/// event into the rolling hashes inline, while the event is still in
+/// registers — the straight-line stepping hot path, where a deferred fold
+/// would have to re-decode every event from the log a second time. The
+/// first [`History::rewind`] switches the history to deferred mode: `push`
+/// then does no hash work at all and the folds run in [`PENDING_MAX`]-sized
+/// batches (or on demand at a read, which folds the bounded lag on the fly).
+/// Checkpoint-rewind consumers — the schedule-space explorer — mostly roll
+/// pushed events back before any fingerprint is read, so deferring saves
+/// their folds entirely. Reads observe exactly the same values in both
+/// modes: the fold is associative over the append order, which batching
+/// preserves.
 #[derive(Clone, Debug, Default)]
 pub struct History {
     events: EventLog,
@@ -334,9 +395,13 @@ pub struct History {
     /// projected events yet".
     proj_hash: Vec<u128>,
     /// Number of leading log events already folded into `proj_hash`.
-    /// Events `fp_applied..len` are folded lazily (batched in `push`, or on
-    /// the fly by fingerprint reads).
+    /// Equal to `events.len()` in eager mode; in deferred mode events
+    /// `fp_applied..len` are folded lazily (batched in `push`, or on the
+    /// fly by fingerprint reads).
     fp_applied: usize,
+    /// `true` = deferred (batched) fold mode, entered on the first rewind
+    /// and never left; `false` (the default) = eager inline folds on push.
+    lazy_fp: bool,
 }
 
 /// Odd multiplier for the polynomial fingerprint (random 128-bit constant).
@@ -397,6 +462,7 @@ impl History {
             events: EventLog::default(),
             proj_hash: hashes,
             fp_applied: 0,
+            lazy_fp: false,
         }
     }
 
@@ -414,6 +480,7 @@ impl History {
             events,
             proj_hash: suffix.proj_hash,
             fp_applied,
+            lazy_fp: prefix.lazy_fp,
         }
     }
 
@@ -452,12 +519,18 @@ impl History {
 
     /// Rewinds to `len` events, resetting fingerprints to `hashes` (the
     /// fingerprint state recorded when the history had `len` events).
+    ///
+    /// Also switches the history into deferred-fold mode for good: a caller
+    /// that rewinds (the checkpoint-restore explorer) usually rolls pushed
+    /// events back before reading a fingerprint, so folding them eagerly at
+    /// push would be wasted work.
     pub(crate) fn rewind(&mut self, len: usize, hashes: &[u128]) {
         assert!(len <= self.events.len(), "rewind past the end");
         self.events.truncate(len);
         self.proj_hash.clear();
         self.proj_hash.extend_from_slice(hashes);
         self.fp_applied = len;
+        self.lazy_fp = true;
     }
 
     /// The projected words of an event, or `None` for events outside the
@@ -485,6 +558,7 @@ impl History {
             events,
             proj_hash,
             fp_applied,
+            ..
         } = self;
         events.for_each_from(*fp_applied, |e| {
             if let Some((pid, words)) = Self::fp_words(e) {
@@ -550,10 +624,30 @@ impl History {
         }
     }
 
-    /// Appends an event (used by the simulator). Does no fingerprint work:
-    /// the rolling-hash fold runs in [`PENDING_MAX`]-sized batches.
+    /// Appends an event (used by the simulator). In the default eager mode
+    /// the event's projected words are folded into the rolling hashes right
+    /// here, while they are still in registers; in deferred mode (after the
+    /// first [`History::rewind`]) the fold runs later, in
+    /// [`PENDING_MAX`]-sized batches. Same values either way — the fold is
+    /// associative over the append order.
     #[inline]
     pub(crate) fn push(&mut self, e: Event) {
+        if !self.lazy_fp {
+            if let Some((pid, words)) = Self::fp_words(&e) {
+                let i = pid.index();
+                if self.proj_hash.len() <= i {
+                    self.proj_hash.resize(i + 1, FP_EMPTY);
+                }
+                let mut h = self.proj_hash[i];
+                for w in words {
+                    h = fp_absorb(h, w);
+                }
+                self.proj_hash[i] = h;
+            }
+            self.events.push(e);
+            self.fp_applied += 1;
+            return;
+        }
         self.events.push(e);
         if self.events.len() - self.fp_applied >= PENDING_MAX {
             self.flush_fingerprints();
@@ -1072,13 +1166,17 @@ mod tests {
         assert_eq!(spliced.fingerprint(ProcId(0)), full.fingerprint(ProcId(0)));
     }
 
-    /// Batched fingerprint folding must be invisible: reads mid-batch, right
-    /// at the flush boundary, and after an explicit flush all agree with an
-    /// eagerly folded reference.
+    /// The fold mode must be invisible: a default (eager-fold) history and
+    /// one switched to deferred batching by `rewind` agree with a hand-rolled
+    /// reference at every read — mid-batch, at the flush boundary, and after
+    /// an explicit flush.
     #[test]
     fn batched_fingerprints_match_eager_reference() {
         let mut rng = crate::rng::XorShift64::new(0xBA7C);
         let mut h = History::new();
+        let mut lazy = History::new();
+        lazy.rewind(0, &[]); // switch to deferred-fold mode
+        assert!(lazy.lazy_fp && !h.lazy_fp);
         let mut eager: Vec<u128> = Vec::new();
         for i in 0..(PENDING_MAX * 3 + 7) {
             let pid = rng.below(4) as u32;
@@ -1092,22 +1190,30 @@ mod tests {
                     eager[j] = fp_absorb(eager[j], w);
                 }
             }
-            h.push(e);
+            h.push(e.clone());
+            lazy.push(e);
+            assert_eq!(h.fp_applied, h.len(), "eager mode never lags");
             if i % 17 == 0 {
                 for p in 0..4u32 {
                     let want = eager.get(p as usize).copied().unwrap_or(FP_EMPTY);
-                    assert_eq!(h.fingerprint(ProcId(p)), want, "mid-batch read at {i}");
+                    assert_eq!(h.fingerprint(ProcId(p)), want, "eager read at {i}");
+                    assert_eq!(lazy.fingerprint(ProcId(p)), want, "mid-batch read at {i}");
                 }
             }
         }
+        assert!(lazy.fp_applied >= PENDING_MAX * 3, "batch flushes ran");
         h.flush_fingerprints();
+        lazy.flush_fingerprints();
         for p in 0..4u32 {
             let want = eager.get(p as usize).copied().unwrap_or(FP_EMPTY);
             assert_eq!(h.fingerprint(ProcId(p)), want, "post-flush read");
+            assert_eq!(lazy.fingerprint(ProcId(p)), want, "post-flush lazy read");
         }
         let all = h.fingerprints();
+        let all_lazy = lazy.fingerprints();
         for p in 0..4usize {
             assert_eq!(all[p], eager[p]);
+            assert_eq!(all_lazy[p], eager[p]);
         }
     }
 

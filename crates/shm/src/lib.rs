@@ -86,7 +86,8 @@ pub use model::{model_tag, AccessCost, CcConfig, CostModel, CostState, Interconn
 pub use op::{Applied, Op};
 pub use rng::XorShift64;
 pub use sched::{
-    run, run_exact, run_to_completion, RoundRobin, Scheduler, Scripted, SeededRandom, Solo,
+    run, run_exact, run_to_completion, PctScheduler, RoundRobin, Scheduler, Scripted, SeededRandom,
+    Solo,
 };
 pub use sim::{
     Checkpoint, Peek, ProcStats, SimSpec, Simulator, Status, StepReport, Totals, TransitionPeek,

@@ -76,6 +76,89 @@ impl Scheduler for SeededRandom {
     }
 }
 
+/// Probabilistic concurrency testing (PCT): a priority scheduler whose
+/// random choices are all made up front, giving the classic
+/// `1 / (n · k^(d−1))` detection guarantee for bugs of depth `d` within a
+/// `k`-step budget.
+///
+/// Construction draws, from a seeded RNG:
+/// - a random permutation of `n` distinct base priorities (all above any
+///   change-point priority), and
+/// - `d − 1` random *priority-change points*: step indices in `[0, k)`.
+///
+/// Every step schedules the highest-priority runnable process. When the
+/// step counter hits a change point, the process that would have been
+/// scheduled first has its priority dropped below every base priority
+/// (change point `i` assigns priority `d − 1 − i`, so later drops sink
+/// further), and the choice is re-evaluated.
+///
+/// Deterministic for a fixed `(seed, n, d, k)`, so a PCT run is replayable
+/// from its parameters alone.
+#[derive(Clone, Debug)]
+pub struct PctScheduler {
+    /// Priority per process; higher wins. Distinct by construction.
+    prio: Vec<u64>,
+    /// Sorted step indices at which the next scheduled process is deprioritized.
+    change_at: Vec<u64>,
+    /// Change points already consumed.
+    next_change: usize,
+    /// Steps scheduled so far.
+    steps: u64,
+}
+
+impl PctScheduler {
+    /// Creates a PCT scheduler for `n` processes with bug depth `d` over a
+    /// `k`-step budget, drawing all randomness from `seed`.
+    ///
+    /// # Panics
+    /// If `d == 0` (depth counts at least the final ordering constraint).
+    #[must_use]
+    pub fn new(seed: u64, n: usize, d: usize, k: u64) -> Self {
+        assert!(d > 0, "PCT depth must be at least 1");
+        let mut rng = XorShift64::new(seed);
+        // Base priorities d-1+1 .. d-1+n (all above any change-point
+        // priority d-1-i), assigned by a Fisher-Yates shuffle.
+        let mut prio: Vec<u64> = (0..n as u64).map(|i| d as u64 + i).collect();
+        for i in (1..n).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            prio.swap(i, j);
+        }
+        let mut change_at: Vec<u64> = (0..d - 1).map(|_| rng.below(k.max(1))).collect();
+        change_at.sort_unstable();
+        PctScheduler {
+            prio,
+            change_at,
+            next_change: 0,
+            steps: 0,
+        }
+    }
+
+    /// The highest-priority runnable process, if any.
+    fn best(&self, sim: &Simulator) -> Option<ProcId> {
+        (0..self.prio.len())
+            .map(|i| ProcId(i as u32))
+            .filter(|&p| sim.is_runnable(p))
+            .max_by_key(|p| self.prio[p.index()])
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn next(&mut self, sim: &Simulator) -> Option<ProcId> {
+        let mut pid = self.best(sim)?;
+        // Consume every change point due at this step: deprioritize the
+        // process that would run and re-select.
+        while self.next_change < self.change_at.len()
+            && self.steps >= self.change_at[self.next_change]
+        {
+            self.prio[pid.index()] = (self.change_at.len() - self.next_change) as u64 - 1;
+            self.next_change += 1;
+            pid = self.best(sim)?;
+        }
+        self.steps += 1;
+        Some(pid)
+    }
+}
+
 /// Runs only the given process (the paper's "solo" executions).
 #[derive(Clone, Copy, Debug)]
 pub struct Solo(pub ProcId);
@@ -227,6 +310,59 @@ mod tests {
         let mut sched = Scripted::new(order);
         run(&mut sim, &mut sched, 10_000);
         assert!(sim.all_done());
+    }
+
+    #[test]
+    fn pct_is_deterministic_and_complete() {
+        let spec = spec_with_counter_writers(4);
+        let run_once = |seed| {
+            let mut sim = crate::sim::Simulator::new(&spec);
+            let mut sched = PctScheduler::new(seed, 4, 3, 10_000);
+            run_to_completion(&mut sim, &mut sched, 10_000);
+            (
+                sim.schedule().to_vec(),
+                sim.memory().peek(crate::ids::Addr(0)),
+            )
+        };
+        let (sched_a, sum_a) = run_once(11);
+        assert_eq!((sched_a.clone(), sum_a), run_once(11));
+        assert_eq!(sum_a, 4, "priority scheduling still completes everyone");
+        // Different seeds almost surely permute priorities differently.
+        assert_ne!(sched_a, run_once(12).0);
+    }
+
+    #[test]
+    fn pct_priorities_are_distinct_and_drops_sink() {
+        let sched = PctScheduler::new(99, 8, 4, 500);
+        let mut seen = sched.prio.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 8, "base priorities are distinct");
+        assert!(sched.prio.iter().all(|&p| p >= 4), "bases above drop range");
+        assert_eq!(sched.change_at.len(), 3, "d-1 change points");
+        assert!(sched.change_at.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn pct_depth_one_never_preempts_by_priority() {
+        // d = 1 means no change points: the highest-priority runnable
+        // process runs solo until it blocks or finishes.
+        let spec = spec_with_counter_writers(3);
+        let mut sim = crate::sim::Simulator::new(&spec);
+        let mut sched = PctScheduler::new(5, 3, 1, 1000);
+        run_to_completion(&mut sim, &mut sched, 1000);
+        let schedule = sim.schedule().to_vec();
+        // Each process's steps form one contiguous run.
+        let mut seen_done: Vec<ProcId> = Vec::new();
+        for w in schedule.windows(2) {
+            if w[0] != w[1] {
+                assert!(
+                    !seen_done.contains(&w[1]),
+                    "process resumed after preemption"
+                );
+                seen_done.push(w[0]);
+            }
+        }
     }
 
     #[test]
