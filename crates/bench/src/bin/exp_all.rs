@@ -6,9 +6,9 @@
 //! Pass `--threads N` to set every child's pool size (exported as
 //! `CC_DSM_THREADS`; 1 = exact serial path). Pass `--json` to write
 //! per-experiment wall times to `BENCH_experiments.json` — the repo's
-//! wall-time trajectory — plus the `bench_step_throughput` steps/sec entry
-//! (`total_wall_ms` still sums E1–E10 only; the microbench rides along as an
-//! extra row). Pass `--canon-dir DIR` to have E1/E2/E5/E6/E8/E9/E10
+//! wall-time trajectory — plus the `bench_step_throughput` steps/sec and
+//! `bench_explore_throughput` states/sec entries (`total_wall_ms` still
+//! sums E1–E10 only; the microbenches ride along as extra rows). Pass `--canon-dir DIR` to have E1/E2/E5/E6/E8/E9/E10
 //! write canonical (timing-free) row JSON into `DIR` for byte-equality
 //! determinism diffs between thread counts. Pass `--obs-dir DIR` to have
 //! every child write `DIR/<bin>.metrics.json` and `DIR/<bin>.trace.json`
@@ -86,24 +86,31 @@ fn main() {
         walls.push((bin, wall_ms));
     }
     if json {
-        // The step-throughput microbench rides along: its steps/sec entry is
-        // spliced into the experiments array so the simulator hot-loop
-        // trajectory is tracked PR-over-PR next to the wall times, but it is
-        // excluded from `total_wall_ms` (that figure is the E1–E10 suite).
-        let tmp = std::env::temp_dir().join("bench_step_throughput.json");
-        let mut cmd = Command::new(dir.join("bench_step_throughput"));
-        if let Some(t) = &threads {
-            cmd.env("CC_DSM_THREADS", t);
-        }
-        cmd.arg("--json").arg(&tmp);
-        let status = cmd
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch bench_step_throughput: {e}"));
-        assert!(status.success(), "bench_step_throughput failed");
-        let bench_entry = std::fs::read_to_string(&tmp)
-            .expect("read bench_step_throughput json")
-            .trim()
-            .to_string();
+        // The microbenches ride along: the step-throughput steps/sec and
+        // explore-throughput states/sec entries are spliced into the
+        // experiments array so the simulator hot-loop and explorer (+ spill
+        // tax) trajectories are tracked PR-over-PR next to the wall times,
+        // but they are excluded from `total_wall_ms` (that figure is the
+        // E1–E10 suite).
+        let bench_entries: Vec<String> = ["bench_step_throughput", "bench_explore_throughput"]
+            .iter()
+            .map(|bin| {
+                let tmp = std::env::temp_dir().join(format!("{bin}.json"));
+                let mut cmd = Command::new(dir.join(bin));
+                if let Some(t) = &threads {
+                    cmd.env("CC_DSM_THREADS", t);
+                }
+                cmd.arg("--json").arg(&tmp);
+                let status = cmd
+                    .status()
+                    .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+                assert!(status.success(), "{bin} failed");
+                std::fs::read_to_string(&tmp)
+                    .unwrap_or_else(|e| panic!("read {bin} json: {e}"))
+                    .trim()
+                    .to_string()
+            })
+            .collect();
 
         let threads_json = threads.unwrap_or_else(|| shm_pool::threads().to_string());
         let total: f64 = walls.iter().map(|(_, w)| w).sum();
@@ -113,7 +120,10 @@ fn main() {
                 "  {{\"experiment\": \"{bin}\", \"iters\": 1, \"wall_ms\": {wall_ms:.3}}},\n",
             ));
         }
-        out.push_str(&format!("  {bench_entry}\n"));
+        let n = bench_entries.len();
+        for (i, entry) in bench_entries.iter().enumerate() {
+            out.push_str(&format!("  {entry}{}\n", if i + 1 < n { "," } else { "" }));
+        }
         out.push_str(&format!("], \"total_wall_ms\": {total:.3}}}\n"));
         let path = "BENCH_experiments.json";
         std::fs::write(path, out).expect("write BENCH_experiments.json");

@@ -9,7 +9,10 @@
 //! Pass `--threads N` to set the pool size (1 = exact serial path),
 //! `--sizes 8,16,32` to override the waiter counts, `--seed N` to override
 //! the base sampling seed, and `--canon FILE` to write the canonical row
-//! JSON for byte-equality determinism checks. Observability: `--metrics` /
+//! JSON for byte-equality determinism checks. `--mem-budget BYTES`
+//! (`64k`/`512m`/`1g` accepted) caps the end-state fingerprint coverage
+//! set; beyond it keys spill to delta-compressed disk runs with every
+//! verdict and count unchanged. Observability: `--metrics` /
 //! `--trace-chrome` / `--trace-jsonl` / `--obs-summary` / `--trace-wall`
 //! (see [`bench::cli::ObsFlags`]).
 //!
@@ -21,7 +24,7 @@
 //! documented budget", not absence of one.
 
 use bench::table::{header, row};
-use bench::{canon, cli, e10_pct, E10_DEPTH_D, E10_SCHEDULES, E10_STEPS};
+use bench::{canon, cli, e10_pct_with, E10_DEPTH_D, E10_SCHEDULES, E10_STEPS};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,6 +33,7 @@ fn main() {
     let sizes = cli::sizes_of(&args, &[8, 16, 32]);
     let pct_seed =
         cli::value_of(&args, "--seed").map_or(0xE10, |v| v.parse().expect("--seed takes a u64"));
+    let mem_budget = cli::mem_budget_of(&args);
     let obs = cli::obs_flags(&args);
     let obs_col = cli::obs_install(&obs);
     println!(
@@ -48,7 +52,7 @@ fn main() {
         ("in-contract", 12),
         ("max sig RMR", 11),
     ]);
-    let rows = e10_pct(&sizes, 2, pct_seed);
+    let rows = e10_pct_with(&sizes, 2, pct_seed, mem_budget);
     for r in &rows {
         row(
             &[

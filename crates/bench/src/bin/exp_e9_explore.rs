@@ -6,9 +6,15 @@
 //!
 //! Pass `--threads N` to set the pool size (1 = exact serial path) and
 //! `--canon FILE` to write the canonical row JSON for byte-equality
-//! determinism checks. Observability: `--metrics` / `--trace-chrome` /
-//! `--trace-jsonl` / `--obs-summary` / `--trace-wall` (see
-//! [`bench::cli::ObsFlags`]).
+//! determinism checks. `--mem-budget BYTES` (`64k`/`512m`/`1g` accepted)
+//! caps the explorer's visited-set + frontier residency; beyond it keys and
+//! nodes spill to delta-compressed disk runs with every verdict, count,
+//! maximum, and counterexample byte-identical to the unbudgeted run.
+//! `--deep` replaces the sweep with the single **deep row** — the largest
+//! shipped state space (single-waiter × DSM) one size up at n = 4, the row
+//! CI runs under a hard address-space cap to prove the spill path holds the
+//! line. Observability: `--metrics` / `--trace-chrome` / `--trace-jsonl` /
+//! `--obs-summary` / `--trace-wall` (see [`bench::cli::ObsFlags`]).
 //!
 //! Exits nonzero when the exploration refutes the repo's claims: an
 //! in-contract Specification 4.1 violation in a shipped algorithm, a missed
@@ -16,15 +22,28 @@
 //! an explored RMR maximum below the adversary's constructed chase cost.
 
 use bench::table::{header, row};
-use bench::{canon, cli, e9_explore};
+use bench::{canon, cli, e9_deep, e9_explore_with, E9_DEEP_MAX_POLLS, E9_DEEP_WAITERS};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let _threads = cli::apply_threads(&args);
     let canon_path = cli::value_of(&args, "--canon");
+    let mem_budget = cli::mem_budget_of(&args);
+    let deep = args.iter().any(|a| a == "--deep");
     let obs = cli::obs_flags(&args);
     let obs_col = cli::obs_install(&obs);
-    println!("E9: exhaustive exploration, 2 waiters (max 2 polls) + 1 signaler (1 pre-poll)\n");
+    if deep {
+        println!(
+            "E9 deep row: single-waiter x DSM, {E9_DEEP_WAITERS} waiters (max \
+             {E9_DEEP_MAX_POLLS} poll) + 1 signaler (1 pre-poll)"
+        );
+    } else {
+        println!("E9: exhaustive exploration, 2 waiters (max 2 polls) + 1 signaler (1 pre-poll)");
+    }
+    match mem_budget {
+        Some(b) => println!("memory budget: {b} bytes (spilling past it)\n"),
+        None => println!(),
+    }
     let widths = [15, 5, 9, 9, 12, 12, 11, 7];
     header(&[
         ("algorithm", 15),
@@ -36,7 +55,11 @@ fn main() {
         ("max sig RMR", 11),
         ("chase", 7),
     ]);
-    let rows = e9_explore(2, 2);
+    let rows = if deep {
+        e9_deep(mem_budget)
+    } else {
+        e9_explore_with(2, 2, mem_budget)
+    };
     for r in &rows {
         row(
             &[
@@ -51,6 +74,13 @@ fn main() {
                     .map_or_else(|| "-".into(), |c| c.to_string()),
             ],
             &widths,
+        );
+    }
+    println!("\nmemory trajectory (logical bytes, deterministic):");
+    for r in &rows {
+        println!(
+            "  {:<15} {:<5} peak_frontier={} peak_visited_bytes={} spilled_bytes={}",
+            r.algorithm, r.model, r.peak_frontier, r.peak_visited_bytes, r.spilled_bytes
         );
     }
     if let Some(path) = canon_path {

@@ -194,6 +194,7 @@ pub fn e10_json(rows: &[E10Row]) -> String {
                         "\"steps_budget\": {}, \"terminals\": {}, ",
                         "\"distinct_fingerprints\": {}, \"violations_found\": {}, ",
                         "\"violations_in_contract\": {}, \"max_signaler_rmrs\": {}, ",
+                        "\"peak_visited_bytes\": {}, \"spilled_bytes\": {}, ",
                         "\"counterexample\": {}{}}}"
                     ),
                     json_escape(&r.algorithm),
@@ -209,6 +210,8 @@ pub fn e10_json(rows: &[E10Row]) -> String {
                     r.violations_found,
                     r.violations_in_contract,
                     r.max_signaler_rmrs,
+                    r.peak_visited_bytes,
+                    r.spilled_bytes,
                     counterexample,
                     obs_block(r.obs.as_ref()),
                 )
@@ -232,7 +235,8 @@ pub fn e9_json(rows: &[E9Row]) -> String {
                         "\"explored\": {}, \"terminals\": {}, \"exhaustive\": {}, ",
                         "\"violations_found\": {}, \"violations_in_contract\": {}, ",
                         "\"max_signaler_rmrs\": {}, \"chase_signaler_rmrs\": {}, ",
-                        "\"counterexample\": {}{}}}"
+                        "\"peak_frontier\": {}, \"peak_visited_bytes\": {}, ",
+                        "\"spilled_bytes\": {}, \"counterexample\": {}{}}}"
                     ),
                     json_escape(&r.algorithm),
                     json_escape(r.model),
@@ -245,6 +249,9 @@ pub fn e9_json(rows: &[E9Row]) -> String {
                     r.violations_in_contract,
                     r.max_signaler_rmrs,
                     opt_u64(r.chase_signaler_rmrs),
+                    r.peak_frontier,
+                    r.peak_visited_bytes,
+                    r.spilled_bytes,
                     counterexample,
                     obs_block(r.obs.as_ref()),
                 )

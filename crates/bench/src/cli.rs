@@ -115,6 +115,33 @@ pub fn obs_finish(flags: &ObsFlags, collector: Option<&std::sync::Arc<shm_obs::C
     }
 }
 
+/// Parses a byte quantity with an optional `k`/`m`/`g` suffix (binary
+/// units): `65536`, `64k`, `512m`, `1g`.
+#[must_use]
+pub fn parse_bytes(s: &str) -> usize {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.as_bytes().last() {
+        Some(b'k') => (&t[..t.len() - 1], 1usize << 10),
+        Some(b'm') => (&t[..t.len() - 1], 1 << 20),
+        Some(b'g') => (&t[..t.len() - 1], 1 << 30),
+        _ => (t.as_str(), 1),
+    };
+    let n: usize = digits
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("byte quantity takes e.g. 65536, 64k, 512m, 1g (got {s:?})"));
+    n.checked_mul(mult).expect("byte quantity overflows usize")
+}
+
+/// Parses `--mem-budget <bytes>` (`k`/`m`/`g` suffixes accepted): the
+/// exploration memory budget forwarded to the explorer's
+/// `Bounds::mem_budget` (visited hot tier + frontier ring; spills
+/// delta-compressed runs to disk beyond it). Absent = unbounded.
+#[must_use]
+pub fn mem_budget_of(args: &[String]) -> Option<usize> {
+    value_of(args, "--mem-budget").map(|v| parse_bytes(&v))
+}
+
 /// Parses a `--sizes 32,64,...` override, falling back to `default`.
 #[must_use]
 pub fn sizes_of(args: &[String], default: &[usize]) -> Vec<usize> {

@@ -736,6 +736,15 @@ pub struct E9Row {
     /// the E2 algorithms only). The chase is one reachable schedule, so the
     /// explored maximum must dominate this.
     pub chase_signaler_rmrs: Option<u64>,
+    /// Peak number of nodes ever queued in the breadth-first frontier
+    /// (hot + spilled; a logical count, thread-count independent).
+    pub peak_frontier: u64,
+    /// Peak logical bytes of visited-store residency, summed over walkers
+    /// (deterministic slot accounting, never an RSS reading).
+    pub peak_visited_bytes: u64,
+    /// Delta-compressed bytes spilled to disk (0 unless a `mem_budget`
+    /// forced spilling).
+    pub spilled_bytes: u64,
     /// The first violation, shrunk and audited, as a canonical JSON object.
     pub counterexample: Option<String>,
     /// Deterministic counter totals for this row (canonical JSON object),
@@ -753,6 +762,16 @@ pub struct E9Row {
 /// so `max_signaler_rmrs >= chase_signaler_rmrs` cross-validates both layers.
 #[must_use]
 pub fn e9_explore(waiters: usize, max_polls: u64) -> Vec<E9Row> {
+    e9_explore_with(waiters, max_polls, None)
+}
+
+/// [`e9_explore`] under an exploration memory budget
+/// ([`shm_explore::Bounds::mem_budget`]): the visited store and frontier
+/// spill delta-compressed runs to disk beyond it. Every verdict, count,
+/// maximum, and counterexample is byte-identical to the unbudgeted run —
+/// only the memory-trajectory fields (`peak_*`, `spilled_bytes`) move.
+#[must_use]
+pub fn e9_explore_with(waiters: usize, max_polls: u64, mem_budget: Option<usize>) -> Vec<E9Row> {
     use shm_explore::{check, Bounds, ScenarioSpec};
     use signaling::algorithms::{CasList, SeededBuggy};
     let algos: Vec<(Box<dyn SignalingAlgorithm>, Option<u64>)> = vec![
@@ -786,30 +805,87 @@ pub fn e9_explore(waiters: usize, max_polls: u64) -> Vec<E9Row> {
             model,
             seed: *seed,
         };
-        let out = check(&scenario, &Bounds::exhaustive());
+        let bounds = Bounds {
+            mem_budget,
+            ..Bounds::exhaustive()
+        };
+        let out = check(&scenario, &bounds);
         let chase = (label == "dsm" && chase_algos.contains(&algo.name())).then(|| {
             let r = run_lower_bound(algo.as_ref(), LowerBoundConfig::for_n(scenario.n()));
             r.chase.as_ref().map_or(0, |c| c.signaler_rmrs)
         });
-        E9Row {
-            algorithm: algo.name().to_owned(),
-            model: label,
-            n: scenario.n(),
-            seed: *seed,
-            explored: out.report.explored,
-            terminals: out.report.terminals,
-            exhaustive: out.report.exhaustive,
-            violations_found: out.report.violations_found,
-            violations_in_contract: out.in_contract_violations,
-            max_signaler_rmrs: out.max_signaler_rmrs().unwrap_or(0),
-            chase_signaler_rmrs: chase,
-            counterexample: out
-                .counterexample
-                .as_ref()
-                .map(shm_explore::Counterexample::to_json),
-            obs: mark.map(|m| m.delta_json()),
-        }
+        e9_row(&scenario, label, &out, chase, mark)
     })
+}
+
+/// Packs a check outcome into an [`E9Row`] (shared by the sweep and the
+/// deep row).
+fn e9_row(
+    scenario: &shm_explore::ScenarioSpec<'_>,
+    label: &'static str,
+    out: &shm_explore::CheckOutcome,
+    chase: Option<u64>,
+    mark: Option<shm_obs::TotalsMark>,
+) -> E9Row {
+    E9Row {
+        algorithm: scenario.algorithm.name().to_owned(),
+        model: label,
+        n: scenario.n(),
+        seed: scenario.seed,
+        explored: out.report.explored,
+        terminals: out.report.terminals,
+        exhaustive: out.report.exhaustive,
+        violations_found: out.report.violations_found,
+        violations_in_contract: out.in_contract_violations,
+        max_signaler_rmrs: out.max_signaler_rmrs().unwrap_or(0),
+        chase_signaler_rmrs: chase,
+        peak_frontier: out.report.peak_frontier,
+        peak_visited_bytes: out.report.peak_visited_bytes,
+        spilled_bytes: out.report.spilled_bytes,
+        counterexample: out
+            .counterexample
+            .as_ref()
+            .map(shm_explore::Counterexample::to_json),
+        obs: mark.map(|m| m.delta_json()),
+    }
+}
+
+/// The E9 deep row's scenario size: 3 waiters + the signaler.
+pub const E9_DEEP_WAITERS: usize = 3;
+/// The E9 deep row's per-waiter poll budget.
+pub const E9_DEEP_MAX_POLLS: u64 = 1;
+
+/// The E9 **deep row**: one algorithm (single-waiter — the largest state
+/// space among the shipped algorithms at equal n) × DSM at n = 4,
+/// exhaustive. This is the row the in-memory explorer could not afford:
+/// run under a `mem_budget` (and, in CI, a hard address-space cap) it
+/// certifies Specification 4.1 and the true signaler-RMR maximum one size
+/// deeper than the E9 sweep, with the visited set and frontier spilled to
+/// compressed disk runs. The chase cross-check runs at the same n, exactly
+/// like the sweep rows.
+#[must_use]
+pub fn e9_deep(mem_budget: Option<usize>) -> Vec<E9Row> {
+    use shm_explore::{check, Bounds, ScenarioSpec};
+    let mark = shm_obs::totals_mark();
+    let algo = SingleWaiter;
+    let scenario = ScenarioSpec {
+        algorithm: &algo,
+        waiters: E9_DEEP_WAITERS,
+        max_polls: E9_DEEP_MAX_POLLS,
+        signaler_polls_first: 1,
+        model: CostModel::Dsm,
+        seed: None,
+    };
+    let bounds = Bounds {
+        mem_budget,
+        ..Bounds::exhaustive()
+    };
+    let out = check(&scenario, &bounds);
+    let chase = {
+        let r = run_lower_bound(&algo, LowerBoundConfig::for_n(scenario.n()));
+        Some(r.chase.as_ref().map_or(0, |c| c.signaler_rmrs))
+    };
+    vec![e9_row(&scenario, "dsm", &out, chase, mark)]
 }
 
 // --------------------------------------------------------------- E10 ----
@@ -845,6 +921,12 @@ pub struct E10Row {
     pub violations_in_contract: u64,
     /// Empirical maximum of the signaler's RMRs over terminal schedules.
     pub max_signaler_rmrs: u64,
+    /// Peak logical bytes of the fingerprint coverage set (deterministic
+    /// slot accounting, never an RSS reading).
+    pub peak_visited_bytes: u64,
+    /// Delta-compressed bytes the coverage set spilled to disk (0 unless a
+    /// `mem_budget` forced spilling).
+    pub spilled_bytes: u64,
     /// The first violation, shrunk and audited, as a canonical JSON object.
     pub counterexample: Option<String>,
     /// Deterministic counter totals for this row (canonical JSON object),
@@ -872,6 +954,20 @@ pub const E10_STEPS: u64 = 20_000;
 /// any thread count for a fixed `pct_seed`.
 #[must_use]
 pub fn e10_pct(sizes: &[usize], max_polls: u64, pct_seed: u64) -> Vec<E10Row> {
+    e10_pct_with(sizes, max_polls, pct_seed, None)
+}
+
+/// [`e10_pct`] under an exploration memory budget: the end-state
+/// fingerprint coverage set spills delta-compressed runs to disk beyond
+/// it. `distinct_fingerprints` and every verdict are identical at any
+/// budget — only `peak_visited_bytes`/`spilled_bytes` move.
+#[must_use]
+pub fn e10_pct_with(
+    sizes: &[usize],
+    max_polls: u64,
+    pct_seed: u64,
+    mem_budget: Option<usize>,
+) -> Vec<E10Row> {
     use shm_explore::{check_random, RandomBounds, ScenarioSpec};
     use signaling::algorithms::{CasList, SeededBuggy};
     let algos: Vec<(Box<dyn SignalingAlgorithm>, Option<u64>)> = vec![
@@ -907,7 +1003,10 @@ pub fn e10_pct(sizes: &[usize], max_polls: u64, pct_seed: u64) -> Vec<E10Row> {
                 model,
                 seed: *seed,
             };
-            let bounds = RandomBounds::pct(pct_seed, E10_SCHEDULES, E10_DEPTH_D, E10_STEPS);
+            let bounds = RandomBounds {
+                mem_budget,
+                ..RandomBounds::pct(pct_seed, E10_SCHEDULES, E10_DEPTH_D, E10_STEPS)
+            };
             let out = check_random(&scenario, &bounds);
             E10Row {
                 algorithm: algo.name().to_owned(),
@@ -923,6 +1022,8 @@ pub fn e10_pct(sizes: &[usize], max_polls: u64, pct_seed: u64) -> Vec<E10Row> {
                 violations_found: out.report.violations_found,
                 violations_in_contract: out.in_contract_violations,
                 max_signaler_rmrs: out.max_signaler_rmrs().unwrap_or(0),
+                peak_visited_bytes: out.report.peak_visited_bytes,
+                spilled_bytes: out.report.spilled_bytes,
                 counterexample: out
                     .counterexample
                     .as_ref()

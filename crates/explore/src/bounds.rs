@@ -41,6 +41,13 @@ pub struct Bounds {
     /// Keep at most this many violation records (all violations are still
     /// *counted*; this only caps the retained schedules).
     pub keep_violations: usize,
+    /// Byte budget for exploration memory: the visited hot tier and the
+    /// resident frontier ring together stay under (a logical accounting of)
+    /// this many bytes, spilling delta-compressed runs / packed nodes to
+    /// disk beyond it (see [`crate::store`]). `None` = unbounded, fully
+    /// in-memory. Spilling never changes any count, verdict, or schedule in
+    /// the report — only where keys and nodes live.
+    pub mem_budget: Option<usize>,
 }
 
 impl Bounds {
@@ -56,6 +63,7 @@ impl Bounds {
             dpor: true,
             frontier: 64,
             keep_violations: 16,
+            mem_budget: None,
         }
     }
 

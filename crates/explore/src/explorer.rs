@@ -3,11 +3,15 @@
 //! deterministic parallel frontier fan-out.
 
 use crate::bounds::Bounds;
+use crate::counterexample::replay;
 use crate::oracle::{Objective, Oracle};
+use crate::spill::{self, Key};
+use crate::store::{
+    frontier_hot_cap, CarryBase, CarryBuilder, Lookup, Popped, SpillQueue, VisitedStore,
+};
 use shm_pool::map_indexed;
 use shm_sim::{CallRecord, Checkpoint, Op, ProcId, SimSpec, Simulator, TransitionPeek};
-use std::collections::HashSet;
-use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One violation found during exploration.
 #[derive(Clone, Debug)]
@@ -75,6 +79,30 @@ pub struct ExploreReport {
     /// branch: the report covers the entire schedule space and a clean
     /// verdict is a proof at this scenario size, not an under-approximation.
     pub exhaustive: bool,
+    /// `true` iff [`Bounds::max_states`] specifically stopped the run
+    /// (implies `!exhaustive`). Gates cross-bound carry: a capped run's
+    /// visited keys may front unexplored subtrees, so they are never
+    /// carried forward.
+    pub state_capped: bool,
+    /// Child states pruned because a *previous* iterative-deepening bound
+    /// already explored them (dedup hits answered by the carried base; a
+    /// subset of [`ExploreReport::deduped`]). Always 0 outside
+    /// [`crate::check_iterative`].
+    pub reused: u64,
+    /// Peak number of nodes ever queued in the breadth-first frontier
+    /// (hot + spilled). A logical count — identical at any `mem_budget`
+    /// and thread count.
+    pub peak_frontier: u64,
+    /// Peak logical bytes of visited-store residency, summed over the
+    /// serial phase and every frontier walker (each contributes its own
+    /// peak: the aggregate footprint if all walkers peaked at once —
+    /// conservative, and deterministic at any thread count). Logical
+    /// accounting ([`crate::store::SLOT_BYTES`] per hot key + resident run
+    /// indexes), never an allocator or RSS reading.
+    pub peak_visited_bytes: u64,
+    /// Total delta-compressed bytes spilled to disk (visited runs + packed
+    /// frontier nodes). 0 whenever the budget never forced a spill.
+    pub spilled_bytes: u64,
 }
 
 impl ExploreReport {
@@ -156,37 +184,14 @@ struct Node {
     preempts: u32,
 }
 
-/// Dedup key: state fingerprint + sleep set + (when preemption bounding is
-/// active) the last-scheduled pid and the used budget, which then also
-/// affect a node's continuations + the oracles' order-witness context
-/// ([`Oracle::dedup_context`]) — two histories may only merge when every
-/// past order fact that can sway a future verdict agrees.
-type Key = (u128, u64, u64, u64);
-
-/// Hasher for [`Key`]s: the key already leads with a 128-bit polynomial
-/// state fingerprint, so hashing it again through SipHash (the `HashSet`
-/// default, resistant to adversarial keys these are not) only burns time in
-/// the per-claimed-child dedup probe. One multiply-fold per word is plenty.
-#[derive(Clone, Copy, Default)]
-struct KeyHasher(u64);
-
-impl std::hash::Hasher for KeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Keys are fixed-width word tuples; chunks are always full words.
-        for chunk in bytes.chunks(8) {
-            let mut w = [0u8; 8];
-            w[..chunk.len()].copy_from_slice(chunk);
-            self.0 = (self.0 ^ u64::from_le_bytes(w)).wrapping_mul(0x9ddf_ea08_eb38_2d69);
-            self.0 ^= self.0 >> 32;
-        }
-    }
-}
-
-type KeyHashBuilder = std::hash::BuildHasherDefault<KeyHasher>;
+// The dedup [`Key`] (state fingerprint + sleep set + bound word + oracle
+// order-witness context) lives in `crate::spill`; two histories may only
+// merge when every past fact that can sway a future verdict agrees. When
+// preemption bounding is active the bound word carries the last-scheduled
+// pid and the *remaining* preemption budget — within one run a bijection of
+// the used count (so dedup behavior is unchanged), and across
+// iterative-deepening runs the form that makes carried keys sound: equal
+// remaining budget ⇒ equal explorable continuations.
 
 /// Where the claim pass left the simulator relative to the node it expanded.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -203,13 +208,10 @@ struct Walker<'a> {
     oracles: &'a [&'a dyn Oracle],
     objective: Option<&'a dyn Objective>,
     bounds: &'a Bounds,
-    visited: HashSet<Key, KeyHashBuilder>,
-    /// Exact-state fallback: fingerprint collisions would silently merge
-    /// distinct states, so debug builds (and the `exact-fingerprints`
-    /// feature of shm-sim builds, via the same cfg) keep the full word
-    /// encodings and assert every dedup hit.
-    #[cfg(debug_assertions)]
-    exact: std::collections::HashMap<Key, Vec<u64>>,
+    /// The two-tier visited set (hot table + spilled cold runs + optional
+    /// carried base). The debug exact-state collision cross-check lives
+    /// inside the store, preserved across tiers.
+    visited: VisitedStore,
     rep: ExploreReport,
     stopped: bool,
     /// Reusable call-record buffer: every judged state reconstructs the
@@ -238,14 +240,13 @@ impl<'a> Walker<'a> {
         oracles: &'a [&'a dyn Oracle],
         objective: Option<&'a dyn Objective>,
         bounds: &'a Bounds,
+        base: Option<Arc<CarryBase>>,
     ) -> Self {
         Walker {
             oracles,
             objective,
             bounds,
-            visited: HashSet::default(),
-            #[cfg(debug_assertions)]
-            exact: std::collections::HashMap::new(),
+            visited: VisitedStore::new(bounds.mem_budget, base),
             rep: ExploreReport {
                 exhaustive: true,
                 ..ExploreReport::default()
@@ -269,8 +270,13 @@ impl<'a> Walker<'a> {
         preempts: u32,
         calls: &[CallRecord],
     ) -> Key {
-        let aux = if self.bounds.max_preemptions.is_some() {
-            (u64::from(last.0) + 1) << 32 | u64::from(preempts)
+        // The bound word encodes the *remaining* budget, not the used
+        // count: within a run the two are bijective (identical dedup), but
+        // only the remaining form is comparable across iterative-deepening
+        // runs — a carried key with remaining budget r certifies the whole
+        // r-budget subtree was explored, whatever cap produced it.
+        let aux = if let Some(cap) = self.bounds.max_preemptions {
+            (u64::from(last.0) + 1) << 32 | (cap as u64 - u64::from(preempts))
         } else {
             0
         };
@@ -285,25 +291,27 @@ impl<'a> Walker<'a> {
     }
 
     /// Marks `key` visited; returns `false` (and counts a dedup hit) when it
-    /// already was.
-    fn visit(&mut self, key: Key, _sim: &Simulator) -> bool {
-        if !self.visited.insert(key) {
-            self.rep.deduped += 1;
-            shm_obs::counter!("explore.dedup");
-            #[cfg(debug_assertions)]
-            {
-                let words = _sim.state_words();
-                assert_eq!(
-                    self.exact.get(&key),
-                    Some(&words),
-                    "state-fingerprint collision: distinct states share a dedup key"
-                );
+    /// already was — in any tier. Hits answered by a carried previous-bound
+    /// base additionally count as reuse.
+    fn visit(&mut self, key: Key, sim: &Simulator) -> bool {
+        match self.visited.insert(key, || sim.state_words()) {
+            Lookup::New => true,
+            tier => {
+                self.rep.deduped += 1;
+                self.rep.reused += u64::from(tier == Lookup::Base);
+                shm_obs::counter!("explore.dedup");
+                false
             }
-            return false;
         }
-        #[cfg(debug_assertions)]
-        self.exact.insert(key, _sim.state_words());
-        true
+    }
+
+    /// Extracts the report, folding in the visited store's memory
+    /// trajectory, and hands back the store (for cross-bound carry).
+    fn into_parts(self) -> (ExploreReport, VisitedStore) {
+        let mut rep = self.rep;
+        rep.spilled_bytes += self.visited.spilled_bytes();
+        rep.peak_visited_bytes = self.visited.peak_bytes();
+        (rep, self.visited)
     }
 
     /// Expands one node *in place*: counts it, measures terminals, and
@@ -336,6 +344,7 @@ impl<'a> Walker<'a> {
         if let Some(cap) = self.bounds.max_states {
             if self.rep.explored > cap {
                 self.rep.exhaustive = false;
+                self.rep.state_capped = true;
                 self.stopped = true;
                 return None;
             }
@@ -579,6 +588,11 @@ fn merge(into: &mut ExploreReport, part: ExploreReport, keep_violations: usize) 
     into.violations_found += part.violations_found;
     into.violations_in_contract += part.violations_in_contract;
     into.exhaustive &= part.exhaustive;
+    into.state_capped |= part.state_capped;
+    into.reused += part.reused;
+    into.spilled_bytes += part.spilled_bytes;
+    into.peak_visited_bytes += part.peak_visited_bytes;
+    into.peak_frontier = into.peak_frontier.max(part.peak_frontier);
     for v in part.violations {
         if into.violations.len() < keep_violations {
             into.violations.push(v);
@@ -610,6 +624,59 @@ pub fn explore(
     objective: Option<&dyn Objective>,
     bounds: &Bounds,
 ) -> ExploreReport {
+    explore_carry(spec, oracles, objective, bounds, None, false).0
+}
+
+/// Packs a frontier node for the spill queue: the schedule (which replays
+/// to the identical simulator state) plus the path context. The simulator
+/// itself is never serialized.
+fn pack_node(node: &Node, out: &mut Vec<u8>) {
+    spill::push_varint(out, node.sleep);
+    spill::push_varint(out, u64::from(node.preempts));
+    let schedule = node.sim.schedule();
+    spill::push_varint(out, schedule.len() as u64);
+    for pid in schedule {
+        spill::push_varint(out, u64::from(pid.0));
+    }
+}
+
+/// Re-materializes a popped frontier entry; packed nodes replay their
+/// schedule from the root, which is deterministic, so a node that took the
+/// disk detour expands exactly as a resident one would.
+fn materialize(spec: &SimSpec, popped: Popped<Node>) -> Node {
+    match popped {
+        Popped::Live(node) => node,
+        Popped::Packed(buf) => {
+            let mut pos = 0usize;
+            let sleep = spill::read_varint(&buf, &mut pos);
+            let preempts = spill::read_varint(&buf, &mut pos) as u32;
+            let len = spill::read_varint(&buf, &mut pos) as usize;
+            let schedule: Vec<ProcId> = (0..len)
+                .map(|_| ProcId(spill::read_varint(&buf, &mut pos) as u32))
+                .collect();
+            Node {
+                sim: replay(spec, &schedule),
+                sleep,
+                preempts,
+            }
+        }
+    }
+}
+
+/// [`explore`] plus cross-bound carry: `base` is the visited-key set of a
+/// previous iterative-deepening bound (hits against it prune as reuse), and
+/// when `collect` is set the returned [`CarryBase`] unions `base` with
+/// everything this run visited — unless the run was state-capped, in which
+/// case the input base passes through unchanged (a capped run's keys may
+/// front unexplored subtrees; carrying them would be unsound).
+pub(crate) fn explore_carry(
+    spec: &SimSpec,
+    oracles: &[&dyn Oracle],
+    objective: Option<&dyn Objective>,
+    bounds: &Bounds,
+    base: Option<&Arc<CarryBase>>,
+    collect: bool,
+) -> (ExploreReport, Option<Arc<CarryBase>>) {
     let _span = shm_obs::Span::enter("explore.run");
     let target = bounds.frontier.max(1);
     let root = Node {
@@ -617,13 +684,14 @@ pub fn explore(
         sleep: 0,
         preempts: 0,
     };
-    let mut phase1 = Walker::new(oracles, objective, bounds);
-    let mut queue: VecDeque<Node> = VecDeque::new();
-    queue.push_back(root);
+    let mut phase1 = Walker::new(oracles, objective, bounds, base.cloned());
+    let mut queue: SpillQueue<Node> = SpillQueue::new(frontier_hot_cap(bounds.mem_budget));
+    queue.push(root, pack_node);
     while queue.len() < target && !phase1.stopped {
-        let Some(mut node) = queue.pop_front() else {
+        let Some(popped) = queue.pop() else {
             break;
         };
+        let mut node = materialize(spec, popped);
         let classes = full_classes(&node.sim);
         let Some((ckpt, children, at)) =
             phase1.expand(&mut node.sim, node.sleep, node.preempts, &classes)
@@ -636,40 +704,69 @@ pub fn explore(
         for (pid, sleep, preempts) in children {
             // The breadth-first frontier needs materialized child states:
             // re-step the claimed child and clone it off before rolling
-            // back. This phase touches at most `frontier` nodes.
+            // back. This phase touches at most `frontier` nodes (and the
+            // queue spills the excess beyond the hot ring).
             let _ = node.sim.step(pid);
             let sim = node.sim.clone();
             node.sim.restore(&ckpt);
-            queue.push_back(Node {
-                sim,
-                sleep,
-                preempts,
-            });
+            queue.push(
+                Node {
+                    sim,
+                    sleep,
+                    preempts,
+                },
+                pack_node,
+            );
         }
         phase1.ckpt_pool.push(ckpt);
     }
-    let mut report = phase1.rep;
+    let stopped = phase1.stopped;
+    let (mut report, phase1_store) = phase1.into_parts();
     report.frontier = queue.len();
-    if queue.is_empty() || phase1.stopped {
-        return report;
+    report.peak_frontier = queue.peak_len() as u64;
+    report.spilled_bytes += queue.spilled_bytes();
+    let mut stores = vec![phase1_store];
+    if !queue.is_empty() && !stopped {
+        let mut jobs: Vec<Popped<Node>> = Vec::new();
+        while let Some(popped) = queue.pop() {
+            jobs.push(popped);
+        }
+        let carry_base = base.cloned();
+        let parts = map_indexed(shm_pool::threads(), jobs, |_, popped| {
+            let _span = shm_obs::Span::enter("explore.subtree");
+            let mut w = Walker::new(oracles, objective, bounds, carry_base.clone());
+            let Node {
+                mut sim,
+                sleep,
+                preempts,
+            } = materialize(spec, popped);
+            let classes = full_classes(&sim);
+            w.dfs(&mut sim, sleep, preempts, classes);
+            w.into_parts()
+        });
+        for (part, store) in parts {
+            merge(&mut report, part, bounds.keep_violations);
+            if collect {
+                stores.push(store);
+            }
+        }
     }
-    let frontier: Vec<Node> = queue.into_iter().collect();
-    let parts = map_indexed(shm_pool::threads(), frontier, |_, node| {
-        let _span = shm_obs::Span::enter("explore.subtree");
-        let mut w = Walker::new(oracles, objective, bounds);
-        let Node {
-            mut sim,
-            sleep,
-            preempts,
-        } = node;
-        let classes = full_classes(&sim);
-        w.dfs(&mut sim, sleep, preempts, classes);
-        w.rep
-    });
-    for part in parts {
-        merge(&mut report, part, bounds.keep_violations);
-    }
-    report
+    drop(queue);
+    let carry = if !collect {
+        None
+    } else if report.state_capped {
+        base.cloned()
+    } else {
+        let mut builder = CarryBuilder::new();
+        if let Some(b) = base {
+            builder.absorb_base(b);
+        }
+        for store in stores {
+            builder.absorb_store(store);
+        }
+        Some(Arc::new(builder.build()))
+    };
+    (report, carry)
 }
 
 #[cfg(test)]

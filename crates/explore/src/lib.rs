@@ -41,6 +41,15 @@
 //!   the exhaustive regime, exploration degrades gracefully into a CHESS-
 //!   style bounded search. Bounded runs are *under-approximations*: a clean
 //!   verdict means no violation within the bound, not absence of one.
+//!   [`check_iterative`] carries the visited store across bounds (the dedup
+//!   key's bound word encodes the *remaining* preemption budget), so each
+//!   budget only explores what the previous one could not reach.
+//! * **Disk-backed memory bounding** ([`Bounds::mem_budget`], [`store`],
+//!   [`spill`]): the visited set and the breadth-first frontier live in a
+//!   bounded hot tier backed by sorted, delta-compressed runs (and packed
+//!   replayable nodes) spilled to disk — deeper exhaustive verdicts become
+//!   a disk-budget question instead of a RAM wall, and spilling never
+//!   changes a count, verdict, or schedule.
 //!
 //! Frontiers fan out across [`shm_pool`] workers with submission-index
 //! merging, so verdicts, explored-state counts, and the argmax schedule are
@@ -63,6 +72,8 @@ pub mod counterexample;
 pub mod explorer;
 pub mod oracle;
 pub mod pct;
+pub mod spill;
+pub mod store;
 
 pub use bounds::Bounds;
 pub use check::{check, check_iterative, CheckOutcome, ScenarioSpec};
@@ -72,3 +83,4 @@ pub use oracle::{
     BlockingSpecOracle, FnOracle, Objective, Oracle, PollingSpecOracle, ProcRmrs, TotalRmrs,
 };
 pub use pct::{check_random, schedule_seed, RandomBounds, RandomOutcome, RandomReport};
+pub use store::VisitedStore;

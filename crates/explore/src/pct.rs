@@ -26,9 +26,9 @@ use crate::check::{CheckOutcome, ScenarioSpec};
 use crate::counterexample::{replay, shrink_schedule, Counterexample};
 use crate::explorer::{ExploreReport, FoundViolation, ObjectiveResult};
 use crate::oracle::{Objective, Oracle, PollingSpecOracle, ProcRmrs};
+use crate::store::VisitedStore;
 use shm_sim::rng::mix64;
 use shm_sim::{model_tag, PctScheduler, ProcId, SeededRandom, SimSpec, Simulator};
-use std::collections::HashSet;
 
 /// Parameters of a randomized ([`check_random`]) exploration.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +46,12 @@ pub struct RandomBounds {
     /// Per-schedule step budget `k`. With give-up scenario bounds the run
     /// usually terminates earlier; the budget also caps runaway schedules.
     pub steps: u64,
+    /// Byte budget for the distinct-fingerprint coverage set (the one
+    /// per-run structure that grows with `schedules`): beyond it,
+    /// fingerprints spill to delta-compressed disk runs exactly like the
+    /// exhaustive visited store ([`crate::store`]). `None` = unbounded.
+    /// Never changes a count — only where fingerprints live.
+    pub mem_budget: Option<usize>,
 }
 
 impl RandomBounds {
@@ -59,6 +65,7 @@ impl RandomBounds {
             schedules,
             depth_d,
             steps,
+            mem_budget: None,
         }
     }
 
@@ -71,6 +78,7 @@ impl RandomBounds {
             schedules,
             depth_d: 0,
             steps,
+            mem_budget: None,
         }
     }
 }
@@ -106,6 +114,13 @@ pub struct RandomReport {
     /// Maximum objective value over terminal schedules, with the earliest
     /// (by submission index) schedule reaching it.
     pub max_objective: Option<ObjectiveResult>,
+    /// Peak logical bytes of the fingerprint coverage set (deterministic
+    /// [`crate::store::SLOT_BYTES`]-per-key accounting, not an RSS
+    /// reading).
+    pub peak_visited_bytes: u64,
+    /// Delta-compressed bytes the coverage set spilled to disk (0 when
+    /// [`RandomBounds::mem_budget`] never forced a spill).
+    pub spilled_bytes: u64,
 }
 
 impl RandomReport {
@@ -132,6 +147,8 @@ impl RandomReport {
             violations: self.violations.clone(),
             max_objective: self.max_objective.clone(),
             exhaustive: false,
+            peak_visited_bytes: self.peak_visited_bytes,
+            spilled_bytes: self.spilled_bytes,
             ..ExploreReport::default()
         }
     }
@@ -244,14 +261,17 @@ pub fn check_random(scenario: &ScenarioSpec<'_>, bounds: &RandomBounds) -> Rando
     });
 
     // Submission-index merge: every fold below visits results in job order.
+    // The fingerprint coverage set is the one structure that grows with the
+    // schedule count, so it takes the memory budget (spilling to compressed
+    // disk runs beyond it, which changes no count — only where keys live).
     let mut report = RandomReport::default();
-    let mut fingerprints: HashSet<u128> = HashSet::new();
+    let mut fingerprints = VisitedStore::new(bounds.mem_budget, None);
     let mut best: Option<(u64, u64)> = None; // (value, job index)
     for (i, r) in results.iter().enumerate() {
         report.schedules_run += 1;
         report.steps_taken += r.steps;
         report.terminals += u64::from(r.terminal);
-        fingerprints.insert(r.fingerprint);
+        fingerprints.insert((r.fingerprint, 0, 0, 0), Vec::new);
         if let Some((desc, in_contract, schedule)) = &r.violation {
             report.violations_found += 1;
             report.violations_in_contract += u64::from(*in_contract);
@@ -271,7 +291,9 @@ pub fn check_random(scenario: &ScenarioSpec<'_>, bounds: &RandomBounds) -> Rando
             }
         }
     }
-    report.distinct_fingerprints = fingerprints.len() as u64;
+    report.distinct_fingerprints = fingerprints.len();
+    report.peak_visited_bytes = fingerprints.peak_bytes();
+    report.spilled_bytes = fingerprints.spilled_bytes();
     shm_obs::counter!("pct.distinct_fingerprints", report.distinct_fingerprints);
     report.max_objective = best.map(|(value, i)| {
         let (sim, _) = run_schedule(&spec, n, bounds, i);

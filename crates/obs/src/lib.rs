@@ -269,6 +269,26 @@ pub mod registry {
             help: "candidate replays tried by counterexample shrinking",
         },
         CounterDef {
+            name: "store.hot_hits",
+            deterministic: true,
+            help: "visited-store dedup hits answered by the hot in-memory tier",
+        },
+        CounterDef {
+            name: "store.cold_probes",
+            deterministic: true,
+            help: "visited-store disk-run probes (prefilter passes; includes false positives)",
+        },
+        CounterDef {
+            name: "store.spilled_bytes",
+            deterministic: true,
+            help: "delta-compressed bytes spilled to disk (visited runs + packed frontier nodes)",
+        },
+        CounterDef {
+            name: "store.runs_merged",
+            deterministic: true,
+            help: "cold runs consumed by log-structured k-way merges",
+        },
+        CounterDef {
             name: "pool.execute",
             deterministic: false,
             help: "jobs executed per worker lane",

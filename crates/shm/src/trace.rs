@@ -170,7 +170,7 @@ mod tests {
                 value: 0,
             },
         ];
-        let text = render(&events, &labels, None);
+        let text = render(&events, labels, None);
         assert!(text.contains("p0 invoke Poll()"));
         assert!(text.contains("p0* read B -> 0"));
         assert!(text.contains("p0 return 0"));
